@@ -1,0 +1,80 @@
+// Command mtclassify classifies logs (given as arguments or on stdin, one
+// per line, in the paper's "W1[x] R2[y]" notation) against the Fig. 4
+// hierarchy: DSR, SR, SSR, 2PL, TO(1) (Definition 4), TO(1..kmax)
+// (protocol classes) and TO(kmax⁺).
+//
+// Usage:
+//
+//	mtclassify [-kmax 3] ["W1[x] W1[y] R3[x] R2[y] W3[y]" ...]
+//	echo "R1[x] W1[x]" | mtclassify
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/oplog"
+)
+
+func main() {
+	kmax := flag.Int("kmax", 3, "largest vector size to test")
+	brute := flag.Bool("brute", true, "run the brute-force SR/SSR classifiers (small logs only)")
+	flag.Parse()
+
+	logs := flag.Args()
+	if len(logs) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				logs = append(logs, line)
+			}
+		}
+	}
+	if len(logs) == 0 {
+		fmt.Fprintln(os.Stderr, "mtclassify: no logs given (arguments or stdin)")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, src := range logs {
+		l, err := oplog.Parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtclassify: %v\n", err)
+			exit = 1
+			continue
+		}
+		classifyOne(l, *kmax, *brute)
+	}
+	os.Exit(exit)
+}
+
+func classifyOne(l *oplog.Log, kmax int, brute bool) {
+	fmt.Printf("log: %s\n", l)
+	fmt.Printf("  transactions=%d ops=%d items=%d two-step=%v\n",
+		len(l.Transactions()), l.Len(), len(l.Items()), l.IsTwoStep())
+	var classes []string
+	add := func(name string, member bool) {
+		if member {
+			classes = append(classes, name)
+		}
+	}
+	add("DSR", classify.DSR(l))
+	if brute && len(l.Transactions()) <= 7 {
+		add("SR", classify.SR(l))
+		add("SSR", classify.SSR(l))
+	}
+	add("2PL", classify.TwoPL(l))
+	add("TO1(def4)", classify.TO1(l))
+	for k := 1; k <= kmax; k++ {
+		add(fmt.Sprintf("TO(%d)", k), classify.TOk(k, l))
+	}
+	add(fmt.Sprintf("TO(%d+)", kmax), classify.TOkPlus(kmax, l))
+	if len(classes) == 0 {
+		fmt.Println("  classes: none (not serializable)")
+		return
+	}
+	fmt.Printf("  classes: %s\n", strings.Join(classes, " "))
+}

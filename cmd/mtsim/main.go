@@ -1,0 +1,112 @@
+// Command mtsim runs runtime throughput/abort experiments: a generated
+// workload executes on goroutine workers under a chosen concurrency
+// controller, and the tool prints commits, restarts, abort rate,
+// throughput and latency percentiles.
+//
+// Usage:
+//
+//	mtsim -sched mt -k 3 -txns 2000 -ops 4 -items 64 -readfrac 0.7 -workers 8
+//	mtsim -sched all -hotitems 4 -hotfrac 0.8
+//
+// Schedulers: mt, mtdefer, composite, 2pl, to, occ, sgt, interval, mvmt,
+// or "all" to sweep every one over the same workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/lock"
+	"repro/internal/mvmt"
+	"repro/internal/occ"
+	"repro/internal/sched"
+	"repro/internal/sgt"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tsto"
+	"repro/internal/workload"
+)
+
+func main() {
+	schedName := flag.String("sched", "all", "scheduler: mt|mtmono|mtdefer|composite|adaptive|2pl|to|occ|sgt|interval|mvmt|all")
+	k := flag.Int("k", 0, "vector size for the MT family (0 = 2q-1 per Theorem 3)")
+	txns := flag.Int("txns", 2000, "number of transactions")
+	ops := flag.Int("ops", 4, "operations per transaction")
+	items := flag.Int("items", 64, "database size")
+	readFrac := flag.Float64("readfrac", 0.7, "fraction of reads")
+	hotItems := flag.Int("hotitems", 0, "hotspot size (0 = uniform)")
+	hotFrac := flag.Float64("hotfrac", 0.8, "fraction of accesses to the hotspot")
+	workers := flag.Int("workers", 8, "concurrent client goroutines")
+	maxAttempts := flag.Int("maxattempts", 1000, "per-transaction retry budget")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *k <= 0 {
+		*k = 2*(*ops) - 1
+	}
+	specs := workload.Config{
+		Txns: *txns, OpsPerTxn: *ops, Items: *items,
+		ReadFraction: *readFrac, HotItems: *hotItems, HotFraction: *hotFrac,
+		Seed: *seed,
+	}.Generate()
+
+	factories := map[string]func(*storage.Store) sched.Scheduler{
+		"mt": func(st *storage.Store) sched.Scheduler {
+			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: *k, StarvationAvoidance: true}})
+		},
+		"mtmono": func(st *storage.Store) sched.Scheduler {
+			return sched.NewMT(st, sched.MTOptions{Core: core.Options{
+				K: *k, StarvationAvoidance: true, MonotonicEncoding: true}})
+		},
+		"mtdefer": func(st *storage.Store) sched.Scheduler {
+			return sched.NewMT(st, sched.MTOptions{
+				Core: core.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
+		},
+		"composite": func(st *storage.Store) sched.Scheduler {
+			return sched.NewComposite(st, *k, core.Options{StarvationAvoidance: true})
+		},
+		"2pl": func(st *storage.Store) sched.Scheduler { return lock.NewTwoPL(st) },
+		"to": func(st *storage.Store) sched.Scheduler {
+			return tsto.New(st, tsto.Options{ThomasWriteRule: true})
+		},
+		"occ":      func(st *storage.Store) sched.Scheduler { return occ.New(st) },
+		"sgt":      func(st *storage.Store) sched.Scheduler { return sgt.New(st) },
+		"interval": func(st *storage.Store) sched.Scheduler { return interval.New(st, interval.Options{}) },
+		"mvmt":     func(st *storage.Store) sched.Scheduler { return mvmt.New(st, mvmt.Options{K: *k}) },
+		"adaptive": func(st *storage.Store) sched.Scheduler {
+			return adaptive.New(st, adaptive.Options{
+				InitialK: 1, MaxK: *k,
+				Core: core.Options{StarvationAvoidance: true},
+			})
+		},
+	}
+	order := []string{"mt", "mtmono", "mtdefer", "composite", "adaptive", "2pl", "to", "occ", "sgt", "interval", "mvmt"}
+
+	var names []string
+	if *schedName == "all" {
+		names = order
+	} else if _, ok := factories[*schedName]; ok {
+		names = []string{*schedName}
+	} else {
+		fmt.Fprintf(os.Stderr, "mtsim: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("workload: txns=%d ops=%d items=%d readfrac=%.2f hot=%d/%.2f workers=%d k=%d\n",
+		*txns, *ops, *items, *readFrac, *hotItems, *hotFrac, *workers, *k)
+	for _, name := range names {
+		rep := sim.Run(sim.Config{
+			NewScheduler: factories[name],
+			Specs:        specs,
+			Workers:      *workers,
+			MaxAttempts:  *maxAttempts,
+			Backoff:      20 * time.Microsecond,
+		})
+		fmt.Println(rep)
+	}
+}

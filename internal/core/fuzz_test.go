@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/oplog"
+)
+
+func TestFuzzSchedulerLifecycle(t *testing.T) {
+	items := []string{"a", "b", "c"}
+	for seed := int64(0); seed < 20000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		s := NewScheduler(Options{K: k, StarvationAvoidance: true,
+			ThomasWriteRule: rng.Intn(2) == 0, RelaxedReadCheck: rng.Intn(2) == 0})
+		type tstate struct {
+			blocker int
+			live    bool
+		}
+		txns := map[int]*tstate{}
+		var trace []string
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d panic: %v\ntrace:\n%s", seed, r, fmt.Sprint(trace))
+				}
+			}()
+			for step := 0; step < 40; step++ {
+				txn := 1 + rng.Intn(5)
+				st := txns[txn]
+				if st == nil {
+					st = &tstate{live: true}
+					txns[txn] = st
+				}
+				switch rng.Intn(10) {
+				case 0: // commit
+					if st.live {
+						trace = append(trace, fmt.Sprintf("C%d", txn))
+						s.Commit(txn)
+						st.live = false
+					}
+				case 1: // abort
+					trace = append(trace, fmt.Sprintf("A%d(b=%d)", txn, st.blocker))
+					s.Abort(txn, st.blocker)
+					st.blocker = 0
+				default:
+					it := items[rng.Intn(len(items))]
+					var op oplog.Op
+					if rng.Intn(2) == 0 {
+						op = oplog.R(txn, it)
+					} else {
+						op = oplog.W(txn, it)
+					}
+					trace = append(trace, op.String())
+					st.live = true
+					d := s.Step(op)
+					if d.Verdict == Reject {
+						st.blocker = d.Blocker
+					}
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/oplog"
+)
+
+// Verdict is the scheduler's decision on a single operation.
+type Verdict int
+
+// Possible verdicts. AcceptIgnored is an accepted write whose effect is
+// dropped under the Thomas write rule (implementation issue (c)).
+const (
+	Accept Verdict = iota
+	AcceptIgnored
+	Reject
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Accept:
+		return "accept"
+	case AcceptIgnored:
+		return "accept-ignored"
+	default:
+		return "reject"
+	}
+}
+
+// Decision is the outcome of scheduling one operation. On Reject, Blocker
+// is the transaction whose established-greater timestamp forced the abort
+// (the paper's TS(j) > TS(i)).
+type Decision struct {
+	Op      oplog.Op
+	Verdict Verdict
+	Blocker int
+	// Item is the item on which the reject happened (multi-item ops may
+	// pass several items before one rejects).
+	Item string
+	// IgnoredItems lists the items of an accepted write whose effect must
+	// be dropped under the Thomas write rule.
+	IgnoredItems []string
+}
+
+// EventKind tags trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	// EvAssign: element Pos of transaction Txn's vector was set to Val.
+	EvAssign EventKind = iota
+	// EvEncode: the dependency J -> I was newly encoded at position Pos.
+	EvEncode
+	// EvEstablished: the dependency J -> I was already established.
+	EvEstablished
+	// EvFlush: transaction Txn's vector was flushed and reseeded
+	// (starvation fix).
+	EvFlush
+)
+
+// Event is a trace record emitted through Options.Trace.
+type Event struct {
+	Kind EventKind
+	Txn  int   // EvAssign, EvFlush
+	Pos  int   // EvAssign: element index (1-based); EvEncode: deciding position
+	Val  int64 // EvAssign: assigned value
+	J, I int   // EvEncode, EvEstablished: dependency J -> I
+}
+
+// Options configures an MT(k) scheduler.
+type Options struct {
+	// K is the timestamp vector size (k >= 1). Per Theorem 3, k = 2q-1
+	// suffices for transactions of at most q operations.
+	K int
+	// ThomasWriteRule accepts-and-ignores obsolete writes when
+	// TS(RT(x)) < TS(i) < TS(WT(x)) instead of aborting (Section III-D-6c).
+	ThomasWriteRule bool
+	// StarvationAvoidance applies the Section III-D-4 fix on Abort: the
+	// vector is flushed and its first element seeded to TS(blocker,1)+1 so
+	// the restarted incarnation runs after its blocker.
+	StarvationAvoidance bool
+	// RelaxedReadCheck replaces the line-9 condition TS(WT(x)) < TS(i)
+	// with Set(WT(x), i), allowing higher concurrency (Section III-D-2
+	// closing remark).
+	RelaxedReadCheck bool
+	// HotItems marks items whose dependencies are encoded near the right
+	// end of the vectors (optimized encoding, Section III-D-5).
+	HotItems map[string]bool
+	// HotThreshold, when > 0, dynamically treats an item as hot once its
+	// access count reaches the threshold.
+	HotThreshold int
+	// MonotonicEncoding assigns Lamport-style (column-monotonic) element
+	// values instead of the paper's relative TS(j,m)+1 values. This is an
+	// engineering ablation: it eliminates the spurious rejections caused
+	// by relative values meeting deeper conflict chains, at the cost of
+	// the Example 1 behaviour (equal elements for unordered transactions)
+	// and therefore of some of the protocol's late-binding concurrency.
+	MonotonicEncoding bool
+	// Trace, when non-nil, receives an Event for every element assignment,
+	// dependency encoding and flush.
+	Trace func(Event)
+}
+
+// Scheduler is the MT(k) concurrency controller of Algorithm 1. It is not
+// safe for concurrent use; the transaction runtime serializes access to it
+// (the paper's scheduler processes one operation at a time).
+type Scheduler struct {
+	opts   Options
+	k      int
+	tab    *VectorTable   // the TS table of Fig. 2
+	rt     map[string]int // RT(x): most recent reader
+	wt     map[string]int // WT(x): most recent writer
+	access map[string]int // per-item access counts (hot-item detection)
+	pins   map[int]int    // #items for which txn is RT or WT
+	done   map[int]bool   // committed transactions awaiting unpin
+}
+
+// NewScheduler returns an initialized MT(k) scheduler. TS(0) = <0,*,...,*>
+// represents the virtual transaction T_0 that read and wrote every item
+// before all others; RT(x) = WT(x) = 0 for every x.
+func NewScheduler(opts Options) *Scheduler {
+	if opts.K < 1 {
+		panic("core: Options.K must be >= 1")
+	}
+	s := &Scheduler{
+		opts:   opts,
+		k:      opts.K,
+		tab:    NewVectorTable(opts.K),
+		rt:     make(map[string]int),
+		wt:     make(map[string]int),
+		access: make(map[string]int),
+		pins:   make(map[int]int),
+		done:   make(map[int]bool),
+	}
+	s.tab.Monotonic = opts.MonotonicEncoding
+	if opts.Trace != nil {
+		s.tab.OnAssign = func(id, pos int, val int64) {
+			opts.Trace(Event{Kind: EvAssign, Txn: id, Pos: pos, Val: val})
+		}
+	}
+	return s
+}
+
+// Table exposes the underlying timestamp table (read-mostly helpers).
+func (s *Scheduler) Table() *VectorTable { return s.tab }
+
+// K returns the vector size.
+func (s *Scheduler) K() int { return s.k }
+
+// Counters returns the current (lcount, ucount) pair, for tests.
+func (s *Scheduler) Counters() (lo, hi int64) { return s.tab.Counters() }
+
+// Vector returns a copy of TS(i). Unknown transactions have the
+// all-undefined vector.
+func (s *Scheduler) Vector(i int) *Vector { return s.tab.Vector(i).Clone() }
+
+// Snapshot returns copies of all live timestamp vectors keyed by
+// transaction id.
+func (s *Scheduler) Snapshot() map[int]*Vector { return s.tab.Snapshot() }
+
+// RT returns RT(x), the most recent reader of x (0 if none).
+func (s *Scheduler) RT(x string) int { return s.rt[x] }
+
+// WT returns WT(x), the most recent writer of x (0 if none).
+func (s *Scheduler) WT(x string) int { return s.wt[x] }
+
+// less reports whether TS(a) < TS(b) is established.
+func (s *Scheduler) less(a, b int) bool { return s.tab.Less(a, b) }
+
+// hot reports whether x qualifies for right-shifted encoding.
+func (s *Scheduler) hot(x string) bool {
+	if s.opts.HotItems[x] {
+		return true
+	}
+	return s.opts.HotThreshold > 0 && s.access[x] >= s.opts.HotThreshold
+}
+
+// Set implements procedure Set(j, i): it tries to establish or encode
+// TS(j) < TS(i) and reports success. It is exported for the composite and
+// nested protocols, which reuse the element-assignment rules.
+func (s *Scheduler) Set(j, i int) bool { return s.setDep(j, i, "") }
+
+// setDep is Set(j, i); x (may be empty) is the item whose access created
+// the dependency, used to decide hot-item right-shifted encoding.
+func (s *Scheduler) setDep(j, i int, x string) bool {
+	if j == i {
+		return true
+	}
+	rel, _ := s.tab.Vector(j).Compare(s.tab.Vector(i))
+	if rel == Greater {
+		return false
+	}
+	if rel == Less {
+		if s.opts.Trace != nil {
+			s.opts.Trace(Event{Kind: EvEstablished, J: j, I: i})
+		}
+		return true
+	}
+	shift := x != "" && s.hot(x)
+	if !s.tab.Set(j, i, shift) {
+		return false
+	}
+	if s.opts.Trace != nil {
+		s.opts.Trace(Event{Kind: EvEncode, J: j, I: i})
+	}
+	return true
+}
+
+// Step schedules one atomic operation. Multi-item operations (the two-step
+// model's set reads/writes) process their items in order; the first
+// rejecting item rejects the whole operation.
+func (s *Scheduler) Step(op oplog.Op) Decision {
+	// A transaction issuing operations is live: a restarted incarnation
+	// after Abort reactivates its (possibly reseeded) vector.
+	delete(s.done, op.Txn)
+	var ignored []string
+	for _, x := range op.Items {
+		s.access[x]++
+		var v Verdict
+		var blocker int
+		if op.Kind == oplog.Read {
+			v, blocker = s.stepRead(op.Txn, x)
+		} else {
+			v, blocker = s.stepWrite(op.Txn, x)
+		}
+		switch v {
+		case Reject:
+			return Decision{Op: op, Verdict: Reject, Blocker: blocker, Item: x}
+		case AcceptIgnored:
+			ignored = append(ignored, x)
+		}
+	}
+	verdict := Accept
+	if len(ignored) == len(op.Items) {
+		verdict = AcceptIgnored
+	}
+	return Decision{Op: op, Verdict: verdict, IgnoredItems: ignored}
+}
+
+// maxHolder returns j := RT(x) or WT(x), whichever has the larger
+// timestamp (Algorithm 1 lines 5-6). RT(x) and WT(x) are always comparable
+// for the same item because reads and writes of x conflict pairwise.
+func (s *Scheduler) maxHolder(x string) int {
+	if s.less(s.rt[x], s.wt[x]) {
+		return s.wt[x]
+	}
+	return s.rt[x]
+}
+
+// stepRead implements the read arm of the Scheduler procedure.
+func (s *Scheduler) stepRead(i int, x string) (Verdict, int) {
+	j := s.maxHolder(x)
+	if s.setDep(j, i, x) {
+		s.repin(x, &s.rt, i)
+		return Accept, 0
+	}
+	// Line 9: the read may slot between the most recent write and the most
+	// recent read without becoming the most recent reader.
+	if j == s.rt[x] {
+		if s.opts.RelaxedReadCheck {
+			if s.setDep(s.wt[x], i, x) {
+				return Accept, 0
+			}
+		} else if s.less(s.wt[x], i) {
+			return Accept, 0
+		}
+	}
+	return Reject, j
+}
+
+// stepWrite implements the write arm of the Scheduler procedure.
+func (s *Scheduler) stepWrite(i int, x string) (Verdict, int) {
+	j := s.maxHolder(x)
+	if s.setDep(j, i, x) {
+		s.repin(x, &s.wt, i)
+		return Accept, 0
+	}
+	// Thomas write rule: if TS(RT(x)) < TS(i) < TS(WT(x)), the write is
+	// obsolete and can be ignored.
+	if s.opts.ThomasWriteRule && j == s.wt[x] && s.less(i, s.wt[x]) && s.setDep(s.rt[x], i, x) {
+		return AcceptIgnored, 0
+	}
+	return Reject, j
+}
+
+// repin moves the RT or WT index for x to txn, maintaining pin counts used
+// for vector storage reclamation (implementation issue (b)).
+func (s *Scheduler) repin(x string, table *map[string]int, txn int) {
+	old := (*table)[x]
+	if old == txn {
+		return
+	}
+	(*table)[x] = txn
+	s.pins[txn]++
+	s.unpin(old)
+}
+
+// unpin decrements old's pin count (one pin per RT/WT slot it occupies)
+// and reclaims its vector if the transaction is finished and unreferenced.
+func (s *Scheduler) unpin(old int) {
+	if old == 0 {
+		return
+	}
+	s.pins[old]--
+	s.maybeReclaim(old)
+}
+
+// maybeReclaim frees TS(i) storage once transaction i is finished and no
+// longer the most recent read/write timestamp of any item.
+func (s *Scheduler) maybeReclaim(i int) {
+	if i == 0 {
+		return
+	}
+	if s.done[i] && s.pins[i] <= 0 {
+		s.tab.Drop(i)
+		delete(s.pins, i)
+		delete(s.done, i)
+	}
+}
+
+// Commit marks transaction i finished; its vector storage is reclaimed as
+// soon as it stops being a most-recent read or write timestamp.
+func (s *Scheduler) Commit(i int) {
+	s.done[i] = true
+	s.maybeReclaim(i)
+}
+
+// Abort discards transaction i. blocker is the Blocker from the rejecting
+// Decision (0 if the abort had another cause). With StarvationAvoidance
+// the vector is flushed and reseeded with TS(blocker,1)+1 so a restarted
+// incarnation cannot be blocked by the same transaction again; otherwise
+// the vector is treated like a committed one and reclaimed when unpinned.
+func (s *Scheduler) Abort(i, blocker int) {
+	if i == 0 {
+		return
+	}
+	if s.opts.StarvationAvoidance && blocker != 0 {
+		b := s.tab.Vector(blocker).Elem(1)
+		if b.Defined {
+			// Seed past the blocker AND past the column-1 clock: the
+			// restarted incarnation dominates every vector assigned so
+			// far (the paper requires only TS(j,1)+1; seeding to the
+			// clock additionally prevents the restart from being
+			// leapfrogged by the rest of the population, matching the
+			// fresh-timestamp behaviour of TO restarts). Both seeds
+			// dominate the old vector, so established w < TS(i)
+			// relations survive. ReseedFirst keeps the counter column
+			// consistent when k = 1.
+			seed := s.tab.ReseedFirst(i, b.V)
+			if s.opts.Trace != nil {
+				s.opts.Trace(Event{Kind: EvFlush, Txn: i, Val: seed})
+			}
+			// The seeded vector must survive for the restart.
+			return
+		}
+	}
+	s.done[i] = true
+	s.maybeReclaim(i)
+}
+
+// LiveVectors returns the number of vectors currently held in the table
+// (including T_0), for storage-reclamation tests.
+func (s *Scheduler) LiveVectors() int { return s.tab.Len() }
+
+// SeedVector installs an explicit vector for transaction i. It exists to
+// reproduce the paper's worked tables (which start mid-log, e.g. Table II's
+// TS(4) = <1,4>) and for tests; production schedulers never need it.
+func (s *Scheduler) SeedVector(i int, elems ...Elem) { s.tab.Seed(i, elems...) }
+
+// SetCounters overrides the k-th-column counters, for table reproduction
+// and tests.
+func (s *Scheduler) SetCounters(lo, hi int64) { s.tab.SetCounters(lo, hi) }
+
+// AcceptLog runs a complete log through a fresh continuation of the
+// scheduler. It returns (true, -1) if every operation is accepted, or
+// (false, i) where i is the index of the first rejected operation.
+// Thomas-rule ignored writes count as accepted.
+func (s *Scheduler) AcceptLog(l *oplog.Log) (bool, int) {
+	for idx, op := range l.Ops {
+		if d := s.Step(op); d.Verdict == Reject {
+			return false, idx
+		}
+	}
+	return true, -1
+}
+
+// Accepts reports whether MT(k) with the given options accepts the log,
+// i.e. whether the log is in the class TO(k) (for default options).
+func Accepts(k int, l *oplog.Log) bool {
+	ok, _ := NewScheduler(Options{K: k}).AcceptLog(l)
+	return ok
+}
+
+// SerialOrder returns a serialization order for the given transactions
+// consistent with every established timestamp relation: a topological sort
+// of the vectors (the paper's "topological sort of the corresponding
+// timestamp vectors"). Transactions absent from the table keep their
+// relative id order. The virtual transaction 0 is excluded.
+func (s *Scheduler) SerialOrder(txns []int) []int {
+	// Build the established-order graph over the given transactions.
+	idx := make(map[int]int, len(txns))
+	for p, t := range txns {
+		if t == 0 {
+			panic("core: SerialOrder over the virtual transaction")
+		}
+		idx[t] = p
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+	for a, pa := range idx {
+		for b, pb := range idx {
+			if a != b && s.less(a, b) {
+				edges = append(edges, edge{pa, pb})
+			}
+		}
+	}
+	// Kahn with smallest-id preference for determinism.
+	n := len(txns)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.u] = append(adj[e.u], e.v)
+		indeg[e.v]++
+	}
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	for len(order) < n {
+		pick := -1
+		for p := 0; p < n; p++ {
+			if !used[p] && indeg[p] == 0 && (pick == -1 || txns[p] < txns[pick]) {
+				pick = p
+			}
+		}
+		if pick == -1 {
+			panic(fmt.Sprintf("core: established relations are cyclic over %v", txns))
+		}
+		used[pick] = true
+		order = append(order, txns[pick])
+		for _, v := range adj[pick] {
+			indeg[v]--
+		}
+	}
+	return order
+}

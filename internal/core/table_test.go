@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTablePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVectorTable(0)
+}
+
+func TestTableT0Installed(t *testing.T) {
+	tab := NewVectorTable(3)
+	if got := tab.Vector(0).String(); got != "<0,*,*>" {
+		t.Fatalf("TS(0) = %s", got)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestTableSetSelf(t *testing.T) {
+	tab := NewVectorTable(2)
+	if !tab.Set(5, 5, false) {
+		t.Fatal("Set(i,i) must succeed")
+	}
+	if tab.Vector(5).DefinedCount() != 0 {
+		t.Fatal("Set(i,i) must not assign")
+	}
+}
+
+func TestTableCountersAndClock(t *testing.T) {
+	tab := NewVectorTable(1)
+	tab.Set(0, 1, false) // ucount-assign
+	tab.Set(0, 2, false)
+	lo, hi := tab.Counters()
+	if lo != 0 || hi != 3 {
+		t.Fatalf("counters = (%d,%d)", lo, hi)
+	}
+	if tab.Clock(1) != 2 {
+		t.Fatalf("clock = %d", tab.Clock(1))
+	}
+}
+
+func TestTableLowerCounter(t *testing.T) {
+	tab := NewVectorTable(1)
+	tab.Seed(7, Int(5))
+	// Encoding TS(9) < TS(7) with TS(9) undefined uses the lower counter.
+	if !tab.Set(9, 7, false) {
+		t.Fatal("Set failed")
+	}
+	e := tab.Vector(9).Elem(1)
+	if !e.Defined || e.V >= 5 {
+		t.Fatalf("TS(9,1) = %v, want < 5", e)
+	}
+	lo, _ := tab.Counters()
+	if lo >= 0 {
+		t.Fatalf("lcount = %d, want < 0", lo)
+	}
+}
+
+func TestTableDrop(t *testing.T) {
+	tab := NewVectorTable(2)
+	tab.Set(0, 3, false)
+	tab.Drop(3)
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after drop", tab.Len())
+	}
+	// A re-created vector starts undefined.
+	if tab.Vector(3).DefinedCount() != 0 {
+		t.Fatal("dropped vector left residue")
+	}
+}
+
+func TestTableOnAssignHook(t *testing.T) {
+	tab := NewVectorTable(2)
+	var calls int
+	tab.OnAssign = func(id, pos int, val int64) { calls++ }
+	tab.Set(0, 1, false) // one assignment
+	tab.Set(1, 2, false) // one assignment (Unknown at column 1)
+	if calls != 2 {
+		t.Fatalf("OnAssign calls = %d", calls)
+	}
+}
+
+func TestReseedFirstDominates(t *testing.T) {
+	tab := NewVectorTable(3)
+	tab.Set(0, 1, false) // TS(1)=<1,*,*>
+	tab.Set(1, 2, false) // TS(2)=<2,*,*>
+	seed := tab.ReseedFirst(1, tab.Vector(2).Elem(1).V)
+	if seed <= 2 {
+		t.Fatalf("seed = %d, want > blocker's 2", seed)
+	}
+	if !tab.Less(2, 1) {
+		t.Fatal("reseeded vector must dominate its blocker")
+	}
+	if got := tab.Vector(1).DefinedCount(); got != 1 {
+		t.Fatalf("reseeded vector has %d defined elements", got)
+	}
+}
+
+// ReseedFirst at k=1 must allocate through the counter so later counter
+// assignments never collide (the bug found by the lifecycle fuzzer).
+func TestReseedFirstCounterColumn(t *testing.T) {
+	tab := NewVectorTable(1)
+	tab.Set(0, 1, false) // TS(1)=<1>
+	tab.Set(1, 2, false) // TS(2)=<2>
+	seed := tab.ReseedFirst(3, tab.Vector(2).Elem(1).V)
+	// A later counter allocation must be distinct from the seed.
+	tab.Set(2, 4, false)
+	v4 := tab.Vector(4).Elem(1).V
+	if v4 == seed {
+		t.Fatalf("counter collision: seed %d == new allocation %d", seed, v4)
+	}
+	if !tab.Less(2, 3) {
+		t.Fatal("seed does not dominate blocker")
+	}
+}
+
+func TestMonotonicUpper(t *testing.T) {
+	tab := NewVectorTable(3)
+	tab.Monotonic = true
+	tab.Set(0, 1, false) // TS(1,1)=1
+	tab.Set(1, 2, false) // TS(2,1)=2
+	// Encoding against the OLD holder T0 must still produce a fresh value
+	// above the column clock, not 0+1.
+	tab.Set(0, 3, false)
+	got := tab.Vector(3).Elem(1)
+	if !got.Defined || got.V <= 2 {
+		t.Fatalf("monotonic upper = %v, want > 2", got)
+	}
+}
+
+func TestPlainUpperIsRelative(t *testing.T) {
+	tab := NewVectorTable(3)
+	tab.Set(0, 1, false) // TS(1,1)=1
+	tab.Set(1, 2, false) // TS(2,1)=2
+	tab.Set(0, 3, false) // relative rule: TS(3,1) = TS(0,1)+1 = 1
+	got := tab.Vector(3).Elem(1)
+	if !got.Defined || got.V != 1 {
+		t.Fatalf("relative upper = %v, want 1 (the Example 1 behaviour)", got)
+	}
+}
+
+func TestShiftEncodeCopiesUpToLastColumn(t *testing.T) {
+	tab := NewVectorTable(2)
+	tab.Seed(1, Int(1), Int(3))
+	tab.SetCounters(0, 5) // seeded column-k value 3 must stay below ucount
+	if !tab.Set(1, 2, true) {
+		t.Fatal("Set failed")
+	}
+	// The shift copies the prefix (column 1) and counter-encodes at k.
+	if got := tab.Vector(2).String(); got != "<1,5>" {
+		t.Fatalf("TS(2) = %v, want <1,5>", got)
+	}
+	if !tab.Less(1, 2) {
+		t.Fatal("dependency not established")
+	}
+}
+
+func TestSetIdenticalVectorsPanics(t *testing.T) {
+	tab := NewVectorTable(1)
+	tab.Seed(7, Int(4))
+	tab.Seed(8, Int(4)) // API misuse: identical fully-defined vectors
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.Set(7, 8, false)
+}
+
+// Property: the table's Set never breaks an established relation, under
+// random mixed usage including shifts and reseeds.
+func TestQuickTableRelationsStable(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		tab := NewVectorTable(k)
+		type rel struct{ a, b int }
+		established := map[rel]bool{}
+		check := func() {
+			for a := 0; a <= 5; a++ {
+				for b := 0; b <= 5; b++ {
+					if a == b {
+						continue
+					}
+					if established[rel{a, b}] && !tab.Less(a, b) {
+						t.Fatalf("seed %d: relation %d<%d lost", seed, a, b)
+					}
+					if tab.Less(a, b) {
+						established[rel{a, b}] = true
+					}
+				}
+			}
+		}
+		for step := 0; step < 30; step++ {
+			a, b := rng.Intn(6), rng.Intn(6)
+			switch rng.Intn(10) {
+			case 0:
+				// Reseed target past a blocker with a defined element 1;
+				// relations INTO the target survive; relations OUT of it
+				// are void (the incarnation restarts), so reset them.
+				if a != 0 && tab.Vector(b).Elem(1).Defined {
+					tab.ReseedFirst(a, tab.Vector(b).Elem(1).V)
+					for x := 0; x <= 5; x++ {
+						delete(established, rel{a, x})
+					}
+				}
+			default:
+				// Nothing is ever ordered before T_0 (protocol flow).
+				if b == 0 {
+					continue
+				}
+				// Identical fully-defined vectors only arise through raw
+				// table access (the lower counter can mint TS(0)'s value
+				// for an unassigned id); Set rejects them by panic, and
+				// the protocol never produces them — skip.
+				if rel, _ := tab.Vector(a).Compare(tab.Vector(b)); rel == Equal &&
+					tab.Vector(a).DefinedCount() == k {
+					continue
+				}
+				tab.Set(a, b, rng.Intn(2) == 0)
+			}
+			check()
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package core implements the paper's primary contribution: the
+// multidimensional timestamp protocol MT(k) of Algorithm 1, including the
+// timestamp-vector ordering of Definition 6, the starvation fix of Section
+// III-D-4, the Thomas-write-rule integration and the optimized ("hot item")
+// dependency encoding of Section III-D-5.
+//
+// A transaction T_i carries a timestamp vector TS(i) of k elements, each
+// either an integer or undefined (the paper's '*'). Vectors are compared
+// lexicographically left to right; a newly discovered dependency
+// T_j -> T_i is encoded by making TS(j) < TS(i) at the first position where
+// the two vectors are not both defined and equal. Defined elements are
+// never overwritten, so established order relations are immutable and the
+// induced relation '<' remains a strict partial order (Lemmas 1-2), which
+// yields serializability (Theorem 2).
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Elem is a single timestamp-vector element: an integer value or the
+// undefined marker '*'.
+type Elem struct {
+	V       int64
+	Defined bool
+}
+
+// Undef is the undefined element.
+var Undef = Elem{}
+
+// Int returns a defined element with value v.
+func Int(v int64) Elem { return Elem{V: v, Defined: true} }
+
+// String renders the element as its value or '*'.
+func (e Elem) String() string {
+	if !e.Defined {
+		return "*"
+	}
+	return fmt.Sprintf("%d", e.V)
+}
+
+// Rel is the outcome of comparing two timestamp vectors per Definition 6.
+type Rel int
+
+// Comparison outcomes. Less and Greater are *established* relations that
+// can never change afterwards; Equal means both vectors are undefined at
+// the deciding position (the paper's TS(i) = TS(j)); Unknown means exactly
+// one side is undefined there (the paper's '?').
+const (
+	Less Rel = iota
+	Greater
+	Equal
+	Unknown
+)
+
+// String returns a symbol for the relation.
+func (r Rel) String() string {
+	switch r {
+	case Less:
+		return "<"
+	case Greater:
+		return ">"
+	case Equal:
+		return "="
+	default:
+		return "?"
+	}
+}
+
+// Vector is a k-dimensional timestamp vector.
+type Vector struct {
+	elems []Elem
+}
+
+// NewVector returns an all-undefined vector of size k.
+func NewVector(k int) *Vector {
+	if k < 1 {
+		panic("core: vector size must be >= 1")
+	}
+	return &Vector{elems: make([]Elem, k)}
+}
+
+// VectorOf builds a vector from explicit elements (for tests and tables).
+func VectorOf(elems ...Elem) *Vector {
+	if len(elems) == 0 {
+		panic("core: empty vector")
+	}
+	return &Vector{elems: append([]Elem(nil), elems...)}
+}
+
+// K returns the vector size.
+func (v *Vector) K() int { return len(v.elems) }
+
+// Elem returns the m-th element, 1-based as in the paper's TS(i, m).
+func (v *Vector) Elem(m int) Elem { return v.elems[m-1] }
+
+// DefinedCount returns the number of defined elements.
+func (v *Vector) DefinedCount() int {
+	n := 0
+	for _, e := range v.elems {
+		if e.Defined {
+			n++
+		}
+	}
+	return n
+}
+
+// set assigns element m (1-based). Overwriting a defined element would
+// silently destroy an established order relation, so it panics instead:
+// every call site must only fill undefined slots. Reset is the only
+// sanctioned way to discard a vector's history (starvation fix).
+func (v *Vector) set(m int, val int64) {
+	if v.elems[m-1].Defined {
+		panic(fmt.Sprintf("core: element %d already defined", m))
+	}
+	v.elems[m-1] = Int(val)
+}
+
+// SetElem assigns element m (1-based). Like every element assignment it
+// panics on overwriting a defined element: established order relations are
+// immutable. Exported for the decentralized protocol, which stores vectors
+// outside a VectorTable.
+func (v *Vector) SetElem(m int, val int64) { v.set(m, val) }
+
+// Reset flushes the vector back to all-undefined (the starvation fix's
+// "flush out TS(i)").
+func (v *Vector) Reset() {
+	for i := range v.elems {
+		v.elems[i] = Elem{}
+	}
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return &Vector{elems: append([]Elem(nil), v.elems...)}
+}
+
+// String renders the vector in the paper's notation, e.g. "<1,2,*>".
+func (v *Vector) String() string {
+	parts := make([]string, len(v.elems))
+	for i, e := range v.elems {
+		parts[i] = e.String()
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+
+// Compare implements Definition 6. It walks corresponding elements left to
+// right while both are defined and equal and returns the relation together
+// with the 1-based deciding position m. If every pair of elements is
+// defined and equal (possible only when v and w are the same transaction's
+// vector, since the k-th column holds distinct values), it returns
+// (Equal, k).
+func (v *Vector) Compare(w *Vector) (Rel, int) {
+	if len(v.elems) != len(w.elems) {
+		panic(fmt.Sprintf("core: comparing vectors of size %d and %d", len(v.elems), len(w.elems)))
+	}
+	for m := 0; m < len(v.elems); m++ {
+		a, b := v.elems[m], w.elems[m]
+		switch {
+		case a.Defined && b.Defined:
+			if a.V < b.V {
+				return Less, m + 1
+			}
+			if a.V > b.V {
+				return Greater, m + 1
+			}
+			// equal: continue to the next element
+		case !a.Defined && !b.Defined:
+			return Equal, m + 1
+		default:
+			return Unknown, m + 1
+		}
+	}
+	return Equal, len(v.elems)
+}
+
+// Less reports whether v < w is an established relation.
+func (v *Vector) Less(w *Vector) bool {
+	rel, _ := v.Compare(w)
+	return rel == Less
+}
+
+// FirstUndefined returns the 1-based index of the first undefined element,
+// or k+1 if the vector is fully defined.
+func (v *Vector) FirstUndefined() int {
+	for m, e := range v.elems {
+		if !e.Defined {
+			return m + 1
+		}
+	}
+	return len(v.elems) + 1
+}

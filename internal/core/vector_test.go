@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// vec builds a vector from a compact spec: values are ints, nil-like
+// undefined slots are represented by the sentinel minInt.
+const undef = int64(-1 << 62)
+
+func vec(vals ...int64) *Vector {
+	elems := make([]Elem, len(vals))
+	for i, v := range vals {
+		if v != undef {
+			elems[i] = Int(v)
+		}
+	}
+	return VectorOf(elems...)
+}
+
+func TestElemString(t *testing.T) {
+	if Undef.String() != "*" {
+		t.Fatalf("Undef = %q", Undef.String())
+	}
+	if Int(-3).String() != "-3" {
+		t.Fatalf("Int(-3) = %q", Int(-3).String())
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := vec(1, undef, 3)
+	if got := v.String(); got != "<1,*,3>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNewVectorPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVector(0)
+}
+
+func TestCompareDefinition6(t *testing.T) {
+	cases := []struct {
+		a, b  *Vector
+		rel   Rel
+		pos   int
+		label string
+	}{
+		{vec(1, undef), vec(2, undef), Less, 1, "defined less at 1"},
+		{vec(2, undef), vec(1, undef), Greater, 1, "defined greater at 1"},
+		{vec(2, 1), vec(2, 2), Less, 2, "shared prefix, decide at 2"},
+		{vec(2, undef), vec(2, undef), Equal, 2, "both undefined at 2"},
+		{vec(undef, undef), vec(undef, undef), Equal, 1, "both undefined at 1"},
+		{vec(2, 1), vec(2, undef), Unknown, 2, "one undefined at 2"},
+		{vec(undef, undef), vec(2, undef), Unknown, 1, "one undefined at 1"},
+		{vec(1, 0), vec(1, 2), Less, 2, "paper edge e: <1,0> < <1,2>"},
+	}
+	for _, c := range cases {
+		rel, pos := c.a.Compare(c.b)
+		if rel != c.rel || pos != c.pos {
+			t.Errorf("%s: Compare(%v,%v) = (%v,%d), want (%v,%d)",
+				c.label, c.a, c.b, rel, pos, c.rel, c.pos)
+		}
+	}
+}
+
+func TestCompareFullyEqualDefined(t *testing.T) {
+	rel, pos := vec(1, 2).Compare(vec(1, 2))
+	if rel != Equal || pos != 2 {
+		t.Fatalf("got (%v,%d)", rel, pos)
+	}
+}
+
+func TestCompareSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	vec(1).Compare(vec(1, 2))
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	// If a < b then b > a at the same position.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		mk := func() *Vector {
+			v := NewVector(k)
+			// defined prefix invariant, as maintained by the scheduler
+			d := rng.Intn(k + 1)
+			for m := 1; m <= d; m++ {
+				v.set(m, int64(rng.Intn(3)))
+			}
+			return v
+		}
+		a, b := mk(), mk()
+		ra, pa := a.Compare(b)
+		rb, pb := b.Compare(a)
+		if pa != pb {
+			return false
+		}
+		switch ra {
+		case Less:
+			return rb == Greater
+		case Greater:
+			return rb == Less
+		default:
+			return rb == ra
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma 1: established '<' is transitive (on prefix-defined vectors).
+func TestLemma1Transitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		mk := func() *Vector {
+			v := NewVector(k)
+			d := rng.Intn(k + 1)
+			for m := 1; m <= d; m++ {
+				v.set(m, int64(rng.Intn(3)))
+			}
+			return v
+		}
+		a, b, c := mk(), mk(), mk()
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma 2: '<' is irreflexive.
+func TestLemma2Irreflexive(t *testing.T) {
+	for _, v := range []*Vector{vec(undef, undef), vec(1, undef), vec(1, 2)} {
+		if v.Less(v) {
+			t.Errorf("%v < itself", v)
+		}
+	}
+}
+
+func TestSetPanicsOnOverwrite(t *testing.T) {
+	v := NewVector(2)
+	v.set(1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overwriting a defined element")
+		}
+	}()
+	v.set(1, 6)
+}
+
+func TestResetAndClone(t *testing.T) {
+	v := vec(1, 2)
+	c := v.Clone()
+	v.Reset()
+	if v.DefinedCount() != 0 {
+		t.Fatal("Reset left defined elements")
+	}
+	if c.DefinedCount() != 2 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestFirstUndefined(t *testing.T) {
+	if got := vec(1, undef, undef).FirstUndefined(); got != 2 {
+		t.Fatalf("got %d", got)
+	}
+	if got := vec(1, 2).FirstUndefined(); got != 3 {
+		t.Fatalf("fully defined: got %d", got)
+	}
+	if got := vec(undef).FirstUndefined(); got != 1 {
+		t.Fatalf("all undefined: got %d", got)
+	}
+}
+
+func TestVectorOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VectorOf()
+}
+
+func TestRelString(t *testing.T) {
+	for rel, want := range map[Rel]string{Less: "<", Greater: ">", Equal: "=", Unknown: "?"} {
+		if rel.String() != want {
+			t.Errorf("Rel(%d).String() = %q, want %q", rel, rel.String(), want)
+		}
+	}
+}

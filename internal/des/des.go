@@ -1,0 +1,199 @@
+// Package des is a deterministic discrete-event simulator for the
+// concurrency-control experiments: clients issue transaction operations
+// at virtual-time instants, schedulers decide, and aborted transactions
+// restart after virtual backoff. Runs are exactly reproducible from the
+// seed — unlike the wall-clock goroutine harness in internal/sim — which
+// makes protocol comparisons (e.g. the condition-iv reader-chain effect)
+// stable enough to quote.
+//
+// Only non-blocking schedulers fit the model (every scheduler in this
+// repository except strict 2PL, whose lock waits would need explicit
+// wait-queue modelling).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/oplog"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// Config describes a deterministic simulation.
+type Config struct {
+	// Scheduler under test (non-blocking).
+	Scheduler sched.Scheduler
+	// Specs is the workload; each spec runs as one client.
+	Specs []txn.Spec
+	// Clients bounds how many transactions run concurrently; further
+	// specs start as earlier ones finish (multiprogramming level, the
+	// paper's Section III-D-6a cites 8-10).
+	Clients int
+	// ThinkTime is the virtual delay between operations of a transaction.
+	ThinkTime int64
+	// Backoff is the virtual delay before a restart.
+	Backoff int64
+	// MaxAttempts bounds retries per transaction (0 = 100).
+	MaxAttempts int
+	// Seed drives start-time jitter.
+	Seed int64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Committed int
+	GaveUp    int
+	Restarts  int64
+	Ops       int64
+	// Clock is the final virtual time.
+	Clock int64
+}
+
+// RestartsPerTxn returns the abort pressure.
+func (r Result) RestartsPerTxn() float64 {
+	n := r.Committed + r.GaveUp
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Restarts) / float64(n)
+}
+
+// event is one scheduled client step.
+type event struct {
+	at  int64
+	seq int64 // FIFO tiebreak: determinism
+	cl  *client
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+// client executes one Spec as a state machine.
+type client struct {
+	spec     txn.Spec
+	opIdx    int
+	attempts int
+	reads    map[string]int64
+	begun    bool
+}
+
+// Run executes the simulation to completion.
+func Run(cfg Config) Result {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result
+	var q eventQueue
+	heap.Init(&q)
+	var seq int64
+	var clock int64
+	pending := append([]txn.Spec(nil), cfg.Specs...)
+
+	schedule := func(c *client, at int64) {
+		seq++
+		heap.Push(&q, &event{at: at, seq: seq, cl: c})
+	}
+	admit := func(at int64) {
+		if len(pending) == 0 {
+			return
+		}
+		c := &client{spec: pending[0], reads: map[string]int64{}}
+		pending = pending[1:]
+		schedule(c, at+rng.Int63n(cfg.ThinkTime+1))
+	}
+	for i := 0; i < cfg.Clients && len(pending) > 0; i++ {
+		admit(0)
+	}
+
+	s := cfg.Scheduler
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(*event)
+		clock = e.at
+		c := e.cl
+		if !c.begun {
+			s.Begin(c.spec.ID)
+			c.begun = true
+			c.attempts++
+		}
+		finished, aborted := stepClient(s, c)
+		res.Ops++
+		switch {
+		case finished:
+			res.Committed++
+			admit(clock)
+		case aborted:
+			s.Abort(c.spec.ID)
+			if c.attempts >= cfg.MaxAttempts {
+				res.GaveUp++
+				admit(clock)
+				continue
+			}
+			res.Restarts++
+			c.opIdx = 0
+			c.begun = false
+			c.reads = map[string]int64{}
+			schedule(c, clock+cfg.Backoff+rng.Int63n(cfg.Backoff+1))
+		default:
+			schedule(c, clock+cfg.ThinkTime)
+		}
+	}
+	res.Clock = clock
+	return res
+}
+
+// stepClient performs the client's next operation (or the commit).
+func stepClient(s sched.Scheduler, c *client) (finished, aborted bool) {
+	if c.opIdx >= len(c.spec.Ops) {
+		if err := s.Commit(c.spec.ID); err != nil {
+			return false, true
+		}
+		return true, false
+	}
+	op := c.spec.Ops[c.opIdx]
+	if op.Kind == oplog.Read {
+		v, err := s.Read(c.spec.ID, op.Item)
+		if err != nil {
+			return false, true
+		}
+		c.reads[op.Item] = v
+	} else {
+		var v int64
+		if c.spec.Value != nil {
+			v = c.spec.Value(op.Item, c.reads)
+		} else {
+			v = int64(c.spec.ID)
+		}
+		if err := s.Write(c.spec.ID, op.Item, v); err != nil {
+			return false, true
+		}
+	}
+	c.opIdx++
+	return false, false
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("committed=%d gaveup=%d restarts=%d ops=%d clock=%d restarts/txn=%.2f",
+		r.Committed, r.GaveUp, r.Restarts, r.Ops, r.Clock, r.RestartsPerTxn())
+}

@@ -1,0 +1,532 @@
+// Package dmt implements DMT(k), the decentralized concurrency controller
+// of Section V-B: MT(k) run across multiple sites.
+//
+// Every transaction and every data item has a home site. The timestamp
+// vector of a transaction is stored at its home site; the RT(x)/WT(x)
+// indices live with the item. A local scheduler processing an operation
+// locks the (at most four) objects it touches — the item's index entry and
+// the vectors of T_i, RT(x) and WT(x) — in a predefined linear order, so
+// no deadlock can occur and no global lock synchronization is needed. The
+// k-th vector elements are made globally unique without coordination by
+// concatenating the allocating site's number as low-order bits
+// (value = counter·S + site); local counters only advance, and an
+// allocation is always bumped past the element it must outrank, which is
+// the correctness-critical part of the paper's "synchronize the counters
+// periodically" remark. SyncCounters implements the periodic
+// synchronization itself (fairness under unbalanced load).
+//
+// Cross-site object accesses are tallied as messages (one request plus one
+// reply), giving the message-overhead figures of the DMT(k) discussion.
+package dmt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/oplog"
+)
+
+// Options configures a DMT(k) cluster.
+type Options struct {
+	// K is the timestamp vector size.
+	K int
+	// Sites is the number of sites (>= 1).
+	Sites int
+	// HomeOfTxn maps a transaction to its home site (default: txn mod
+	// Sites). The virtual transaction 0 lives at site 0.
+	HomeOfTxn func(txn int) int
+	// HomeOfItem maps an item to its home site (default: FNV hash).
+	HomeOfItem func(item string) int
+}
+
+// itemEntry is the per-item index record stored at the item's home site.
+type itemEntry struct {
+	rt, wt int
+}
+
+// vecEntry is a transaction's vector plus its lock.
+type vecEntry struct {
+	mu  sync.Mutex
+	vec *core.Vector
+}
+
+// site holds the locally-stored state of one site.
+type site struct {
+	mu    sync.Mutex
+	vecs  map[int]*vecEntry
+	items map[string]*itemEntry
+	locks map[string]*sync.Mutex // item index-entry locks
+	done  map[int]bool           // finished transactions awaiting GC
+	ucnt  int64                  // local upper counter
+	lcnt  int64                  // local lower counter
+}
+
+// Cluster is a DMT(k) deployment of several cooperating local schedulers.
+// Step may be called concurrently from any number of goroutines.
+type Cluster struct {
+	opts  Options
+	sites []*site
+
+	messages    atomic.Int64 // cross-site request/reply messages
+	lockRetries atomic.Int64 // optimistic re-lock rounds
+	t0          *vecEntry
+}
+
+// NewCluster returns an initialized DMT(k) cluster.
+func NewCluster(opts Options) *Cluster {
+	if opts.K < 1 {
+		panic("dmt: Options.K must be >= 1")
+	}
+	if opts.Sites < 1 {
+		panic("dmt: Options.Sites must be >= 1")
+	}
+	c := &Cluster{opts: opts}
+	for s := 0; s < opts.Sites; s++ {
+		c.sites = append(c.sites, &site{
+			vecs:  make(map[int]*vecEntry),
+			items: make(map[string]*itemEntry),
+			locks: make(map[string]*sync.Mutex),
+			ucnt:  1,
+		})
+	}
+	t0 := core.NewVector(opts.K)
+	c.t0 = &vecEntry{vec: t0}
+	c.sites[0].vecs[0] = c.t0
+	// TS(0) = <0,*,...,*>: seed via a table trick — element 1 must be 0.
+	c.t0.vec = core.VectorOf(seedT0(opts.K)...)
+	return c
+}
+
+func seedT0(k int) []core.Elem {
+	elems := make([]core.Elem, k)
+	elems[0] = core.Int(0)
+	return elems
+}
+
+// homeOfTxn resolves the home site of a transaction.
+func (c *Cluster) homeOfTxn(txn int) int {
+	if txn == 0 {
+		return 0
+	}
+	if c.opts.HomeOfTxn != nil {
+		return c.opts.HomeOfTxn(txn)
+	}
+	return txn % c.opts.Sites
+}
+
+// homeOfItem resolves the home site of an item.
+func (c *Cluster) homeOfItem(x string) int {
+	if c.opts.HomeOfItem != nil {
+		return c.opts.HomeOfItem(x)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(x))
+	return int(h.Sum32()) % c.opts.Sites
+}
+
+// countAccess tallies messages for touching an object homed at obj from
+// the acting site.
+func (c *Cluster) countAccess(acting, objHome int) {
+	if acting != objHome {
+		c.messages.Add(2) // request + reply
+	}
+}
+
+// vecOf fetches (or creates) the vector entry of txn at its home site.
+func (c *Cluster) vecOf(txn int) *vecEntry {
+	s := c.sites[c.homeOfTxn(txn)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.vecs[txn]; ok {
+		return e
+	}
+	e := &vecEntry{vec: core.NewVector(c.opts.K)}
+	s.vecs[txn] = e
+	return e
+}
+
+// itemOf fetches (or creates) the index entry and its lock for item x.
+func (c *Cluster) itemOf(x string) (*itemEntry, *sync.Mutex) {
+	s := c.sites[c.homeOfItem(x)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[x]; !ok {
+		s.items[x] = &itemEntry{}
+		s.locks[x] = &sync.Mutex{}
+	}
+	return s.items[x], s.locks[x]
+}
+
+// Messages returns the number of cross-site messages exchanged so far.
+func (c *Cluster) Messages() int64 { return c.messages.Load() }
+
+// LockRetries returns how many optimistic locking rounds had to restart
+// because RT(x)/WT(x) changed while the sorted lock set was acquired.
+func (c *Cluster) LockRetries() int64 { return c.lockRetries.Load() }
+
+// Vector returns a copy of TS(i).
+func (c *Cluster) Vector(i int) *core.Vector {
+	e := c.vecOf(i)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.vec.Clone()
+}
+
+// SyncCounters aligns every site's upper counter to the cluster maximum
+// and every lower counter to the minimum — the paper's periodic
+// synchronization for fairness under unbalanced load.
+func (c *Cluster) SyncCounters() {
+	var hi, lo int64
+	for _, s := range c.sites {
+		s.mu.Lock()
+		if s.ucnt > hi {
+			hi = s.ucnt
+		}
+		if s.lcnt < lo {
+			lo = s.lcnt
+		}
+		s.mu.Unlock()
+	}
+	for _, s := range c.sites {
+		s.mu.Lock()
+		s.ucnt, s.lcnt = hi, lo
+		s.mu.Unlock()
+	}
+}
+
+// CounterSkew returns max-min of the sites' upper counters, for the
+// fairness experiments.
+func (c *Cluster) CounterSkew() int64 {
+	var hi, lo int64 = -1 << 62, 1 << 62
+	for _, s := range c.sites {
+		s.mu.Lock()
+		if s.ucnt > hi {
+			hi = s.ucnt
+		}
+		if s.ucnt < lo {
+			lo = s.ucnt
+		}
+		s.mu.Unlock()
+	}
+	return hi - lo
+}
+
+// allocUpper allocates a fresh globally-unique k-th element at the acting
+// site that is strictly greater than bound: value = counter·S + site.
+func (c *Cluster) allocUpper(acting int, bound int64) int64 {
+	s := c.sites[acting]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := int64(c.opts.Sites)
+	cnt := s.ucnt
+	for cnt*n+int64(acting) <= bound {
+		cnt++
+	}
+	s.ucnt = cnt + 1
+	return cnt*n + int64(acting)
+}
+
+// allocLower allocates a fresh globally-unique k-th element strictly less
+// than bound.
+func (c *Cluster) allocLower(acting int, bound int64) int64 {
+	s := c.sites[acting]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := int64(c.opts.Sites)
+	cnt := s.lcnt
+	for -(cnt*n + int64(acting)) >= bound {
+		cnt++
+	}
+	s.lcnt = cnt + 1
+	return -(cnt*n + int64(acting))
+}
+
+// lockKey gives every lockable object a position in the predefined linear
+// order: vectors sort before item entries, then by id.
+func lockKeyVec(txn int) string      { return fmt.Sprintf("v:%012d", txn) }
+func lockKeyItem(item string) string { return "x:" + item }
+
+// lockedObjects is the sorted lock set held while one operation is
+// scheduled.
+type lockedObjects struct {
+	keys   []string
+	unlock []func()
+}
+
+func (lo *lockedObjects) release() {
+	// Unlock in reverse acquisition order.
+	for i := len(lo.unlock) - 1; i >= 0; i-- {
+		lo.unlock[i]()
+	}
+}
+
+// acquire locks the item entry and the vectors of the given transactions
+// in the predefined linear order.
+func (c *Cluster) acquire(x string, txns []int) *lockedObjects {
+	type obj struct {
+		key  string
+		lock func() func()
+	}
+	var objs []obj
+	_, itemMu := c.itemOf(x)
+	objs = append(objs, obj{lockKeyItem(x), func() func() {
+		itemMu.Lock()
+		return itemMu.Unlock
+	}})
+	seen := map[int]bool{}
+	for _, t := range txns {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		e := c.vecOf(t)
+		objs = append(objs, obj{lockKeyVec(t), func() func() {
+			e.mu.Lock()
+			return e.mu.Unlock
+		}})
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].key < objs[j].key })
+	lo := &lockedObjects{}
+	for _, o := range objs {
+		lo.keys = append(lo.keys, o.key)
+		lo.unlock = append(lo.unlock, o.lock())
+	}
+	return lo
+}
+
+// set encodes or validates TS(j) < TS(i) under the already-held locks,
+// mirroring procedure Set of Algorithm 1 with site-tagged counters.
+func (c *Cluster) set(acting, j, i int, vj, vi *core.Vector) bool {
+	if j == i {
+		return true
+	}
+	rel, m := vj.Compare(vi)
+	switch rel {
+	case core.Less:
+		return true
+	case core.Greater:
+		return false
+	case core.Equal:
+		if m == c.opts.K {
+			v1 := c.allocUpper(acting, maxDefined(vj, vi))
+			v2 := c.allocUpper(acting, v1)
+			vj.SetElem(m, v1)
+			vi.SetElem(m, v2)
+		} else {
+			vj.SetElem(m, 1)
+			vi.SetElem(m, 2)
+		}
+	default: // Unknown
+		if !vi.Elem(m).Defined {
+			if m == c.opts.K {
+				vi.SetElem(m, c.allocUpper(acting, vj.Elem(m).V))
+			} else {
+				vi.SetElem(m, vj.Elem(m).V+1)
+			}
+		} else {
+			if m == c.opts.K {
+				vj.SetElem(m, c.allocLower(acting, vi.Elem(m).V))
+			} else {
+				vj.SetElem(m, vi.Elem(m).V-1)
+			}
+		}
+	}
+	return true
+}
+
+// maxDefined returns the largest defined k-th-column value among the two
+// vectors, or 0.
+func maxDefined(vs ...*core.Vector) int64 {
+	var m int64
+	for _, v := range vs {
+		last := v.Elem(v.K())
+		if last.Defined && last.V > m {
+			m = last.V
+		}
+	}
+	return m
+}
+
+// Step schedules one operation. Safe for concurrent use; each item of a
+// multi-item operation is scheduled independently under its own lock set.
+func (c *Cluster) Step(op oplog.Op) core.Decision {
+	acting := c.homeOfTxn(op.Txn)
+	for _, x := range op.Items {
+		v, blocker := c.stepItem(acting, op.Txn, op.Kind, x)
+		if v == core.Reject {
+			return core.Decision{Op: op, Verdict: core.Reject, Blocker: blocker, Item: x}
+		}
+	}
+	return core.Decision{Op: op, Verdict: core.Accept}
+}
+
+// stepItem performs the optimistic lock-validate-decide round for one
+// (transaction, item) pair.
+func (c *Cluster) stepItem(acting, txn int, kind oplog.Kind, x string) (core.Verdict, int) {
+	for {
+		entry, itemMu := c.itemOf(x)
+		// Snapshot the index under its own lock only, then acquire the
+		// full sorted lock set and validate the snapshot.
+		itemMu.Lock()
+		rt, wt := entry.rt, entry.wt
+		itemMu.Unlock()
+		locks := c.acquire(x, []int{txn, rt, wt})
+		if entry.rt != rt || entry.wt != wt {
+			// The index moved while we were acquiring: retry with the new
+			// holders (optimistic ordered locking).
+			locks.release()
+			c.lockRetries.Add(1)
+			continue
+		}
+		// Tally cross-site traffic: item entry + each distinct vector.
+		c.countAccess(acting, c.homeOfItem(x))
+		seen := map[int]bool{}
+		for _, t := range []int{txn, rt, wt} {
+			if !seen[t] {
+				seen[t] = true
+				c.countAccess(acting, c.homeOfTxn(t))
+			}
+		}
+		vi := c.vecOf(txn).vec
+		vrt, vwt := c.vecOf(rt).vec, c.vecOf(wt).vec
+		j, vj := rt, vrt
+		if rt != wt && vrt.Less(vwt) {
+			j, vj = wt, vwt
+		}
+		var verdict core.Verdict
+		var blocker int
+		if c.set(acting, j, txn, vj, vi) {
+			if kind == oplog.Read {
+				entry.rt = txn
+			} else {
+				entry.wt = txn
+			}
+			verdict = core.Accept
+		} else if kind == oplog.Read && j == rt && vwt.Less(vi) {
+			verdict = core.Accept // line-9 slot-in, RT unchanged
+		} else {
+			verdict, blocker = core.Reject, j
+		}
+		locks.release()
+		return verdict, blocker
+	}
+}
+
+// AcceptLog runs a complete log sequentially, returning (true, -1) on
+// full acceptance or (false, i) at the first rejected operation.
+func (c *Cluster) AcceptLog(l *oplog.Log) (bool, int) {
+	for idx, op := range l.Ops {
+		if d := c.Step(op); d.Verdict == core.Reject {
+			return false, idx
+		}
+	}
+	return true, -1
+}
+
+// Abort discards transaction txn's incarnation. With a non-zero blocker
+// (the Blocker of the rejecting Decision) the vector is flushed and
+// reseeded to the blocker's first element + 1 under its lock — the
+// distributed form of the Section III-D-4 starvation fix. The reseeded
+// vector dominates the old one, so established relations pointing at the
+// transaction survive.
+func (c *Cluster) Abort(txn, blocker int) {
+	if txn == 0 || blocker == 0 {
+		c.markDone(txn)
+		return
+	}
+	eb := c.vecOf(blocker)
+	et := c.vecOf(txn)
+	// Lock the two vector objects in the predefined order.
+	first, second := eb, et
+	if lockKeyVec(txn) < lockKeyVec(blocker) {
+		first, second = et, eb
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	if b := eb.vec.Elem(1); b.Defined {
+		seed := b.V + 1
+		if c.opts.K == 1 {
+			// Column 1 is the distinct counter column: allocate the seed
+			// through the site counters so it stays globally unique.
+			seed = c.allocUpper(c.homeOfTxn(txn), b.V)
+		}
+		et.vec.Reset()
+		et.vec.SetElem(1, seed)
+	}
+	second.mu.Unlock()
+	first.mu.Unlock()
+}
+
+// Commit marks the transaction finished; its vector is reclaimed by GC
+// once no item index references it.
+func (c *Cluster) Commit(txn int) {
+	c.markDone(txn)
+}
+
+// done transactions per site, guarded by the site mutex of the txn's home.
+func (c *Cluster) markDone(txn int) {
+	if txn == 0 {
+		return
+	}
+	s := c.sites[c.homeOfTxn(txn)]
+	s.mu.Lock()
+	if s.done == nil {
+		s.done = make(map[int]bool)
+	}
+	s.done[txn] = true
+	s.mu.Unlock()
+}
+
+// GC reclaims vectors of finished transactions that are no longer the
+// most recent read or write timestamp of any item (implementation issue
+// (b), distributed). It returns the number of vectors dropped. Callers
+// run it periodically; it takes site locks only.
+func (c *Cluster) GC() int {
+	referenced := map[int]bool{0: true}
+	for _, s := range c.sites {
+		s.mu.Lock()
+		for _, e := range s.items {
+			referenced[e.rt] = true
+			referenced[e.wt] = true
+		}
+		s.mu.Unlock()
+	}
+	dropped := 0
+	for _, s := range c.sites {
+		s.mu.Lock()
+		for txn := range s.done {
+			if !referenced[txn] {
+				delete(s.vecs, txn)
+				delete(s.done, txn)
+				dropped++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return dropped
+}
+
+// LiveVectors returns the total number of vectors held across all sites.
+func (c *Cluster) LiveVectors() int {
+	n := 0
+	for _, s := range c.sites {
+		s.mu.Lock()
+		n += len(s.vecs)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// WTHolder returns the transaction currently recorded as WT(x), 0 if
+// none. Runtime adapters use it to close the dirty-read window of
+// immediate-mode scheduling.
+func (c *Cluster) WTHolder(x string) int {
+	entry, mu := c.itemOf(x)
+	mu.Lock()
+	defer mu.Unlock()
+	return entry.wt
+}

@@ -1,0 +1,252 @@
+package dmt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/oplog"
+)
+
+func TestPanicsOnBadOptions(t *testing.T) {
+	for _, opts := range []Options{{K: 0, Sites: 1}, {K: 2, Sites: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCluster(%+v) did not panic", opts)
+				}
+			}()
+			NewCluster(opts)
+		}()
+	}
+}
+
+func randomTwoStep(rng *rand.Rand, nTxns, nItems int) *oplog.Log {
+	items := []string{"x", "y", "z"}[:nItems]
+	type pend struct{ r, w oplog.Op }
+	var pends []pend
+	for t := 1; t <= nTxns; t++ {
+		pends = append(pends, pend{
+			oplog.R(t, items[rng.Intn(nItems)]),
+			oplog.W(t, items[rng.Intn(nItems)]),
+		})
+	}
+	var ops []oplog.Op
+	emitted := make([]int, len(pends))
+	for len(ops) < 2*len(pends) {
+		i := rng.Intn(len(pends))
+		if emitted[i] == 0 {
+			ops = append(ops, pends[i].r)
+			emitted[i] = 1
+		} else if emitted[i] == 1 {
+			ops = append(ops, pends[i].w)
+			emitted[i] = 2
+		}
+	}
+	return oplog.NewLog(ops...)
+}
+
+// With a single site, DMT(k) makes exactly the decisions of MT(k): the
+// decentralized machinery reduces to the centralized protocol.
+func TestSingleSiteMatchesMTk(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 800; trial++ {
+		l := randomTwoStep(rng, 4, 3)
+		c := NewCluster(Options{K: 3, Sites: 1})
+		s := core.NewScheduler(core.Options{K: 3})
+		for idx, op := range l.Ops {
+			dc := c.Step(op)
+			ds := s.Step(op)
+			if dc.Verdict != ds.Verdict {
+				t.Fatalf("log %v op %d (%v): dmt=%v core=%v", l, idx, op, dc.Verdict, ds.Verdict)
+			}
+			if dc.Verdict == core.Reject {
+				break
+			}
+		}
+	}
+}
+
+// Multi-site DMT(k) must still accept only D-serializable prefixes, and
+// should agree with centralized MT(k) on the vast majority of logs (the
+// site-tagged counters may order k-th elements slightly differently).
+func TestMultiSiteAcceptsOnlyDSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	agree, total := 0, 0
+	for trial := 0; trial < 600; trial++ {
+		l := randomTwoStep(rng, 4, 3)
+		c := NewCluster(Options{K: 3, Sites: 3})
+		n := 0
+		for _, op := range l.Ops {
+			if c.Step(op).Verdict == core.Reject {
+				break
+			}
+			n++
+		}
+		if n > 0 && !classify.DSR(l.Prefix(n)) {
+			t.Fatalf("non-DSR prefix accepted: %v", l.Prefix(n))
+		}
+		total++
+		if (n == l.Len()) == core.Accepts(3, l) {
+			agree++
+		}
+	}
+	if agree*10 < total*9 {
+		t.Fatalf("agreement with MT(k) too low: %d/%d", agree, total)
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	// All transactions at site 0, all items at site 1: every operation
+	// crosses sites for the item entry and once per remote vector.
+	c := NewCluster(Options{
+		K: 2, Sites: 2,
+		HomeOfTxn:  func(int) int { return 0 },
+		HomeOfItem: func(string) int { return 1 },
+	})
+	if d := c.Step(oplog.R(1, "x")); d.Verdict != core.Accept {
+		t.Fatal("R1[x] rejected")
+	}
+	// One item access (2 msgs); vectors of T1, RT=0, WT=0 all live at
+	// site 0 = acting site (0 msgs).
+	if got := c.Messages(); got != 2 {
+		t.Fatalf("Messages = %d, want 2", got)
+	}
+	// A fully local deployment exchanges none.
+	c2 := NewCluster(Options{
+		K: 2, Sites: 2,
+		HomeOfTxn:  func(int) int { return 0 },
+		HomeOfItem: func(string) int { return 0 },
+	})
+	c2.Step(oplog.R(1, "x"))
+	if got := c2.Messages(); got != 0 {
+		t.Fatalf("local Messages = %d, want 0", got)
+	}
+}
+
+func TestKthElementsGloballyUnique(t *testing.T) {
+	// Force many counter allocations across sites and verify all k-th
+	// elements are distinct.
+	c := NewCluster(Options{K: 1, Sites: 3})
+	var logOps []oplog.Op
+	for i := 1; i <= 12; i++ {
+		logOps = append(logOps, oplog.W(i, "x"))
+	}
+	seen := map[int64]int{}
+	for _, op := range logOps {
+		if d := c.Step(op); d.Verdict != core.Accept {
+			t.Fatalf("%v rejected", op)
+		}
+	}
+	for i := 1; i <= 12; i++ {
+		e := c.Vector(i).Elem(1)
+		if !e.Defined {
+			t.Fatalf("TS(%d,1) undefined", i)
+		}
+		if prev, dup := seen[e.V]; dup {
+			t.Fatalf("duplicate k-th element %d for T%d and T%d", e.V, prev, i)
+		}
+		seen[e.V] = i
+	}
+}
+
+func TestSyncCountersReducesSkew(t *testing.T) {
+	c := NewCluster(Options{
+		K: 1, Sites: 3,
+		HomeOfTxn: func(txn int) int { return 0 }, // unbalanced: site 0 only
+	})
+	for i := 1; i <= 10; i++ {
+		c.Step(oplog.W(i, "x"))
+	}
+	if c.CounterSkew() == 0 {
+		t.Fatal("expected counter skew under unbalanced load")
+	}
+	c.SyncCounters()
+	if got := c.CounterSkew(); got != 0 {
+		t.Fatalf("skew after sync = %d", got)
+	}
+}
+
+// Torture: concurrent transactions over shared items; run with -race.
+// Every operation decision must be internally consistent (no panics from
+// overwriting defined elements) and committed orderings acyclic.
+func TestConcurrentStepTorture(t *testing.T) {
+	c := NewCluster(Options{K: 3, Sites: 4})
+	const workers = 8
+	const txnsPer = 25
+	items := []string{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < txnsPer; i++ {
+				txn := w*txnsPer + i + 1
+				for op := 0; op < 3; op++ {
+					item := items[rng.Intn(len(items))]
+					var o oplog.Op
+					if rng.Intn(2) == 0 {
+						o = oplog.R(txn, item)
+					} else {
+						o = oplog.W(txn, item)
+					}
+					if d := c.Step(o); d.Verdict == core.Reject {
+						break // abandon this transaction
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Spot-check: the established relation over a sample of vectors is
+	// antisymmetric.
+	for a := 1; a <= 20; a++ {
+		for b := a + 1; b <= 20; b++ {
+			va, vb := c.Vector(a), c.Vector(b)
+			if va.Less(vb) && vb.Less(va) {
+				t.Fatalf("antisymmetry violated for T%d, T%d", a, b)
+			}
+		}
+	}
+}
+
+func TestLockRetriesCounter(t *testing.T) {
+	c := NewCluster(Options{K: 2, Sites: 2})
+	c.Step(oplog.R(1, "x"))
+	if c.LockRetries() < 0 {
+		t.Fatal("negative retries")
+	}
+}
+
+// The line-9 slot-in path works across sites too.
+func TestDistributedReadSlotIn(t *testing.T) {
+	c := NewCluster(Options{K: 2, Sites: 2})
+	l := oplog.MustParse("R1[x] W2[x] W2[z] R3[x] R4[z] W3[z]")
+	if ok, at := c.AcceptLog(l); !ok {
+		t.Fatalf("setup rejected at %d", at)
+	}
+	if d := c.Step(oplog.R(4, "x")); d.Verdict != core.Accept {
+		t.Fatalf("slot-in read rejected: %+v", d)
+	}
+}
+
+func TestAcceptLogReportsIndex(t *testing.T) {
+	c := NewCluster(Options{K: 2, Sites: 2})
+	// Cycle: must reject at the final op.
+	l := oplog.MustParse("R1[x] R2[y] W2[x] W1[y]")
+	ok, at := c.AcceptLog(l)
+	if ok || at != 3 {
+		t.Fatalf("ok=%v at=%d", ok, at)
+	}
+}
+
+func ExampleCluster_Step() {
+	c := NewCluster(Options{K: 2, Sites: 2})
+	d := c.Step(oplog.R(1, "x"))
+	fmt.Println(d.Verdict)
+	// Output: accept
+}

@@ -1,0 +1,229 @@
+// Package enumerate exhaustively generates small two-step logs and runs
+// the Fig. 4 hierarchy census over them: every log is classified against
+// 2PL, TO(1), TO(2), TO(3), SSR, DSR and SR, and the counts of every
+// membership combination are collected. The census demonstrates
+// computationally that the paper's hierarchy regions are inhabited.
+package enumerate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/oplog"
+)
+
+// Interleavings enumerates every interleaving of n two-step transactions:
+// each order is a sequence of 2n transaction indices (1-based), where a
+// transaction's first occurrence is its read and the second its write.
+// Enumeration stops early if fn returns false; the return value reports
+// whether enumeration ran to completion.
+func Interleavings(n int, fn func(order []int) bool) bool {
+	order := make([]int, 0, 2*n)
+	used := make([]int, n+1)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == 2*n {
+			return fn(order)
+		}
+		for t := 1; t <= n; t++ {
+			if used[t] >= 2 {
+				continue
+			}
+			// Canonical first appearances: transaction t+1 cannot start
+			// before transaction t (transaction names are interchangeable,
+			// so this only removes isomorphic duplicates).
+			if used[t] == 0 && t > 1 && used[t-1] == 0 {
+				continue
+			}
+			used[t]++
+			order = append(order, t)
+			if !rec() {
+				return false
+			}
+			order = order[:len(order)-1]
+			used[t]--
+		}
+		return true
+	}
+	return rec()
+}
+
+// TwoStepLogs enumerates every two-step log of n transactions where each
+// transaction reads one item and writes one item drawn from items: all
+// read/write item assignments crossed with all interleavings. fn may stop
+// enumeration by returning false; the return value reports completion.
+func TwoStepLogs(n int, items []string, fn func(l *oplog.Log) bool) bool {
+	// assignment[i] = (read item, write item) for transaction i+1.
+	reads := make([]string, n)
+	writes := make([]string, n)
+	var assign func(i int) bool
+	assign = func(i int) bool {
+		if i == n {
+			return Interleavings(n, func(order []int) bool {
+				seen := make([]bool, n+1)
+				ops := make([]oplog.Op, 0, 2*n)
+				for _, t := range order {
+					if !seen[t] {
+						seen[t] = true
+						ops = append(ops, oplog.R(t, reads[t-1]))
+					} else {
+						ops = append(ops, oplog.W(t, writes[t-1]))
+					}
+				}
+				return fn(oplog.NewLog(ops...))
+			})
+		}
+		for _, r := range items {
+			for _, w := range items {
+				reads[i], writes[i] = r, w
+				if !assign(i + 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return assign(0)
+}
+
+// Membership records which classes of the Fig. 4 hierarchy a log belongs
+// to.
+type Membership struct {
+	TwoPL bool // producible by a two-phase locking scheduler
+	TO1   bool // Definition 4 (s_i = π of first operation)
+	TO2   bool // accepted by MT(2)
+	TO3   bool // accepted by MT(3); = TO(k) for all k >= 3 in the two-step model
+	SSR   bool // strictly serializable
+	DSR   bool // D-serializable
+	SR    bool // final-state serializable
+}
+
+// Classify computes the membership vector of a log.
+func Classify(l *oplog.Log) Membership {
+	return Membership{
+		TwoPL: classify.TwoPL(l),
+		TO1:   classify.TO1(l),
+		TO2:   classify.TOk(2, l),
+		TO3:   classify.TOk(3, l),
+		SSR:   classify.SSR(l),
+		DSR:   classify.DSR(l),
+		SR:    classify.SR(l),
+	}
+}
+
+// Key renders the membership as a stable, readable string such as
+// "DSR SSR TO3" or "none".
+func (m Membership) Key() string {
+	var parts []string
+	if m.SR {
+		parts = append(parts, "SR")
+	}
+	if m.DSR {
+		parts = append(parts, "DSR")
+	}
+	if m.SSR {
+		parts = append(parts, "SSR")
+	}
+	if m.TwoPL {
+		parts = append(parts, "2PL")
+	}
+	if m.TO1 {
+		parts = append(parts, "TO1")
+	}
+	if m.TO2 {
+		parts = append(parts, "TO2")
+	}
+	if m.TO3 {
+		parts = append(parts, "TO3")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Census aggregates membership counts over an enumerated universe of logs.
+type Census struct {
+	Total    int
+	Counts   map[Membership]int
+	Examples map[Membership]*oplog.Log
+}
+
+// NewCensus returns an empty census.
+func NewCensus() *Census {
+	return &Census{
+		Counts:   make(map[Membership]int),
+		Examples: make(map[Membership]*oplog.Log),
+	}
+}
+
+// Add classifies l and records it.
+func (c *Census) Add(l *oplog.Log) {
+	m := Classify(l)
+	c.Total++
+	c.Counts[m]++
+	if c.Examples[m] == nil {
+		c.Examples[m] = l.Clone()
+	}
+}
+
+// ClassCount returns how many censused logs belong to the class selected
+// by pred.
+func (c *Census) ClassCount(pred func(Membership) bool) int {
+	n := 0
+	for m, cnt := range c.Counts {
+		if pred(m) {
+			n += cnt
+		}
+	}
+	return n
+}
+
+// Witness returns an example log in the region selected by pred, or nil.
+func (c *Census) Witness(pred func(Membership) bool) *oplog.Log {
+	// Deterministic pick: smallest log string.
+	var best *oplog.Log
+	for m, l := range c.Examples {
+		if pred(m) && (best == nil || l.String() < best.String()) {
+			best = l
+		}
+	}
+	return best
+}
+
+// String renders the census as a sorted table of region keys and counts.
+func (c *Census) String() string {
+	type row struct {
+		key string
+		n   int
+	}
+	var rows []row
+	for m, n := range c.Counts {
+		rows = append(rows, row{m.Key(), n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].key < rows[j].key
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "census of %d logs\n", c.Total)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d  %s\n", r.n, r.key)
+	}
+	return b.String()
+}
+
+// RunCensus enumerates all two-step logs of n transactions over the given
+// items and classifies every one of them.
+func RunCensus(n int, items []string) *Census {
+	c := NewCensus()
+	TwoStepLogs(n, items, func(l *oplog.Log) bool {
+		c.Add(l)
+		return true
+	})
+	return c
+}

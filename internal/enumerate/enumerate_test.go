@@ -1,0 +1,183 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/oplog"
+)
+
+func TestInterleavingsCount(t *testing.T) {
+	// Without the canonical-start pruning there are (2n)!/2^n
+	// interleavings; with "T_{i+1} starts after T_i" the count divides by
+	// n! (names interchangeable): n=2: 6/2=3; n=3: 90/6=15.
+	for _, c := range []struct{ n, want int }{{1, 1}, {2, 3}, {3, 15}} {
+		got := 0
+		Interleavings(c.n, func([]int) bool { got++; return true })
+		if got != c.want {
+			t.Errorf("n=%d: %d interleavings, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestInterleavingsShape(t *testing.T) {
+	Interleavings(3, func(order []int) bool {
+		if len(order) != 6 {
+			t.Fatalf("order len %d", len(order))
+		}
+		count := map[int]int{}
+		for _, x := range order {
+			count[x]++
+		}
+		for x := 1; x <= 3; x++ {
+			if count[x] != 2 {
+				t.Fatalf("txn %d appears %d times in %v", x, count[x], order)
+			}
+		}
+		return true
+	})
+}
+
+func TestInterleavingsEarlyStop(t *testing.T) {
+	calls := 0
+	done := Interleavings(3, func([]int) bool { calls++; return false })
+	if done || calls != 1 {
+		t.Fatalf("done=%v calls=%d", done, calls)
+	}
+}
+
+func TestTwoStepLogsCountAndValidity(t *testing.T) {
+	// n=2, 2 items: 3 interleavings × (2·2)^2 assignments = 48.
+	got := 0
+	TwoStepLogs(2, []string{"x", "y"}, func(l *oplog.Log) bool {
+		got++
+		if !l.IsTwoStep() {
+			t.Fatalf("non-two-step log %v", l)
+		}
+		return true
+	})
+	if got != 48 {
+		t.Fatalf("got %d logs, want 48", got)
+	}
+}
+
+func TestMembershipKey(t *testing.T) {
+	m := Membership{SR: true, DSR: true, TO3: true}
+	if m.Key() != "SR DSR TO3" {
+		t.Fatalf("Key = %q", m.Key())
+	}
+	if (Membership{}).Key() != "none" {
+		t.Fatalf("empty Key = %q", Membership{}.Key())
+	}
+}
+
+func TestCensusSmall(t *testing.T) {
+	c := RunCensus(2, []string{"x", "y"})
+	if c.Total != 48 {
+		t.Fatalf("Total = %d", c.Total)
+	}
+	// Every 2-transaction two-step log that is DSR must be in all TO
+	// classes' superclass DSR; sanity: some logs are fully serial and in
+	// everything.
+	all := c.ClassCount(func(m Membership) bool {
+		return m.TwoPL && m.TO1 && m.TO2 && m.TO3 && m.SSR && m.DSR && m.SR
+	})
+	if all == 0 {
+		t.Fatal("no log in the intersection of all classes")
+	}
+	// Non-serializable logs exist (live cycles).
+	if c.ClassCount(func(m Membership) bool { return !m.SR }) == 0 {
+		t.Fatal("no non-SR log found")
+	}
+	// Class containment sanity inside the census.
+	for m := range c.Counts {
+		if m.TwoPL && !m.DSR {
+			t.Fatalf("2PL outside DSR: %v", m)
+		}
+		if (m.TO2 || m.TO3) && !m.DSR {
+			t.Fatalf("TO(k) outside DSR: %v", m)
+		}
+		if m.DSR && !m.SR {
+			t.Fatalf("DSR outside SR: %v", m)
+		}
+		if m.SSR && !m.SR {
+			t.Fatalf("SSR outside SR: %v", m)
+		}
+	}
+}
+
+// The Fig. 4 hierarchy: the key separations the paper proves or asserts,
+// demonstrated by exhaustive 3-transaction enumeration.
+func TestHierarchyRegions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("census is a few seconds; skipped with -short")
+	}
+	c := RunCensus(3, []string{"x", "y", "z"})
+	regions := []struct {
+		name string
+		pred func(Membership) bool
+	}{
+		{"TO3 \\ TO1 (Example 1's region)", func(m Membership) bool { return m.TO3 && !m.TO1 }},
+		{"TO1 \\ TO3 (incomparability)", func(m Membership) bool { return m.TO1 && !m.TO3 }},
+		// Note: TO2 \ TO3 and TO3 \ TO2 are empty over this two-step
+		// universe (see TestTO2TO3SeparationMultiStep for the multi-step
+		// witnesses of the paper's TO(k-1) ⊄ TO(k) claim).
+		{"TO3 ∩ SSR − TO1 − 2PL (region 7 core)", func(m Membership) bool { return m.TO3 && m.SSR && !m.TO1 && !m.TwoPL }},
+		{"DSR ∩ SSR − TO3 − TO1 − 2PL (region 9 core)", func(m Membership) bool {
+			return m.DSR && m.SSR && !m.TO3 && !m.TO1 && !m.TwoPL
+		}},
+		{"2PL \\ TO3", func(m Membership) bool { return m.TwoPL && !m.TO3 }},
+		{"TO3 \\ 2PL", func(m Membership) bool { return m.TO3 && !m.TwoPL }},
+		{"DSR \\ (2PL ∪ TO1 ∪ TO3)", func(m Membership) bool { return m.DSR && !m.TwoPL && !m.TO1 && !m.TO3 }},
+		{"non-SR", func(m Membership) bool { return !m.SR }},
+	}
+	for _, r := range regions {
+		if n := c.ClassCount(r.pred); n == 0 {
+			t.Errorf("region %q empty", r.name)
+		} else if w := c.Witness(r.pred); w == nil {
+			t.Errorf("region %q has count %d but no witness", r.name, n)
+		}
+	}
+	t.Logf("\n%s", c.String())
+}
+
+// Section III-C claims TO(k-1) ⊄ TO(k) for 2 ≤ k ≤ 2q-1. In the two-step
+// model with ≤4 transactions MT(2) and MT(3) accept the same logs
+// empirically, but multi-step logs separate the classes in both
+// directions; these witnesses were found by randomized search.
+func TestTO2TO3SeparationMultiStep(t *testing.T) {
+	in2not3 := oplog.MustParse("R2[w] W4[z] W3[y] W4[w] W3[x] R4[y] R1[x] R2[y] W1[x]")
+	if !classify.TOk(2, in2not3) || classify.TOk(3, in2not3) {
+		t.Errorf("witness not in TO(2) \\ TO(3): TO2=%v TO3=%v",
+			classify.TOk(2, in2not3), classify.TOk(3, in2not3))
+	}
+	in3not2 := oplog.MustParse("W1[z] W2[y] R2[z] R1[w] R3[x] W3[w] W2[x]")
+	if !classify.TOk(3, in3not2) || classify.TOk(2, in3not2) {
+		t.Errorf("witness not in TO(3) \\ TO(2): TO2=%v TO3=%v",
+			classify.TOk(2, in3not2), classify.TOk(3, in3not2))
+	}
+}
+
+// Composite logs (Section III-C): concatenating region witnesses lands in
+// the predicted regions, e.g. L7 = L2 · L6 ∈ TO(3) ∩ SSR − TO(1) − 2PL.
+func TestCompositeLogsRegions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("census is a few seconds; skipped with -short")
+	}
+	c := RunCensus(3, []string{"x", "y"})
+	l2 := c.Witness(func(m Membership) bool { return m.TO3 && m.SSR && !m.TO1 && m.TwoPL })
+	l6 := c.Witness(func(m Membership) bool { return m.TO3 && m.SSR && m.TO1 && !m.TwoPL })
+	if l2 == nil || l6 == nil {
+		t.Skip("needed witnesses not present in the 2-item universe")
+	}
+	l7 := l2.Concat(l6)
+	if !classify.TOk(3, l7) || !classify.SSR(l7) {
+		t.Errorf("L7 should stay in TO(3) ∩ SSR: %v", l7)
+	}
+	if classify.TO1(l7) {
+		t.Errorf("L7 should not be TO(1): %v", l7)
+	}
+	if classify.TwoPL(l7) {
+		t.Errorf("L7 should not be 2PL: %v", l7)
+	}
+}

@@ -1,0 +1,286 @@
+// Package graph provides small directed-graph utilities used throughout the
+// repository: cycle detection, topological sorting, strongly connected
+// components and transitive closure. Nodes are identified by dense integer
+// indices; callers that work with sparse identifiers should map them first.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph over nodes 0..N-1 with adjacency sets.
+// The zero value is an empty graph; use New or AddNode/AddEdge to grow it.
+type Digraph struct {
+	adj []map[int]bool
+}
+
+// New returns a digraph with n nodes and no edges.
+func New(n int) *Digraph {
+	g := &Digraph{adj: make([]map[int]bool, n)}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Digraph) Len() int { return len(g.adj) }
+
+// AddNode appends a new node and returns its index.
+func (g *Digraph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// ensure grows the graph so node id is valid.
+func (g *Digraph) ensure(id int) {
+	for len(g.adj) <= id {
+		g.adj = append(g.adj, nil)
+	}
+}
+
+// AddEdge inserts the edge u -> v, growing the node set if needed.
+// Self-loops are recorded like any other edge.
+func (g *Digraph) AddEdge(u, v int) {
+	if u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: negative node id (%d, %d)", u, v))
+	}
+	g.ensure(u)
+	g.ensure(v)
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int]bool)
+	}
+	g.adj[u][v] = true
+}
+
+// HasEdge reports whether the edge u -> v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	return g.adj[u][v]
+}
+
+// Succ returns the successors of u in ascending order.
+func (g *Digraph) Succ(u int) []int {
+	if u < 0 || u >= len(g.adj) {
+		return nil
+	}
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EdgeCount returns the total number of edges.
+func (g *Digraph) EdgeCount() int {
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := New(len(g.adj))
+	for u, m := range g.adj {
+		for v := range m {
+			c.AddEdge(u, v)
+		}
+	}
+	return c
+}
+
+// HasCycle reports whether the graph contains a directed cycle
+// (including self-loops).
+func (g *Digraph) HasCycle() bool {
+	_, ok := g.TopoSort()
+	return !ok
+}
+
+// TopoSort returns a topological order of the nodes and true, or nil and
+// false if the graph is cyclic. Among admissible orders it prefers lower
+// node indices first (deterministic output).
+func (g *Digraph) TopoSort() ([]int, bool) {
+	n := len(g.adj)
+	indeg := make([]int, n)
+	for _, m := range g.adj {
+		for v := range m {
+			indeg[v]++
+		}
+	}
+	// Min-heap-free deterministic Kahn: scan for the smallest zero-indegree
+	// node. n is small in all our uses (transactions in a log).
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	for len(order) < n {
+		pick := -1
+		for v := 0; v < n; v++ {
+			if !used[v] && indeg[v] == 0 {
+				pick = v
+				break
+			}
+		}
+		if pick < 0 {
+			return nil, false
+		}
+		used[pick] = true
+		order = append(order, pick)
+		for v := range g.adj[pick] {
+			indeg[v]--
+		}
+	}
+	return order, true
+}
+
+// AllTopoSorts calls fn with every topological order of the graph, stopping
+// early if fn returns false. It reports whether enumeration ran to
+// completion (true) or was stopped by fn (false). A cyclic graph yields no
+// orders and returns true.
+func (g *Digraph) AllTopoSorts(fn func(order []int) bool) bool {
+	n := len(g.adj)
+	indeg := make([]int, n)
+	for _, m := range g.adj {
+		for v := range m {
+			indeg[v]++
+		}
+	}
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == n {
+			return fn(order)
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || indeg[v] != 0 {
+				continue
+			}
+			used[v] = true
+			order = append(order, v)
+			for w := range g.adj[v] {
+				indeg[w]--
+			}
+			if !rec() {
+				return false
+			}
+			for w := range g.adj[v] {
+				indeg[w]++
+			}
+			order = order[:len(order)-1]
+			used[v] = false
+		}
+		return true
+	}
+	return rec()
+}
+
+// Reachable reports whether v is reachable from u by a nonempty path.
+func (g *Digraph) Reachable(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	seen := make([]bool, len(g.adj))
+	stack := []int{}
+	for w := range g.adj[u] {
+		stack = append(stack, w)
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if w == v {
+			return true
+		}
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		for x := range g.adj[w] {
+			if !seen[x] {
+				stack = append(stack, x)
+			}
+		}
+	}
+	return false
+}
+
+// TransitiveClosure returns a new graph with an edge u->v whenever v is
+// reachable from u in g by a nonempty path.
+func (g *Digraph) TransitiveClosure() *Digraph {
+	n := len(g.adj)
+	c := New(n)
+	for u := 0; u < n; u++ {
+		seen := make([]bool, n)
+		stack := append([]int(nil), g.Succ(u)...)
+		for len(stack) > 0 {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			c.AddEdge(u, w)
+			for _, x := range g.Succ(w) {
+				if !seen[x] {
+					stack = append(stack, x)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// SCC returns the strongly connected components in reverse topological
+// order (Tarjan). Each component is sorted ascending.
+func (g *Digraph) SCC() [][]int {
+	n := len(g.adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Succ(v) {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", g.Len())
+	}
+	if g.HasCycle() {
+		t.Fatal("empty graph reported cyclic")
+	}
+	order, ok := g.TopoSort()
+	if !ok || len(order) != 0 {
+		t.Fatalf("TopoSort = %v, %v", order, ok)
+	}
+}
+
+func TestAddEdgeGrows(t *testing.T) {
+	g := New(0)
+	g.AddEdge(3, 5)
+	if g.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", g.Len())
+	}
+	if !g.HasEdge(3, 5) || g.HasEdge(5, 3) {
+		t.Fatal("edge membership wrong")
+	}
+}
+
+func TestAddEdgeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative node id")
+		}
+	}()
+	New(1).AddEdge(-1, 0)
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := New(1)
+	g.AddEdge(0, 0)
+	if !g.HasCycle() {
+		t.Fatal("self-loop not detected as cycle")
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 0)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("chain reported cyclic")
+	}
+	want := []int{3, 2, 1, 0}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTopoSortDeterministicPreference(t *testing.T) {
+	// No edges: must come out in index order.
+	g := New(5)
+	order, _ := g.TopoSort()
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.HasCycle() {
+		t.Fatal("acyclic graph reported cyclic")
+	}
+	g.AddEdge(2, 0)
+	if !g.HasCycle() {
+		t.Fatal("3-cycle not detected")
+	}
+}
+
+func TestAllTopoSortsCountsOrders(t *testing.T) {
+	// Two independent chains 0->1 and 2->3 have 6 interleavings.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	count := 0
+	g.AllTopoSorts(func(order []int) bool {
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Fatalf("count = %d, want 6", count)
+	}
+}
+
+func TestAllTopoSortsEarlyStop(t *testing.T) {
+	g := New(3)
+	calls := 0
+	done := g.AllTopoSorts(func(order []int) bool {
+		calls++
+		return false
+	})
+	if done {
+		t.Fatal("expected early stop to report false")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestAllTopoSortsCyclicYieldsNone(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	count := 0
+	g.AllTopoSorts(func([]int) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("cyclic graph yielded %d orders", count)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.Reachable(0, 2) {
+		t.Fatal("0 should reach 2")
+	}
+	if g.Reachable(2, 0) {
+		t.Fatal("2 should not reach 0")
+	}
+	if g.Reachable(0, 0) {
+		t.Fatal("0 should not reach itself without a cycle")
+	}
+	g.AddEdge(2, 0)
+	if !g.Reachable(0, 0) {
+		t.Fatal("0 should reach itself through the cycle")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	c := g.TransitiveClosure()
+	if !c.HasEdge(0, 2) {
+		t.Fatal("closure missing 0->2")
+	}
+	if c.HasEdge(2, 0) {
+		t.Fatal("closure has spurious 2->0")
+	}
+	if c.EdgeCount() != 3 {
+		t.Fatalf("EdgeCount = %d, want 3", c.EdgeCount())
+	}
+}
+
+func TestSCC(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0) // component {0,1,2}
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	comps := g.SCC()
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[1] != 2 {
+		t.Fatalf("comps = %v", comps)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 0)
+	if g.HasEdge(1, 0) {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestSuccSortedAndOutOfRange(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	if !reflect.DeepEqual(g.Succ(0), []int{1, 2}) {
+		t.Fatalf("Succ = %v", g.Succ(0))
+	}
+	if g.Succ(-1) != nil || g.Succ(99) != nil {
+		t.Fatal("out-of-range Succ should be nil")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(99, 0) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+	if g.Reachable(-1, 0) {
+		t.Fatal("out-of-range Reachable should be false")
+	}
+}
+
+// Property: a topological order returned by TopoSort respects every edge.
+func TestQuickTopoSortRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := New(n)
+		// random DAG: edges only from lower to higher via a random permutation
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(perm[i], perm[j])
+				}
+			}
+		}
+		order, ok := g.TopoSort()
+		if !ok {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Succ(u) {
+				if pos[u] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TransitiveClosure agrees with Reachable.
+func TestQuickClosureMatchesReachable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		g := New(n)
+		for e := 0; e < n*2; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		c := g.TransitiveClosure()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if c.HasEdge(u, v) != g.Reachable(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HasCycle agrees with SCC structure (a graph is cyclic iff some
+// SCC has size >1 or a self-loop exists).
+func TestQuickCycleMatchesSCC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		g := New(n)
+		for e := 0; e < n; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		cyclic := false
+		for _, c := range g.SCC() {
+			if len(c) > 1 {
+				cyclic = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if g.HasEdge(v, v) {
+				cyclic = true
+			}
+		}
+		return g.HasCycle() == cyclic
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

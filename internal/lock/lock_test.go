@@ -1,0 +1,194 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if _, held := m.HeldBy(2, "x"); !held {
+		t.Fatal("T2 should hold the shared lock")
+	}
+}
+
+func TestExclusiveBlocksAndWakes(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- m.Acquire(2, "x", Exclusive) }()
+	select {
+	case <-acquired:
+		t.Fatal("T2 acquired while T1 held exclusive")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("T2 acquire: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("T2 never woke up")
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, "x", Exclusive); err != nil {
+		t.Fatalf("sole-holder upgrade failed: %v", err)
+	}
+	if mode, _ := m.HeldBy(1, "x"); mode != Exclusive {
+		t.Fatal("upgrade did not stick")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "y", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, "y", Exclusive) }() // T1 waits for T2
+	time.Sleep(20 * time.Millisecond)
+	// T2 requesting x closes the cycle: must abort immediately.
+	err := m.Acquire(2, "x", Exclusive)
+	if !errors.Is(err, sched.ErrAbort) {
+		t.Fatalf("expected deadlock abort, got %v", err)
+	}
+	if m.Deadlocks() != 1 {
+		t.Fatalf("Deadlocks = %d", m.Deadlocks())
+	}
+	// Release T2's locks: T1 proceeds.
+	m.ReleaseAll(2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("T1: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("T1 stuck after victim released")
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, "x", Exclusive) }() // T1 waits for T2
+	time.Sleep(20 * time.Millisecond)
+	err := m.Acquire(2, "x", Exclusive) // closes the upgrade cycle
+	if !errors.Is(err, sched.ErrAbort) {
+		t.Fatalf("expected upgrade deadlock abort, got %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("T1: %v", err)
+	}
+}
+
+func TestTwoPLCommitPublishesAndReleases(t *testing.T) {
+	st := storage.New()
+	s := NewTwoPL(st)
+	s.Begin(1)
+	if _, err := s.Read(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, "x", 42); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 0 {
+		t.Fatal("write visible before commit")
+	}
+	if err := s.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 42 {
+		t.Fatal("write lost")
+	}
+	// Lock released: another txn can write immediately.
+	s.Begin(2)
+	if err := s.Write(2, "x", 43); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort(2)
+	if st.Get("x") != 42 {
+		t.Fatal("aborted write leaked")
+	}
+}
+
+func TestTwoPLReadYourOwnWrite(t *testing.T) {
+	s := NewTwoPL(storage.New())
+	s.Begin(1)
+	if err := s.Write(1, "x", 9); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(1, "x")
+	if err != nil || v != 9 {
+		t.Fatalf("read own write: v=%d err=%v", v, err)
+	}
+	s.Abort(1)
+}
+
+func TestTwoPLConcurrentTransfers(t *testing.T) {
+	st := storage.New()
+	st.Set("a", 1000)
+	st.Set("b", 1000)
+	s := NewTwoPL(st)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				s.Begin(id)
+				va, err := s.Read(id, "a")
+				if err == nil {
+					var vb int64
+					vb, err = s.Read(id, "b")
+					if err == nil {
+						if err = s.Write(id, "a", va-1); err == nil {
+							if err = s.Write(id, "b", vb+1); err == nil {
+								if err = s.Commit(id); err == nil {
+									return
+								}
+							}
+						}
+					}
+				}
+				s.Abort(id)
+			}
+		}(w + 1)
+	}
+	wg.Wait()
+	if got := st.Sum([]string{"a", "b"}); got != 2000 {
+		t.Fatalf("total = %d, want 2000", got)
+	}
+	if st.Get("a") != 1000-8 {
+		t.Fatalf("a = %d, want %d", st.Get("a"), 1000-8)
+	}
+}

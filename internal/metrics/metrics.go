@@ -1,0 +1,100 @@
+// Package metrics provides the small statistics toolkit used by the
+// simulation harness: atomic counters and sample histograms with
+// mean/percentile queries.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram collects int64 samples (typically nanoseconds) and answers
+// mean and percentile queries. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []int64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return float64(sum) / float64(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method; 0 with no samples.
+func (h *Histogram) Percentile(p float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(p/100*float64(len(h.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p99=%d",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99))
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("Mean = %f", h.Mean())
+	}
+	if p := h.Percentile(50); p < 49 || p > 51 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(99); p < 98 || p > 100 {
+		t.Fatalf("p99 = %d", p)
+	}
+	if h.Percentile(0) != 1 || h.Percentile(100) != 100 {
+		t.Fatal("extreme percentiles wrong")
+	}
+}
+
+func TestHistogramObserveAfterSort(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	_ = h.Percentile(50) // forces sort
+	h.Observe(1)         // must invalidate sort
+	if h.Percentile(0) != 1 {
+		t.Fatal("sort invalidation broken")
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(2 * time.Microsecond)
+	if h.Percentile(50) != 2000 {
+		t.Fatalf("got %d", h.Percentile(50))
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,190 @@
+package mvmt
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+func TestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(storage.New(), Options{K: 0})
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	st := storage.New()
+	st.Set("x", 5)
+	m := New(st, Options{K: 2})
+	m.Begin(1)
+	v, err := m.Read(1, "x")
+	if err != nil || v != 5 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	if err := m.Write(1, "x", 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 6 {
+		t.Fatalf("x = %d", st.Get("x"))
+	}
+	if m.Versions("x") != 2 {
+		t.Fatalf("versions = %d", m.Versions("x"))
+	}
+}
+
+// The headline multiversion benefit: a read that single-version MT would
+// reject slides to an older version and succeeds.
+func TestLateReadSlidesToOldVersion(t *testing.T) {
+	st := storage.New()
+	st.Set("x", 1)
+	m := New(st, Options{K: 2})
+	// T1 reads y first (gets a small vector), T2 writes x and commits.
+	m.Begin(1)
+	if _, err := m.Read(1, "y"); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(2)
+	// Order T1 before T2 via y.
+	if err := m.Write(2, "y", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(2, "x", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// T1 is now established before T2; reading x must slide to the old
+	// version instead of aborting.
+	v, err := m.Read(1, "x")
+	if err != nil {
+		t.Fatalf("read aborted: %v", err)
+	}
+	if v != 1 {
+		t.Fatalf("v = %d, want the old version 1", v)
+	}
+	if m.ReadSlides() != 1 {
+		t.Fatalf("ReadSlides = %d", m.ReadSlides())
+	}
+	if err := m.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteInvalidatedByLaterReaderAborts(t *testing.T) {
+	st := storage.New()
+	m := New(st, Options{K: 2})
+	// T2 reads x (initial version) and is ordered after T1.
+	m.Begin(1)
+	if _, err := m.Read(1, "z"); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(2)
+	if err := m.Write(2, "z", 1); err != nil { // orders T1 < T2 at commit
+		t.Fatal(err)
+	}
+	if _, err := m.Read(2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// T1 (ordered before T2) writing x would invalidate T2's read of the
+	// initial version: abort.
+	if err := m.Write(1, "x", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(1); !errors.Is(err, sched.ErrAbort) {
+		t.Fatalf("want abort, got %v", err)
+	}
+}
+
+func TestVersionCapPrunes(t *testing.T) {
+	st := storage.New()
+	m := New(st, Options{K: 1, MaxVersions: 4})
+	for i := 1; i <= 10; i++ {
+		m.Begin(i)
+		if err := m.Write(i, "x", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Versions("x") != 4 {
+		t.Fatalf("versions = %d, want 4", m.Versions("x"))
+	}
+	if st.Get("x") != 10 {
+		t.Fatalf("newest = %d", st.Get("x"))
+	}
+}
+
+func TestReadYourOwnWrite(t *testing.T) {
+	m := New(storage.New(), Options{K: 2})
+	m.Begin(1)
+	if err := m.Write(1, "x", 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(1, "x")
+	if err != nil || v != 3 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}
+
+func TestAbortDiscardsBuffer(t *testing.T) {
+	st := storage.New()
+	m := New(st, Options{K: 2})
+	m.Begin(1)
+	if err := m.Write(1, "x", 3); err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(1)
+	if st.Get("x") != 0 {
+		t.Fatal("aborted write leaked")
+	}
+	if m.Versions("x") != 1 {
+		t.Fatal("aborted write created a version")
+	}
+}
+
+// Reads never abort under normal caps: heavy write traffic cannot kick
+// out a concurrent reader.
+func TestReadsNeverAbortUnderWriteTraffic(t *testing.T) {
+	st := storage.New()
+	m := New(st, Options{K: 3})
+	m.Begin(100)
+	if _, err := m.Read(100, "seed"); err != nil { // small vector for T100
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		m.Begin(i)
+		if err := m.Write(i, "seed", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Write(i, "x", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// T100 now reads x: ten newer versions exist; must slide, not abort.
+	v, err := m.Read(100, "x")
+	if err != nil {
+		t.Fatalf("read aborted: %v", err)
+	}
+	if v != 0 {
+		t.Fatalf("v = %d, want initial 0", v)
+	}
+	if err := m.Commit(100); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package nested
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/oplog"
+)
+
+// Lifecycle fuzz for the hierarchical protocol: random group shapes and
+// operation sequences must never panic, and accepted abort-free
+// sequences must be D-serializable.
+func TestFuzzNestedLifecycle(t *testing.T) {
+	items := []string{"a", "b", "c"}
+	for seed := int64(0); seed < 4000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		levels := 1 + rng.Intn(3)
+		ks := make([]int, levels)
+		for i := range ks {
+			ks[i] = 1 + rng.Intn(3)
+		}
+		// Random static assignment: txn -> unit per level.
+		assign := map[[2]int]int{}
+		unitOf := func(txn, lvl int) int {
+			key := [2]int{txn, lvl}
+			if u, ok := assign[key]; ok {
+				return u
+			}
+			u := 1 + rng.Intn(2)
+			// Nesting consistency: units at level l+1 derive from level l
+			// (two txns in the same group share supergroups).
+			assign[key] = u
+			return u
+		}
+		// Precompute groups so that the hierarchy is consistent: group
+		// determines supergroup.
+		groupOf := map[int]int{}
+		superOf := map[int]int{}
+		for txn := 1; txn <= 5; txn++ {
+			groupOf[txn] = 1 + rng.Intn(3)
+		}
+		for g := 1; g <= 3; g++ {
+			superOf[g] = 1 + rng.Intn(2)
+		}
+		_ = unitOf
+		s := NewScheduler(Options{
+			Ks: ks,
+			UnitOf: func(txn, lvl int) int {
+				if lvl == 1 {
+					return groupOf[txn]
+				}
+				return superOf[groupOf[txn]]
+			},
+		})
+		var accepted []oplog.Op
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d panic: %v", seed, r)
+				}
+			}()
+			for step := 0; step < 30; step++ {
+				txn := 1 + rng.Intn(5)
+				it := items[rng.Intn(len(items))]
+				var op oplog.Op
+				if rng.Intn(2) == 0 {
+					op = oplog.R(txn, it)
+				} else {
+					op = oplog.W(txn, it)
+				}
+				if d := s.Step(op); d.Verdict == core.Accept {
+					accepted = append(accepted, op)
+				}
+			}
+		}()
+		if len(accepted) > 0 && !classify.DSR(oplog.NewLog(accepted...)) {
+			t.Fatalf("seed %d: accepted non-DSR sequence %v", seed, oplog.NewLog(accepted...))
+		}
+	}
+}

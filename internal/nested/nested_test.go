@@ -1,0 +1,241 @@
+package nested
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/oplog"
+)
+
+func TestPanicsOnEmptyKs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScheduler(Options{})
+}
+
+// Example 4 / Table III: G1 = {T1, T2}, G2 = {T3}, k1 = k2 = 2 over the
+// log R1[x] R2[y] W2[x] R3[x]. The dependencies arrive as a: G0->G1,
+// b: G0->G1 (already encoded), c: T1->T2 (in-group), d: G1->G2.
+func TestTableIII(t *testing.T) {
+	s := New2Level(2, 2, map[int]int{1: 1, 2: 1, 3: 2})
+	steps := []struct {
+		op    oplog.Op
+		check map[string]string // label -> expected vector
+	}{
+		{oplog.R(1, "x"), map[string]string{"GS1": "<1,*>"}},
+		{oplog.R(2, "y"), map[string]string{"GS1": "<1,*>"}},
+		{oplog.W(2, "x"), map[string]string{"TS1": "<1,*>", "TS2": "<2,*>"}},
+		{oplog.R(3, "x"), map[string]string{"GS2": "<2,*>"}},
+	}
+	get := func(label string) string {
+		switch label {
+		case "GS0":
+			return s.UnitVector(1, 0).String()
+		case "GS1":
+			return s.UnitVector(1, 1).String()
+		case "GS2":
+			return s.UnitVector(1, 2).String()
+		case "TS1":
+			return s.TxnVector(1).String()
+		case "TS2":
+			return s.TxnVector(2).String()
+		case "TS3":
+			return s.TxnVector(3).String()
+		}
+		t.Fatalf("bad label %q", label)
+		return ""
+	}
+	for _, st := range steps {
+		if d := s.Step(st.op); d.Verdict != core.Accept {
+			t.Fatalf("%v rejected", st.op)
+		}
+		for label, want := range st.check {
+			if got := get(label); got != want {
+				t.Errorf("after %v: %s = %s, want %s", st.op, label, got, want)
+			}
+		}
+	}
+	// Resulting vectors row of Table III.
+	for label, want := range map[string]string{
+		"GS0": "<0,*>", "GS1": "<1,*>", "GS2": "<2,*>",
+		"TS1": "<1,*>", "TS2": "<2,*>", "TS3": "<*,*>",
+	} {
+		if got := get(label); got != want {
+			t.Errorf("resulting %s = %s, want %s", label, got, want)
+		}
+	}
+}
+
+// Example 4's closing remark: a later dependency T3 -> T2 is disallowed
+// because it implies G2 -> G1 against the encoded G1 -> G2.
+func TestGroupAntisymmetry(t *testing.T) {
+	s := New2Level(2, 2, map[int]int{1: 1, 2: 1, 3: 2})
+	l := oplog.MustParse("R1[x] R2[y] W2[x] R3[x] W3[w]")
+	if ok, _ := s.AcceptLog(l); !ok {
+		t.Fatal("setup log rejected")
+	}
+	// T2 reading w after T3 wrote it would create T3 -> T2, i.e. G2 -> G1.
+	if d := s.Step(oplog.R(2, "w")); d.Verdict != core.Reject {
+		t.Fatalf("G2 -> G1 dependency accepted: %v", d.Verdict)
+	}
+}
+
+func TestSerialOrderTwoLevels(t *testing.T) {
+	s := New2Level(2, 2, map[int]int{1: 1, 2: 1, 3: 2})
+	l := oplog.MustParse("R1[x] R2[y] W2[x] R3[x]")
+	if ok, _ := s.AcceptLog(l); !ok {
+		t.Fatal("log rejected")
+	}
+	// Group order G1 < G2 and in-group order T1 < T2 force T1 T2 T3.
+	if got := s.SerialOrder([]int{1, 2, 3}); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+// With every transaction in its own group, MT(k1,k2) degenerates to group-
+// level MT(k2); with all in one group it degenerates to MT(k1). Both must
+// accept exactly what the flat protocol accepts.
+func TestReductionToFlatMT(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		l := randomTwoStep(rng, 3, 3)
+		want2 := core.Accepts(2, l)
+
+		oneGroup := New2Level(2, 2, map[int]int{})
+		got1, _ := oneGroup.AcceptLog(l)
+		if got1 != want2 {
+			t.Fatalf("single-group MT(2,2) = %v, MT(2) = %v on %v", got1, want2, l)
+		}
+
+		selfGroups := map[int]int{}
+		for _, txn := range l.Transactions() {
+			selfGroups[txn] = txn
+		}
+		singleton := New2Level(2, 2, selfGroups)
+		got2, _ := singleton.AcceptLog(l)
+		if got2 != want2 {
+			t.Fatalf("singleton-groups MT(2,2) = %v, MT(2) = %v on %v", got2, want2, l)
+		}
+	}
+}
+
+// Accepted logs remain D-serializable under grouping.
+func TestQuickNestedAcceptsOnlyDSR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomTwoStep(rng, 4, 3)
+		groups := map[int]int{}
+		for _, txn := range l.Transactions() {
+			groups[txn] = 1 + rng.Intn(2)
+		}
+		s := New2Level(2, 2, groups)
+		n := 0
+		for _, op := range l.Ops {
+			if s.Step(op).Verdict == core.Reject {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return classify.DSR(l.Prefix(n))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Three-level hierarchy MT(k1,k2,k3): supergroup dependencies are encoded
+// at the top table and stay antisymmetric.
+func TestThreeLevels(t *testing.T) {
+	// txns 1,2 in group 1; 3,4 in group 2; groups 1,2 in supergroup 1;
+	// txn 5 in group 3 / supergroup 2.
+	group := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3}
+	super := map[int]int{1: 1, 2: 1, 3: 1, 4: 1, 5: 2}
+	s := NewScheduler(Options{
+		Ks: []int{2, 2, 2},
+		UnitOf: func(txn, lvl int) int {
+			if lvl == 1 {
+				return group[txn]
+			}
+			return super[txn]
+		},
+	})
+	// T1 writes x; T3 (different group, same supergroup) reads it:
+	// encoded at the group level. T5 (different supergroup) reads it:
+	// encoded at the supergroup level.
+	l := oplog.MustParse("W1[x] R3[x] R5[x]")
+	if ok, at := s.AcceptLog(l); !ok {
+		t.Fatalf("rejected at %d", at)
+	}
+	if got := s.UnitVector(1, 1).String(); got == "<*,*>" {
+		t.Error("group vector for G1 untouched; expected group-level encoding")
+	}
+	if got := s.UnitVector(2, 1).String(); got == "<*,*>" {
+		t.Error("supergroup vector for S1 untouched; expected top-level encoding")
+	}
+	// Reverse supergroup dependency now rejected: T1 reading something T5
+	// wrote implies S2 -> S1.
+	if d := s.Step(oplog.W(5, "q")); d.Verdict != core.Accept {
+		t.Fatal("W5[q] rejected")
+	}
+	if d := s.Step(oplog.R(1, "q")); d.Verdict != core.Reject {
+		t.Fatal("supergroup antisymmetry violated")
+	}
+}
+
+func TestSignatureGroups(t *testing.T) {
+	// T1 and T3 share the signature R[x] W[y]; T2 differs.
+	l := oplog.MustParse("R1[x] W1[y] R2[y] W2[x] R3[x] W3[y]")
+	g := SignatureGroups(l)
+	if g[1] != g[3] {
+		t.Errorf("T1 and T3 should share a group: %v", g)
+	}
+	if g[1] == g[2] {
+		t.Errorf("T1 and T2 should not share a group: %v", g)
+	}
+	if g[1] == 0 || g[2] == 0 {
+		t.Errorf("group ids must start at 1: %v", g)
+	}
+}
+
+func TestSiteGroups(t *testing.T) {
+	g := SiteGroups(map[int]int{1: 2, 2: 2, 3: 5})
+	if g[1] != 2 || g[2] != 2 || g[3] != 5 {
+		t.Fatalf("SiteGroups = %v", g)
+	}
+}
+
+func randomTwoStep(rng *rand.Rand, nTxns, nItems int) *oplog.Log {
+	items := []string{"x", "y", "z"}[:nItems]
+	type pend struct{ r, w oplog.Op }
+	var pends []pend
+	for t := 1; t <= nTxns; t++ {
+		pends = append(pends, pend{
+			oplog.R(t, items[rng.Intn(nItems)]),
+			oplog.W(t, items[rng.Intn(nItems)]),
+		})
+	}
+	var ops []oplog.Op
+	emitted := make([]int, len(pends))
+	for len(ops) < 2*len(pends) {
+		i := rng.Intn(len(pends))
+		if emitted[i] == 0 {
+			ops = append(ops, pends[i].r)
+			emitted[i] = 1
+		} else if emitted[i] == 1 {
+			ops = append(ops, pends[i].w)
+			emitted[i] = 2
+		}
+	}
+	return oplog.NewLog(ops...)
+}

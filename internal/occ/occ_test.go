@@ -1,0 +1,118 @@
+package occ
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+func TestReadWriteNeverFail(t *testing.T) {
+	s := New(storage.New())
+	s.Begin(1)
+	if _, err := s.Read(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationAbortsInvalidatedReader(t *testing.T) {
+	st := storage.New()
+	s := New(st)
+	s.Begin(1)
+	s.Begin(2)
+	if _, err := s.Read(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(2, "x", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// T1's read of x is now stale.
+	if err := s.Commit(1); !errors.Is(err, sched.ErrAbort) {
+		t.Fatalf("want abort, got %v", err)
+	}
+	if st.Get("x") != 5 {
+		t.Fatal("committed write lost")
+	}
+}
+
+func TestBlindWritersDontConflict(t *testing.T) {
+	s := New(storage.New())
+	s.Begin(1)
+	s.Begin(2)
+	if err := s.Write(1, "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(2, "x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// T1 read nothing: serial validation lets it commit (write-write
+	// resolved by commit order).
+	if err := s.Commit(1); err != nil {
+		t.Fatalf("blind writer aborted: %v", err)
+	}
+}
+
+func TestStartBeforeCommitWindow(t *testing.T) {
+	s := New(storage.New())
+	s.Begin(2)
+	if err := s.Write(2, "x", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// T3 begins after T2 committed: reading x is safe.
+	s.Begin(3)
+	if _, err := s.Read(3, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(3); err != nil {
+		t.Fatalf("reader starting after commit aborted: %v", err)
+	}
+}
+
+func TestReadYourOwnWrite(t *testing.T) {
+	s := New(storage.New())
+	s.Begin(1)
+	if err := s.Write(1, "x", 9); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(1, "x")
+	if err != nil || v != 9 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	// Reading the buffered value must NOT invalidate against own write.
+	if err := s.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationLogGC(t *testing.T) {
+	s := New(storage.New())
+	for i := 1; i <= 50; i++ {
+		s.Begin(i)
+		if err := s.Write(i, "x", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No active transactions: the log must be fully pruned.
+	if n := s.ValidationLogLen(); n != 0 {
+		t.Fatalf("validation log length = %d, want 0", n)
+	}
+}

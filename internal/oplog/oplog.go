@@ -1,0 +1,335 @@
+// Package oplog implements the paper's log model. A log is the quintuple
+// L = (D, T, Σ, S, π): database items D, transactions T, atomic operations
+// Σ, the access function S giving the item set touched by each operation,
+// and the permutation function π giving each operation's sequence number.
+//
+// An atomic operation is written A_i[x] where A ∈ {R, W}, i is the
+// transaction index and x is an item; in the two-step transaction model an
+// operation may access a *set* of items (written R1[x,y]). π(op) is the
+// 1-based position of the operation in the log.
+package oplog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Kind distinguishes reads from writes.
+type Kind int
+
+// Operation kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// String returns "R" or "W".
+func (k Kind) String() string {
+	if k == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Op is a single atomic operation of a transaction on a set of items.
+type Op struct {
+	Txn   int      // transaction index (unique id, ≥ 1 for real transactions)
+	Kind  Kind     // Read or Write
+	Items []string // item set accessed; non-empty, sorted, duplicate-free
+}
+
+// NewOp builds a normalized operation (items sorted, deduplicated).
+func NewOp(txn int, kind Kind, items ...string) Op {
+	set := map[string]bool{}
+	for _, it := range items {
+		set[it] = true
+	}
+	norm := make([]string, 0, len(set))
+	for it := range set {
+		norm = append(norm, it)
+	}
+	sort.Strings(norm)
+	return Op{Txn: txn, Kind: kind, Items: norm}
+}
+
+// R is shorthand for a read operation.
+func R(txn int, items ...string) Op { return NewOp(txn, Read, items...) }
+
+// W is shorthand for a write operation.
+func W(txn int, items ...string) Op { return NewOp(txn, Write, items...) }
+
+// String renders the operation in the paper's notation, e.g. "W1[x]" or
+// "R2[x,y]".
+func (o Op) String() string {
+	return fmt.Sprintf("%s%d[%s]", o.Kind, o.Txn, strings.Join(o.Items, ","))
+}
+
+// Accesses reports whether the operation touches item x.
+func (o Op) Accesses(x string) bool {
+	i := sort.SearchStrings(o.Items, x)
+	return i < len(o.Items) && o.Items[i] == x
+}
+
+// intersects reports whether the item sets of a and b overlap.
+func intersects(a, b []string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Conflicts implements Definition 1: two operations conflict iff they belong
+// to different transactions, access a common item, and at least one writes.
+func Conflicts(a, b Op) bool {
+	if a.Txn == b.Txn {
+		return false
+	}
+	if a.Kind == Read && b.Kind == Read {
+		return false
+	}
+	return intersects(a.Items, b.Items)
+}
+
+// Log is a finite sequence of operations. π(ops[i]) = i+1.
+type Log struct {
+	Ops []Op
+}
+
+// NewLog builds a log from operations in sequence order.
+func NewLog(ops ...Op) *Log { return &Log{Ops: append([]Op(nil), ops...)} }
+
+// Len returns the number of operations.
+func (l *Log) Len() int { return len(l.Ops) }
+
+// String renders the log in paper notation separated by spaces.
+func (l *Log) String() string {
+	parts := make([]string, len(l.Ops))
+	for i, o := range l.Ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Clone returns a deep copy of the log.
+func (l *Log) Clone() *Log {
+	ops := make([]Op, len(l.Ops))
+	for i, o := range l.Ops {
+		ops[i] = Op{Txn: o.Txn, Kind: o.Kind, Items: append([]string(nil), o.Items...)}
+	}
+	return &Log{Ops: ops}
+}
+
+// Concat returns the concatenation l · m (the paper's composite-log
+// operator). Transaction indices in m are shifted above those in l so the
+// two halves share no transactions, matching the use in Section III-C.
+func (l *Log) Concat(m *Log) *Log {
+	shift := 0
+	for _, t := range l.Transactions() {
+		if t > shift {
+			shift = t
+		}
+	}
+	out := l.Clone()
+	for _, o := range m.Ops {
+		out.Ops = append(out.Ops, Op{Txn: o.Txn + shift, Kind: o.Kind, Items: append([]string(nil), o.Items...)})
+	}
+	return out
+}
+
+// Transactions returns the sorted distinct transaction indices in the log.
+func (l *Log) Transactions() []int {
+	set := map[int]bool{}
+	for _, o := range l.Ops {
+		set[o.Txn] = true
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Items returns the sorted distinct items in the log (the set D).
+func (l *Log) Items() []string {
+	set := map[string]bool{}
+	for _, o := range l.Ops {
+		for _, x := range o.Items {
+			set[x] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpsOf returns the operations of transaction t in log order.
+func (l *Log) OpsOf(t int) []Op {
+	var out []Op
+	for _, o := range l.Ops {
+		if o.Txn == t {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// MaxOpsPerTxn returns q, the maximum number of operations in a single
+// transaction of the log.
+func (l *Log) MaxOpsPerTxn() int {
+	count := map[int]int{}
+	q := 0
+	for _, o := range l.Ops {
+		count[o.Txn]++
+		if count[o.Txn] > q {
+			q = count[o.Txn]
+		}
+	}
+	return q
+}
+
+// IsTwoStep reports whether the log follows the paper's two-step model:
+// every transaction consists of exactly one read operation followed by one
+// write operation.
+func (l *Log) IsTwoStep() bool {
+	type state struct{ reads, writes int }
+	st := map[int]*state{}
+	for _, o := range l.Ops {
+		s := st[o.Txn]
+		if s == nil {
+			s = &state{}
+			st[o.Txn] = s
+		}
+		switch o.Kind {
+		case Read:
+			if s.reads > 0 || s.writes > 0 {
+				return false
+			}
+			s.reads++
+		case Write:
+			if s.reads != 1 || s.writes > 0 {
+				return false
+			}
+			s.writes++
+		}
+	}
+	for _, s := range st {
+		if s.reads != 1 || s.writes != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// TxnIndex maps the log's transaction ids to dense indices 0..n-1 in
+// ascending id order, returning the map and the ordered ids.
+func (l *Log) TxnIndex() (map[int]int, []int) {
+	ids := l.Transactions()
+	m := make(map[int]int, len(ids))
+	for i, t := range ids {
+		m[t] = i
+	}
+	return m, ids
+}
+
+// DependencyGraph returns the direct-conflict digraph over dense transaction
+// indices: an edge i -> j when some operation of transaction ids[i] precedes
+// and conflicts with some operation of ids[j] (Definition 7 part i). The
+// dense index mapping is the one produced by TxnIndex.
+func (l *Log) DependencyGraph() (*graph.Digraph, []int) {
+	idx, ids := l.TxnIndex()
+	g := graph.New(len(ids))
+	for i := 0; i < len(l.Ops); i++ {
+		for j := i + 1; j < len(l.Ops); j++ {
+			if Conflicts(l.Ops[i], l.Ops[j]) {
+				g.AddEdge(idx[l.Ops[i].Txn], idx[l.Ops[j].Txn])
+			}
+		}
+	}
+	return g, ids
+}
+
+// Prefix returns the log consisting of the first n operations.
+func (l *Log) Prefix(n int) *Log {
+	if n > len(l.Ops) {
+		n = len(l.Ops)
+	}
+	return NewLog(l.Ops[:n]...)
+}
+
+// Parse reads a log in the paper's notation: whitespace-separated operations
+// like "W1[x] R2[y] R3[x,y]". It returns an error describing the first
+// malformed token.
+func Parse(s string) (*Log, error) {
+	fields := strings.Fields(s)
+	ops := make([]Op, 0, len(fields))
+	for _, f := range fields {
+		op, err := parseOp(f)
+		if err != nil {
+			return nil, fmt.Errorf("oplog: %q: %w", f, err)
+		}
+		ops = append(ops, op)
+	}
+	return NewLog(ops...), nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed examples.
+func MustParse(s string) *Log {
+	l, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func parseOp(tok string) (Op, error) {
+	if len(tok) < 4 {
+		return Op{}, fmt.Errorf("too short")
+	}
+	var kind Kind
+	switch tok[0] {
+	case 'R', 'r':
+		kind = Read
+	case 'W', 'w':
+		kind = Write
+	default:
+		return Op{}, fmt.Errorf("operation must start with R or W")
+	}
+	open := strings.IndexByte(tok, '[')
+	if open < 0 || !strings.HasSuffix(tok, "]") {
+		return Op{}, fmt.Errorf("missing [items]")
+	}
+	txn, err := strconv.Atoi(tok[1:open])
+	if err != nil {
+		return Op{}, fmt.Errorf("bad transaction index: %v", err)
+	}
+	if txn < 0 {
+		return Op{}, fmt.Errorf("negative transaction index")
+	}
+	body := tok[open+1 : len(tok)-1]
+	if body == "" {
+		return Op{}, fmt.Errorf("empty item set")
+	}
+	items := strings.Split(body, ",")
+	for _, it := range items {
+		if strings.TrimSpace(it) == "" {
+			return Op{}, fmt.Errorf("empty item name")
+		}
+	}
+	return NewOp(txn, kind, items...), nil
+}

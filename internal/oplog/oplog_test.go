@@ -1,0 +1,290 @@
+package oplog
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"W1[x] W1[y] R3[x] R2[y]",
+		"R1[x,y] W1[x,y]",
+		"R2[a] W2[b]",
+	}
+	for _, c := range cases {
+		l, err := Parse(c)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c, err)
+		}
+		if got := l.String(); got != c {
+			t.Errorf("round trip: got %q, want %q", got, c)
+		}
+	}
+}
+
+func TestParseNormalizesItems(t *testing.T) {
+	l := MustParse("R1[y,x,x]")
+	if got := l.String(); got != "R1[x,y]" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"X1[x]",    // bad kind
+		"R[x]",     // missing index
+		"R1x",      // missing brackets
+		"R1[]",     // empty items
+		"R1[a,]",   // empty item name
+		"R-1[x]",   // negative index
+		"W1.5[x]",  // non-integer index
+		"R1[x] zz", // malformed second token
+	}
+	for _, c := range bad {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	cases := []struct {
+		a, b Op
+		want bool
+	}{
+		{R(1, "x"), R(2, "x"), false},      // read-read never conflicts
+		{R(1, "x"), W(2, "x"), true},       // read-write
+		{W(1, "x"), R(2, "x"), true},       // write-read
+		{W(1, "x"), W(2, "x"), true},       // write-write
+		{W(1, "x"), W(2, "y"), false},      // disjoint items
+		{W(1, "x"), W(1, "x"), false},      // same transaction
+		{R(1, "x", "y"), W(2, "y"), true},  // set intersection
+		{R(1, "a", "c"), W(2, "b"), false}, // interleaved names, disjoint
+	}
+	for _, c := range cases {
+		if got := Conflicts(c.a, c.b); got != c.want {
+			t.Errorf("Conflicts(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestConflictsSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := []string{"x", "y", "z"}
+		mk := func() Op {
+			n := 1 + rng.Intn(2)
+			its := make([]string, n)
+			for i := range its {
+				its[i] = items[rng.Intn(len(items))]
+			}
+			return NewOp(1+rng.Intn(3), Kind(rng.Intn(2)), its...)
+		}
+		a, b := mk(), mk()
+		return Conflicts(a, b) == Conflicts(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransactionsItems(t *testing.T) {
+	l := MustParse("W3[c] R1[a] W1[b] R2[a,b]")
+	if got := l.Transactions(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("Transactions = %v", got)
+	}
+	if got := l.Items(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Items = %v", got)
+	}
+}
+
+func TestOpsOfAndMaxOps(t *testing.T) {
+	l := MustParse("R1[x] R2[y] W1[x] W1[z]")
+	ops := l.OpsOf(1)
+	if len(ops) != 3 {
+		t.Fatalf("OpsOf(1) len = %d", len(ops))
+	}
+	if q := l.MaxOpsPerTxn(); q != 3 {
+		t.Fatalf("MaxOpsPerTxn = %d, want 3", q)
+	}
+}
+
+func TestIsTwoStep(t *testing.T) {
+	cases := []struct {
+		log  string
+		want bool
+	}{
+		{"R1[x] W1[x]", true},
+		{"R1[x] R2[y] W1[x] W2[y]", true},
+		{"R1[x,y] W1[x]", true},
+		{"W1[x] R1[x]", false},       // write before read
+		{"R1[x] W1[x] W1[y]", false}, // two writes
+		{"R1[x]", false},             // missing write
+		{"W1[x]", false},             // missing read
+		{"R1[x] R1[y] W1[x]", false}, // two reads
+	}
+	for _, c := range cases {
+		if got := MustParse(c.log).IsTwoStep(); got != c.want {
+			t.Errorf("IsTwoStep(%q) = %v, want %v", c.log, got, c.want)
+		}
+	}
+}
+
+func TestDependencyGraphExample1(t *testing.T) {
+	// Example 1 full log: W1[x] W1[y] R3[x] R2[y] W3[y].
+	// Dependencies: T1->T3 (x), T1->T2 (y), T2->T3 (R2[y] before W3[y]),
+	// and T1->T3 also via y.
+	l := MustParse("W1[x] W1[y] R3[x] R2[y] W3[y]")
+	g, ids := l.DependencyGraph()
+	if !reflect.DeepEqual(ids, []int{1, 2, 3}) {
+		t.Fatalf("ids = %v", ids)
+	}
+	want := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for _, e := range want {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	if g.HasEdge(2, 1) || g.HasEdge(1, 0) || g.HasEdge(2, 0) {
+		t.Error("spurious reverse edge")
+	}
+}
+
+func TestDependencyGraphNoReadReadEdge(t *testing.T) {
+	l := MustParse("R1[x] R2[x]")
+	g, _ := l.DependencyGraph()
+	if g.EdgeCount() != 0 {
+		t.Fatalf("read-read produced %d edges", g.EdgeCount())
+	}
+}
+
+func TestConcatShiftsTxnIDs(t *testing.T) {
+	a := MustParse("R1[x] W1[x]")
+	b := MustParse("R1[y] W1[y]")
+	c := a.Concat(b)
+	if got := c.String(); got != "R1[x] W1[x] R2[y] W2[y]" {
+		t.Fatalf("Concat = %q", got)
+	}
+	// originals untouched
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatal("Concat mutated inputs")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	l := MustParse("R1[x] W1[x] R2[y]")
+	p := l.Prefix(2)
+	if p.String() != "R1[x] W1[x]" {
+		t.Fatalf("Prefix = %q", p)
+	}
+	if l.Prefix(99).Len() != 3 {
+		t.Fatal("over-long prefix should clamp")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := MustParse("R1[x]")
+	c := l.Clone()
+	c.Ops[0].Items[0] = "zzz"
+	if l.Ops[0].Items[0] != "x" {
+		t.Fatal("Clone shares item slices")
+	}
+}
+
+func TestAccesses(t *testing.T) {
+	o := R(1, "b", "d")
+	for _, c := range []struct {
+		item string
+		want bool
+	}{{"a", false}, {"b", true}, {"c", false}, {"d", true}, {"e", false}} {
+		if got := o.Accesses(c.item); got != c.want {
+			t.Errorf("Accesses(%q) = %v", c.item, got)
+		}
+	}
+}
+
+func TestTxnIndexDense(t *testing.T) {
+	l := MustParse("R7[x] W7[x] R3[y] W3[y]")
+	idx, ids := l.TxnIndex()
+	if !reflect.DeepEqual(ids, []int{3, 7}) {
+		t.Fatalf("ids = %v", ids)
+	}
+	if idx[3] != 0 || idx[7] != 1 {
+		t.Fatalf("idx = %v", idx)
+	}
+}
+
+// Property: parsing the string form reproduces the log.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := []string{"x", "y", "z", "w"}
+		var ops []Op
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			n := 1 + rng.Intn(3)
+			its := make([]string, n)
+			for j := range its {
+				its[j] = items[rng.Intn(len(items))]
+			}
+			ops = append(ops, NewOp(1+rng.Intn(5), Kind(rng.Intn(2)), its...))
+		}
+		l := NewLog(ops...)
+		back, err := Parse(l.String())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(l, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the dependency graph only contains edges consistent with log
+// order (an edge i->j requires some op of ids[i] before some op of ids[j]).
+func TestQuickDependencyEdgesRespectOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := []string{"x", "y"}
+		var ops []Op
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			ops = append(ops, NewOp(1+rng.Intn(3), Kind(rng.Intn(2)), items[rng.Intn(2)]))
+		}
+		l := NewLog(ops...)
+		g, ids := l.DependencyGraph()
+		first := map[int]int{}
+		for pos, o := range l.Ops {
+			if _, ok := first[o.Txn]; !ok {
+				first[o.Txn] = pos
+			}
+		}
+		last := map[int]int{}
+		for pos, o := range l.Ops {
+			last[o.Txn] = pos
+		}
+		for i := range ids {
+			for _, j := range g.Succ(i) {
+				// some op of ids[i] precedes some op of ids[j]:
+				if first[ids[i]] >= last[ids[j]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := W(4, "x", "a").String(); s != "W4[a,x]" {
+		t.Fatalf("String = %q", s)
+	}
+	if !strings.HasPrefix(R(1, "x").String(), "R1") {
+		t.Fatal("read prefix wrong")
+	}
+}

@@ -1,0 +1,116 @@
+package sched_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dmt"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func TestDMTRuntimeBasic(t *testing.T) {
+	st := storage.New()
+	d := sched.NewDMT(st, dmt.Options{K: 3, Sites: 2})
+	if d.Name() != "DMT/2sites" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	d.Begin(1)
+	if _, err := d.Read(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(1, "x", 5); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 0 {
+		t.Fatal("dirty write visible")
+	}
+	if err := d.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 5 {
+		t.Fatal("write lost")
+	}
+}
+
+func TestDMTRuntimeRejectAndRetry(t *testing.T) {
+	st := storage.New()
+	d := sched.NewDMT(st, dmt.Options{K: 2, Sites: 2})
+	// Fig. 5 shape: T3 reads y before the second writer bumps x.
+	d.Begin(1)
+	d.Write(1, "x", 1)
+	d.Commit(1)
+	d.Begin(3)
+	if _, err := d.Read(3, "y"); err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(2)
+	d.Write(2, "x", 2)
+	d.Commit(2)
+	err := d.Write(3, "x", 3)
+	if !errors.Is(err, sched.ErrAbort) {
+		t.Fatalf("want abort, got %v", err)
+	}
+	d.Abort(3)
+	// The distributed starvation fix reseeds TS(3): the retry succeeds.
+	d.Begin(3)
+	if _, err := d.Read(3, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(3, "x", 3); err != nil {
+		t.Fatalf("retry rejected: %v", err)
+	}
+	if err := d.Commit(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMTRuntimeBankingInvariant(t *testing.T) {
+	accounts := []string{"a", "b", "c", "d"}
+	initial := map[string]int64{}
+	for _, a := range accounts {
+		initial[a] = 500
+	}
+	var cluster *sched.DMT
+	rep := sim.Run(sim.Config{
+		NewScheduler: func(st *storage.Store) sched.Scheduler {
+			cluster = sched.NewDMT(st, dmt.Options{K: 7, Sites: 3})
+			return cluster
+		},
+		Specs:   workload.Transfers(80, accounts, 2, 31),
+		Workers: 6,
+		Backoff: 30 * time.Microsecond,
+		Initial: initial,
+	})
+	if rep.Committed != 80 {
+		t.Fatalf("committed = %d (gave up %d)", rep.Committed, rep.GaveUp)
+	}
+	if got := rep.Store.Sum(accounts); got != 2000 {
+		t.Fatalf("sum = %d", got)
+	}
+	if cluster.Cluster().Messages() == 0 {
+		t.Fatal("no cross-site traffic recorded")
+	}
+}
+
+func TestDMTGCReclaimsVectors(t *testing.T) {
+	st := storage.New()
+	d := sched.NewDMT(st, dmt.Options{K: 2, Sites: 2})
+	for i := 1; i <= 50; i++ {
+		d.Begin(i)
+		if err := d.Write(i, "x", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Commit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Cluster().GC()
+	// Only T0 and the current RT/WT holders survive.
+	if live := d.Cluster().LiveVectors(); live > 3 {
+		t.Fatalf("live vectors = %d, want <= 3", live)
+	}
+}

@@ -1,0 +1,328 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/oplog"
+	"repro/internal/storage"
+)
+
+// MTOptions configures the MT(k) runtime adapter.
+type MTOptions struct {
+	// Core carries the protocol options (K, ThomasWriteRule,
+	// StarvationAvoidance, hot-item encoding, ...).
+	Core core.Options
+	// DeferWrites enables the Section VI-C-2 scheme: writes are buffered
+	// and validated at commit, so WT(x) only ever names committed
+	// transactions and a committed transaction can never be aborted.
+	// When false, writes are validated (and WT updated) at write time —
+	// Algorithm 1's immediate discipline — while data still publishes
+	// atomically at commit.
+	DeferWrites bool
+}
+
+// mtTxn is the runtime state of one live transaction.
+type mtTxn struct {
+	writes  map[string]int64
+	order   []string // write order, for deterministic commit validation
+	blocker int      // last rejecting transaction (starvation fix seed)
+	epoch   uint64   // composite adapter epoch; 0 for plain MT
+}
+
+// MT adapts the core MT(k) protocol to the runtime Scheduler interface.
+type MT struct {
+	mu    sync.Mutex
+	opts  MTOptions
+	sched *core.Scheduler
+	store *storage.Store
+	txns  map[int]*mtTxn
+}
+
+// NewMT returns an MT(k)-family runtime scheduler over the store.
+func NewMT(store *storage.Store, opts MTOptions) *MT {
+	return &MT{
+		opts:  opts,
+		sched: core.NewScheduler(opts.Core),
+		store: store,
+		txns:  make(map[int]*mtTxn),
+	}
+}
+
+// Name implements Scheduler.
+func (m *MT) Name() string {
+	name := fmt.Sprintf("MT(%d)", m.opts.Core.K)
+	if m.opts.Core.MonotonicEncoding {
+		name += "/mono"
+	}
+	if m.opts.DeferWrites {
+		name += "/deferred"
+	}
+	return name
+}
+
+// Begin implements Scheduler.
+func (m *MT) Begin(txn int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.txns[txn] = &mtTxn{writes: make(map[string]int64)}
+}
+
+func (m *MT) state(txn int) *mtTxn {
+	st := m.txns[txn]
+	if st == nil {
+		panic(fmt.Sprintf("sched: operation on transaction %d without Begin", txn))
+	}
+	return st
+}
+
+// Read implements Scheduler: the read is validated immediately
+// (Algorithm 1); the value comes from the transaction's own write buffer
+// or the committed store.
+//
+// Immediate mode publishes WT(x) at write time but the DATA only at
+// commit, so a read ordered after a still-uncommitted writer would see
+// the old value while the protocol believes it saw the new one — a lost
+// update. Such reads abort (no dirty-read window); a read ordered BEFORE
+// the pending writer (the line-9 slot-in) legitimately reads the old
+// version and proceeds. Deferred mode never hits this: WT(x) only ever
+// names committed transactions.
+func (m *MT) Read(txn int, item string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(txn)
+	if v, ok := st.writes[item]; ok {
+		return v, nil
+	}
+	d := m.sched.Step(oplog.R(txn, item))
+	if d.Verdict == core.Reject {
+		st.blocker = d.Blocker
+		return 0, Abort(txn, d.Blocker, "read rejected")
+	}
+	if !m.opts.DeferWrites {
+		if w := m.sched.WT(item); w != txn {
+			if _, live := m.txns[w]; live && !m.sched.Vector(txn).Less(m.sched.Vector(w)) {
+				st.blocker = w
+				return 0, Abort(txn, w, "read ordered after uncommitted writer")
+			}
+		}
+	}
+	return m.store.Get(item), nil
+}
+
+// Write implements Scheduler.
+func (m *MT) Write(txn int, item string, v int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(txn)
+	if !m.opts.DeferWrites {
+		d := m.sched.Step(oplog.W(txn, item))
+		switch d.Verdict {
+		case core.Reject:
+			st.blocker = d.Blocker
+			return Abort(txn, d.Blocker, "write rejected")
+		case core.AcceptIgnored:
+			// Thomas write rule: the write is obsolete; drop it.
+			delete(st.writes, item)
+			return nil
+		}
+	}
+	if _, ok := st.writes[item]; !ok {
+		st.order = append(st.order, item)
+	}
+	st.writes[item] = v
+	return nil
+}
+
+// Commit implements Scheduler: with DeferWrites the buffered writes are
+// validated now (each via the ordinary write arm of Algorithm 1); the
+// surviving write set publishes atomically.
+func (m *MT) Commit(txn int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(txn)
+	apply := make(map[string]int64, len(st.writes))
+	for x, v := range st.writes {
+		apply[x] = v
+	}
+	if m.opts.DeferWrites {
+		for _, x := range st.order {
+			if _, ok := st.writes[x]; !ok {
+				continue
+			}
+			d := m.sched.Step(oplog.W(txn, x))
+			switch d.Verdict {
+			case core.Reject:
+				st.blocker = d.Blocker
+				m.sched.Abort(txn, d.Blocker)
+				delete(m.txns, txn)
+				return Abort(txn, d.Blocker, "commit-time write validation failed")
+			case core.AcceptIgnored:
+				delete(apply, x)
+			}
+		}
+	}
+	m.store.Apply(apply)
+	m.sched.Commit(txn)
+	delete(m.txns, txn)
+	return nil
+}
+
+// Abort implements Scheduler.
+func (m *MT) Abort(txn int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.txns[txn]
+	blocker := 0
+	if st != nil {
+		blocker = st.blocker
+	}
+	m.sched.Abort(txn, blocker)
+	delete(m.txns, txn)
+}
+
+// Core exposes the underlying protocol scheduler (tests, diagnostics).
+func (m *MT) Core() *core.Scheduler { return m.sched }
+
+// TryPartialRestart implements the Section VI-C-1 partial rollback for a
+// transaction whose last operation was rejected: the vector is flushed
+// and reseeded past the blocker (so the retried suffix can be ordered)
+// and the transaction's earlier accepted reads are re-validated under the
+// new vector. On success the caller may resume execution after the kept
+// prefix, preserving its computation; the caller is responsible for
+// checking that the kept read VALUES are still current (per-item store
+// versions) before resuming. Requires StarvationAvoidance; returns false
+// when a full restart is needed.
+func (m *MT) TryPartialRestart(txn int, readItems []string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.txns[txn]
+	if st == nil || st.blocker == 0 || !m.opts.Core.StarvationAvoidance {
+		return false
+	}
+	// Flush and reseed (keeps the transaction live: the write buffer and
+	// state survive).
+	m.sched.Abort(txn, st.blocker)
+	st.blocker = 0
+	for _, x := range readItems {
+		if d := m.sched.Step(oplog.R(txn, x)); d.Verdict == core.Reject {
+			st.blocker = d.Blocker
+			return false
+		}
+	}
+	return true
+}
+
+// Composite adapts MT(k⁺) to the runtime. When every subprotocol has
+// stopped, Algorithm 2 step 4 applies: all active transactions abort and
+// the composite machinery restarts fresh (a new epoch).
+type Composite struct {
+	mu    sync.Mutex
+	k     int
+	sub   core.Options
+	sched *composite.Scheduler
+	store *storage.Store
+	txns  map[int]*mtTxn
+	epoch uint64
+}
+
+// NewComposite returns an MT(k⁺) runtime scheduler (deferred writes).
+func NewComposite(store *storage.Store, k int, sub core.Options) *Composite {
+	return &Composite{
+		k:     k,
+		sub:   sub,
+		sched: composite.NewScheduler(composite.Options{K: k, Sub: sub}),
+		store: store,
+		txns:  make(map[int]*mtTxn),
+	}
+}
+
+// Name implements Scheduler.
+func (c *Composite) Name() string { return fmt.Sprintf("MT(%d+)", c.k) }
+
+// Begin implements Scheduler.
+func (c *Composite) Begin(txn int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.txns[txn] = &mtTxn{writes: make(map[string]int64), epoch: c.epoch}
+}
+
+// step runs one operation, handling the epoch-restart rule.
+func (c *Composite) step(st *mtTxn, txn int, op oplog.Op) error {
+	if st.epoch != c.epoch {
+		return Abort(txn, 0, "composite epoch restart")
+	}
+	d := c.sched.Step(op)
+	if d.Verdict == core.Reject {
+		// All subprotocols stopped: abort all active transactions and
+		// restart (Algorithm 2 step 4-i).
+		c.epoch++
+		c.sched = composite.NewScheduler(composite.Options{K: c.k, Sub: c.sub})
+		return Abort(txn, 0, "all subprotocols stopped")
+	}
+	return nil
+}
+
+// Read implements Scheduler.
+func (c *Composite) Read(txn int, item string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(txn)
+	if v, ok := st.writes[item]; ok {
+		return v, nil
+	}
+	if err := c.step(st, txn, oplog.R(txn, item)); err != nil {
+		return 0, err
+	}
+	return c.store.Get(item), nil
+}
+
+// Write implements Scheduler (writes deferred to commit).
+func (c *Composite) Write(txn int, item string, v int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(txn)
+	if _, ok := st.writes[item]; !ok {
+		st.order = append(st.order, item)
+	}
+	st.writes[item] = v
+	return nil
+}
+
+// Commit implements Scheduler.
+func (c *Composite) Commit(txn int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(txn)
+	for _, x := range st.order {
+		if err := c.step(st, txn, oplog.W(txn, x)); err != nil {
+			c.sched.Abort(txn, 0)
+			delete(c.txns, txn)
+			return err
+		}
+	}
+	c.store.Apply(st.writes)
+	c.sched.Commit(txn)
+	delete(c.txns, txn)
+	return nil
+}
+
+// Abort implements Scheduler.
+func (c *Composite) Abort(txn int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.txns[txn]; ok {
+		c.sched.Abort(txn, 0)
+		delete(c.txns, txn)
+	}
+}
+
+func (c *Composite) state(txn int) *mtTxn {
+	st := c.txns[txn]
+	if st == nil {
+		panic(fmt.Sprintf("sched: operation on transaction %d without Begin", txn))
+	}
+	return st
+}

@@ -1,0 +1,294 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func TestMTCommitPublishes(t *testing.T) {
+	st := storage.New()
+	m := NewMT(st, MTOptions{Core: core.Options{K: 2}})
+	m.Begin(1)
+	if _, err := m.Read(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(1, "x", 7); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 0 {
+		t.Fatal("dirty write visible")
+	}
+	if err := m.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 7 {
+		t.Fatal("write lost")
+	}
+}
+
+func TestMTReadYourOwnWrite(t *testing.T) {
+	m := NewMT(storage.New(), MTOptions{Core: core.Options{K: 2}})
+	m.Begin(1)
+	if err := m.Write(1, "x", 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(1, "x")
+	if err != nil || v != 3 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}
+
+func TestMTNames(t *testing.T) {
+	st := storage.New()
+	if got := NewMT(st, MTOptions{Core: core.Options{K: 3}}).Name(); got != "MT(3)" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := NewMT(st, MTOptions{Core: core.Options{K: 3}, DeferWrites: true}).Name(); got != "MT(3)/deferred" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := NewComposite(st, 2, core.Options{}).Name(); got != "MT(2+)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestMTImmediateRejectsConflictingWrite(t *testing.T) {
+	m := NewMT(storage.New(), MTOptions{Core: core.Options{K: 2}})
+	// Fig. 5 shape: W1[x] W2[x] R3[y] then W3[x] must abort.
+	m.Begin(1)
+	if err := m.Write(1, "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(2)
+	if err := m.Write(2, "x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(3)
+	if _, err := m.Read(3, "y"); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Write(3, "x", 3)
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("want abort, got %v", err)
+	}
+	var ae *AbortError
+	if !errors.As(err, &ae) || ae.Blocker != 2 {
+		t.Fatalf("blocker = %+v", err)
+	}
+}
+
+func TestMTDeferredValidatesAtCommit(t *testing.T) {
+	m := NewMT(storage.New(), MTOptions{Core: core.Options{K: 2}, DeferWrites: true})
+	m.Begin(3)
+	if _, err := m.Read(3, "y"); err != nil {
+		t.Fatal(err)
+	}
+	// Deferred mode: the write buffers fine...
+	if err := m.Write(3, "x", 3); err != nil {
+		t.Fatal(err)
+	}
+	// ...while two later writers move WT(x) past T3.
+	m.Begin(1)
+	if err := m.Write(1, "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(2)
+	if err := m.Write(2, "x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// Commit-time validation of T3's write must fail (TS(3) < TS(2)).
+	if err := m.Commit(3); !errors.Is(err, ErrAbort) {
+		t.Fatalf("want commit abort, got %v", err)
+	}
+}
+
+func TestMTStarvationFixAcrossRetries(t *testing.T) {
+	m := NewMT(storage.New(), MTOptions{
+		Core: core.Options{K: 2, StarvationAvoidance: true},
+	})
+	m.Begin(1)
+	m.Write(1, "x", 1)
+	m.Commit(1)
+	m.Begin(2)
+	m.Write(2, "x", 2)
+	m.Commit(2)
+	m.Begin(3)
+	if _, err := m.Read(3, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(3, "x", 3); !errors.Is(err, ErrAbort) {
+		t.Fatalf("setup: want abort, got %v", err)
+	}
+	m.Abort(3)
+	// Retry with the same id: the reseeded vector lets it through.
+	m.Begin(3)
+	if _, err := m.Read(3, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(3, "x", 3); err != nil {
+		t.Fatalf("retried write rejected: %v", err)
+	}
+	if err := m.Commit(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTThomasRuleDropsWrite(t *testing.T) {
+	st := storage.New()
+	m := NewMT(st, MTOptions{Core: core.Options{K: 2, ThomasWriteRule: true}})
+	// Build TS(2) < TS(1) via a read-write conflict on z (T2 reads, T1
+	// writes — no dirty read involved), then T1 writes x and commits;
+	// T2's obsolete write of x is accepted-and-ignored.
+	m.Begin(2)
+	if _, err := m.Read(2, "z"); err != nil {
+		t.Fatal(err)
+	}
+	m.Begin(1)
+	if err := m.Write(1, "z", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(1, "x", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(2, "x", 20); err != nil {
+		t.Fatalf("Thomas write should be accepted-and-ignored: %v", err)
+	}
+	if err := m.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 10 {
+		t.Fatalf("x = %d, want 10 (obsolete write dropped)", st.Get("x"))
+	}
+	if st.Get("z") != 7 {
+		t.Fatalf("z = %d, want 7", st.Get("z"))
+	}
+}
+
+func TestMTBeginWithoutOpPanic(t *testing.T) {
+	m := NewMT(storage.New(), MTOptions{Core: core.Options{K: 2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for op without Begin")
+		}
+	}()
+	m.Read(1, "x")
+}
+
+func TestCompositeRuntimeBasic(t *testing.T) {
+	st := storage.New()
+	c := NewComposite(st, 2, core.Options{})
+	c.Begin(1)
+	if _, err := c.Read(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(1, "x", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("x") != 5 {
+		t.Fatal("write lost")
+	}
+}
+
+func TestCompositeEpochRestart(t *testing.T) {
+	st := storage.New()
+	c := NewComposite(st, 1, core.Options{}) // single subprotocol: easy to stop
+	// Drive MT(1) into a reject: Fig. 5 shape.
+	c.Begin(1)
+	c.Write(1, "x", 1)
+	if err := c.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	// T3 reads y early, so its scalar timestamp precedes T2's.
+	c.Begin(3)
+	c.Begin(4)
+	if _, err := c.Read(3, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(4, "z"); err != nil {
+		t.Fatal(err)
+	}
+	c.Begin(2)
+	c.Write(2, "x", 2)
+	if err := c.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// T3's conflicting write (validated at commit) stops MT(1): all
+	// subprotocols stopped, epoch restart.
+	if err := c.Write(3, "x", 3); err != nil {
+		t.Fatalf("deferred write must buffer: %v", err)
+	}
+	if err := c.Commit(3); !errors.Is(err, ErrAbort) {
+		t.Fatalf("want abort, got %v", err)
+	}
+	// T4 belongs to the old epoch: its next operation aborts too.
+	if _, err := c.Read(4, "z"); !errors.Is(err, ErrAbort) {
+		t.Fatal("old-epoch transaction survived the restart")
+	}
+	c.Abort(4)
+	// Fresh transactions proceed in the new epoch.
+	c.Begin(5)
+	if _, err := c.Read(5, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTConcurrentUse(t *testing.T) {
+	st := storage.New()
+	m := NewMT(st, MTOptions{Core: core.Options{K: 3, StarvationAvoidance: true}})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	committed := 0
+	for w := 1; w <= 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for attempt := 0; attempt < 50; attempt++ {
+				m.Begin(id)
+				if _, err := m.Read(id, "a"); err != nil {
+					m.Abort(id)
+					continue
+				}
+				if err := m.Write(id, "b", int64(id)); err != nil {
+					m.Abort(id)
+					continue
+				}
+				if err := m.Commit(id); err != nil {
+					m.Abort(id)
+					continue
+				}
+				mu.Lock()
+				committed++
+				mu.Unlock()
+				return
+			}
+		}(w)
+	}
+	wg.Wait()
+	if committed == 0 {
+		t.Fatal("no transaction committed")
+	}
+}

@@ -1,0 +1,62 @@
+// Package sched defines the runtime concurrency-control interface shared
+// by every protocol implementation (MT(k), MT(k⁺), MT(k1,k2), DMT(k) and
+// the baselines 2PL, TO, OCC, SGT and timestamp intervals), plus the
+// MT-family adapters themselves.
+//
+// All runtime schedulers manage data as well as ordering: Read returns
+// committed values, Write buffers the new value, and Commit validates any
+// deferred work and atomically publishes the write set (the paper's
+// Section VI-C-2 rollback scheme — no dirty data is ever visible, so an
+// abort never cascades).
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAbort is returned by Read, Write or Commit when the transaction must
+// abort and may be retried by the caller.
+var ErrAbort = errors.New("sched: transaction must abort")
+
+// AbortError wraps ErrAbort with diagnostic context.
+type AbortError struct {
+	Txn     int
+	Blocker int
+	Reason  string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("sched: txn %d aborted (%s, blocker %d)", e.Txn, e.Reason, e.Blocker)
+}
+
+// Unwrap makes errors.Is(err, ErrAbort) true.
+func (e *AbortError) Unwrap() error { return ErrAbort }
+
+// Abort builds an *AbortError.
+func Abort(txn, blocker int, reason string) error {
+	return &AbortError{Txn: txn, Blocker: blocker, Reason: reason}
+}
+
+// Scheduler is a runtime concurrency controller bound to a store.
+// Transaction ids must be unique among concurrently live transactions; a
+// retried transaction reuses its id (so protocols like MT(k) with the
+// starvation fix can privilege the restarted incarnation).
+//
+// Implementations may block inside Read/Write (lock-based protocols) or
+// fail fast with an error wrapping ErrAbort (timestamp-based protocols).
+type Scheduler interface {
+	// Name identifies the protocol in reports, e.g. "MT(3)".
+	Name() string
+	// Begin opens (or reopens, after an abort) the transaction.
+	Begin(txn int)
+	// Read returns the committed value of item visible to txn.
+	Read(txn int, item string) (int64, error)
+	// Write schedules the value to be written by txn at commit.
+	Write(txn int, item string, v int64) error
+	// Commit validates and atomically publishes txn's writes.
+	Commit(txn int) error
+	// Abort discards txn (idempotent; safe after a failed Commit).
+	Abort(txn int)
+}

@@ -1,0 +1,99 @@
+// Package sim is the experiment harness: it runs a workload against a
+// scheduler with a worker pool and reports throughput, abort/retry counts
+// and latency percentiles. The runtime benchmarks (bench_test.go) and the
+// cmd/mtsim tool are thin wrappers over it.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// NewScheduler builds the scheduler under test over the given store.
+	NewScheduler func(*storage.Store) sched.Scheduler
+	// Specs is the workload.
+	Specs []txn.Spec
+	// Workers is the number of concurrent client goroutines.
+	Workers int
+	// MaxAttempts bounds per-transaction retries (0 = retry forever).
+	MaxAttempts int
+	// Backoff is the retry backoff base (0 = none).
+	Backoff time.Duration
+	// Think is the per-operation think time (forces overlap).
+	Think time.Duration
+	// Seed sets initial item values (item -> value); optional.
+	Initial map[string]int64
+}
+
+// Report aggregates one run's results.
+type Report struct {
+	Name      string
+	Txns      int
+	Committed int64
+	GaveUp    int64 // transactions that exhausted MaxAttempts
+	Attempts  int64 // total executions, committed or not
+	Restarts  int64 // Attempts - Txns that finished (retry count)
+	Wall      time.Duration
+	Latency   *metrics.Histogram
+	Store     *storage.Store
+}
+
+// Throughput returns committed transactions per second.
+func (r *Report) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Wall.Seconds()
+}
+
+// AbortRate returns the fraction of attempts that aborted.
+func (r *Report) AbortRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return float64(r.Restarts) / float64(r.Attempts)
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%-14s txns=%d committed=%d restarts=%d abort-rate=%.3f tput=%.0f/s mean-lat=%.0fµs p99=%dµs",
+		r.Name, r.Txns, r.Committed, r.Restarts, r.AbortRate(), r.Throughput(),
+		r.Latency.Mean()/1e3, r.Latency.Percentile(99)/1000)
+}
+
+// Run executes the configured simulation.
+func Run(cfg Config) *Report {
+	store := storage.New()
+	for x, v := range cfg.Initial {
+		store.Set(x, v)
+	}
+	s := cfg.NewScheduler(store)
+	rt := &txn.Runtime{Sched: s, MaxAttempts: cfg.MaxAttempts, Backoff: cfg.Backoff, Think: cfg.Think}
+	rep := &Report{
+		Name:    s.Name(),
+		Txns:    len(cfg.Specs),
+		Latency: &metrics.Histogram{},
+		Store:   store,
+	}
+	start := time.Now()
+	results := rt.Pool(cfg.Specs, cfg.Workers)
+	rep.Wall = time.Since(start)
+	for _, res := range results {
+		rep.Attempts += int64(res.Attempts)
+		if res.Committed {
+			rep.Committed++
+		} else {
+			rep.GaveUp++
+		}
+		rep.Restarts += int64(res.Attempts - 1)
+		rep.Latency.ObserveDuration(res.Latency)
+	}
+	return rep
+}

@@ -1,0 +1,103 @@
+// Package storage provides the in-memory key-value store the transaction
+// runtime executes against. Values are int64 (enough for the paper's
+// workloads: account balances, counters). The store only ever holds
+// committed data: schedulers buffer writes and Apply them atomically at
+// commit (the paper's Section VI-C-2 "two-phase commit for each write
+// operation" — temporary copies stay invisible to other transactions).
+package storage
+
+import "sync"
+
+// Store is a concurrency-safe committed-state KV store.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]int64
+	// version counts committed Apply batches, handy for validation
+	// schemes that need a cheap global commit counter.
+	version int64
+	// itemVer counts commits per item; partial rollback uses it to decide
+	// whether a kept read value is still current.
+	itemVer map[string]int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string]int64), itemVer: make(map[string]int64)}
+}
+
+// Get returns the committed value of item (0 if never written).
+func (s *Store) Get(item string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[item]
+}
+
+// GetMany returns the committed values of several items atomically.
+func (s *Store) GetMany(items []string) map[string]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int64, len(items))
+	for _, x := range items {
+		out[x] = s.data[x]
+	}
+	return out
+}
+
+// Apply commits a write batch atomically and returns the new version.
+func (s *Store) Apply(writes map[string]int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for x, v := range writes {
+		s.data[x] = v
+		s.itemVer[x]++
+	}
+	s.version++
+	return s.version
+}
+
+// Set commits a single value.
+func (s *Store) Set(item string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[item] = v
+	s.itemVer[item]++
+	s.version++
+}
+
+// ItemVersion returns the number of commits that wrote item (0 if never
+// written).
+func (s *Store) ItemVersion(item string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.itemVer[item]
+}
+
+// Version returns the number of committed batches so far.
+func (s *Store) Version() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Snapshot returns a copy of the committed state.
+func (s *Store) Snapshot() map[string]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int64, len(s.data))
+	for x, v := range s.data {
+		out[x] = v
+	}
+	return out
+}
+
+// Sum returns the sum of the committed values of the given items
+// (atomically), used by invariant checks such as the banking example.
+func (s *Store) Sum(items []string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum int64
+	for _, x := range items {
+		sum += s.data[x]
+	}
+	return sum
+}

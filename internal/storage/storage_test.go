@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetSetApply(t *testing.T) {
+	s := New()
+	if s.Get("x") != 0 {
+		t.Fatal("fresh item not 0")
+	}
+	s.Set("x", 7)
+	if s.Get("x") != 7 {
+		t.Fatal("Set not visible")
+	}
+	v0 := s.Version()
+	s.Apply(map[string]int64{"x": 1, "y": 2})
+	if s.Get("x") != 1 || s.Get("y") != 2 {
+		t.Fatal("Apply not visible")
+	}
+	if s.Version() != v0+1 {
+		t.Fatalf("version = %d, want %d", s.Version(), v0+1)
+	}
+}
+
+func TestGetManySnapshotSum(t *testing.T) {
+	s := New()
+	s.Apply(map[string]int64{"a": 1, "b": 2, "c": 3})
+	m := s.GetMany([]string{"a", "c", "zz"})
+	if m["a"] != 1 || m["c"] != 3 || m["zz"] != 0 {
+		t.Fatalf("GetMany = %v", m)
+	}
+	if got := s.Sum([]string{"a", "b", "c"}); got != 6 {
+		t.Fatalf("Sum = %d", got)
+	}
+	snap := s.Snapshot()
+	s.Set("a", 100)
+	if snap["a"] != 1 {
+		t.Fatal("Snapshot aliases store")
+	}
+}
+
+func TestConcurrentApply(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Apply(map[string]int64{"x": int64(w)})
+				s.Get("x")
+				s.Sum([]string{"x"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Version() != 800 {
+		t.Fatalf("version = %d, want 800", s.Version())
+	}
+}

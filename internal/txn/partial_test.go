@@ -1,0 +1,142 @@
+package txn
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// buildBlockedT3 prepares the Fig. 5 shape on a fresh scheduler: T1 and
+// T2 write x, T3 has read y and will be rejected writing x.
+func buildBlockedT3(t *testing.T, st *storage.Store) *sched.MT {
+	t.Helper()
+	m := sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2, StarvationAvoidance: true}})
+	for _, w := range []int{1, 2} {
+		m.Begin(w)
+		if err := m.Write(w, "x", int64(w)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestPartialRollbackResumesMidTransaction(t *testing.T) {
+	st := storage.New()
+	m := buildBlockedT3(t, st)
+	rt := &Runtime{Sched: m, PartialRollback: true, Store: st, MaxAttempts: 10}
+	res := rt.Exec(Spec{ID: 3, Ops: []Op{R("y"), W("x")}})
+	if !res.Committed {
+		t.Fatalf("not committed: %+v", res)
+	}
+	if res.PartialResumes != 1 {
+		t.Fatalf("PartialResumes = %d, want 1", res.PartialResumes)
+	}
+	// Full restart would re-execute both ops; the partial resume repeats
+	// only the failed write: 2 (first attempt) + 1 (resumed write).
+	if res.OpsExecuted != 3 {
+		t.Fatalf("OpsExecuted = %d, want 3", res.OpsExecuted)
+	}
+	if st.Get("x") != 3 {
+		t.Fatalf("x = %d", st.Get("x"))
+	}
+}
+
+func TestPartialRollbackFallsBackWhenReadStale(t *testing.T) {
+	st := storage.New()
+	m := buildBlockedT3(t, st)
+	rt := &Runtime{Sched: m, PartialRollback: true, Store: st, MaxAttempts: 10}
+	// Wrap the value function to commit a conflicting write to y right
+	// after the first failure, invalidating the kept read.
+	first := true
+	res := rt.Exec(Spec{
+		ID:  3,
+		Ops: []Op{R("y"), W("x")},
+		Value: func(item string, reads map[string]int64) int64 {
+			if first {
+				first = false
+				// Sneak a committed write to y between attempt and retry.
+				m.Begin(99)
+				if err := m.Write(99, "y", 7); err == nil {
+					m.Commit(99)
+				} else {
+					m.Abort(99)
+				}
+			}
+			return reads["y"] + 1
+		},
+	})
+	if !res.Committed {
+		t.Fatalf("not committed: %+v", res)
+	}
+	if res.PartialResumes != 0 {
+		t.Fatalf("stale read should force a full restart, got %d resumes", res.PartialResumes)
+	}
+	// The committed value must reflect the NEW y (7 + 1), proving the
+	// full restart re-read it.
+	if st.Get("x") != 8 {
+		t.Fatalf("x = %d, want 8", st.Get("x"))
+	}
+}
+
+func TestPartialRollbackDisabledWithoutStore(t *testing.T) {
+	st := storage.New()
+	m := buildBlockedT3(t, st)
+	rt := &Runtime{Sched: m, PartialRollback: true, MaxAttempts: 10} // no Store
+	res := rt.Exec(Spec{ID: 3, Ops: []Op{R("y"), W("x")}})
+	if !res.Committed || res.PartialResumes != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPartialRollbackNeedsStarvationAvoidance(t *testing.T) {
+	st := storage.New()
+	m := sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2}}) // fix off
+	for _, w := range []int{1, 2} {
+		m.Begin(w)
+		m.Write(w, "x", int64(w))
+		m.Commit(w)
+	}
+	m.Begin(3)
+	if _, err := m.Read(3, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(3, "x", 3); err == nil {
+		t.Fatal("setup: write should be rejected")
+	}
+	if m.TryPartialRestart(3, []string{"y"}) {
+		t.Fatal("partial restart must require the starvation fix")
+	}
+}
+
+func TestPartialRollbackReducesWastedOps(t *testing.T) {
+	// Long transactions with a contended tail item: partial rollback
+	// should replay fewer operations than full restarts on the same
+	// deterministic single-threaded conflict pattern.
+	run := func(partial bool) int {
+		st := storage.New()
+		m := sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 9, StarvationAvoidance: true}})
+		// Pre-commit writers on the tail item so the victim gets blocked.
+		for _, w := range []int{101, 102} {
+			m.Begin(w)
+			m.Write(w, "tail", int64(w))
+			m.Commit(w)
+		}
+		rt := &Runtime{Sched: m, PartialRollback: partial, Store: st, MaxAttempts: 20}
+		ops := []Op{R("a"), R("b"), R("c"), R("d"), W("tail")}
+		res := rt.Exec(Spec{ID: 3, Ops: ops})
+		if !res.Committed {
+			return 1 << 30
+		}
+		return res.OpsExecuted
+	}
+	full := run(false)
+	part := run(true)
+	if part >= full {
+		t.Fatalf("partial rollback executed %d ops, full restart %d", part, full)
+	}
+}

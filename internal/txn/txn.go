@@ -1,0 +1,226 @@
+// Package txn is the goroutine transaction runtime: it executes
+// transaction specifications against any sched.Scheduler, retrying
+// aborted transactions with (optionally) exponential backoff. A retried
+// transaction keeps its id, so protocols like MT(k) with the starvation
+// fix can privilege the restarted incarnation.
+package txn
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/oplog"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// Op is one step of a transaction: read or write of a single item.
+type Op struct {
+	Kind oplog.Kind
+	Item string
+}
+
+// R and W build ops.
+func R(item string) Op { return Op{Kind: oplog.Read, Item: item} }
+
+// W builds a write op.
+func W(item string) Op { return Op{Kind: oplog.Write, Item: item} }
+
+// Spec describes a transaction to execute.
+type Spec struct {
+	// ID is the transaction id; unique among concurrently running
+	// transactions and stable across retries.
+	ID int
+	// Ops run in order.
+	Ops []Op
+	// Value computes the value written to item given the reads observed
+	// so far. Nil writes the transaction id (enough for conflict-shape
+	// experiments).
+	Value func(item string, reads map[string]int64) int64
+}
+
+// Result reports one transaction's fate.
+type Result struct {
+	ID        int
+	Committed bool
+	// Attempts counts executions including the successful one.
+	Attempts int
+	// PartialResumes counts retries that resumed mid-transaction via the
+	// Section VI-C-1 partial rollback instead of restarting from scratch.
+	PartialResumes int
+	// OpsExecuted counts operations actually issued across all attempts
+	// (the wasted-work metric of the rollback experiments).
+	OpsExecuted int
+	// Reads holds the read values of the committed attempt (nil if the
+	// transaction never committed).
+	Reads map[string]int64
+	// Latency is the wall time from first attempt to final outcome.
+	Latency time.Duration
+}
+
+// PartialRestarter is implemented by schedulers supporting the Section
+// VI-C-1 partial rollback: after a rejected operation, the scheduler
+// reseeds the transaction and re-validates its earlier reads, so the
+// runtime can resume mid-transaction.
+type PartialRestarter interface {
+	TryPartialRestart(txn int, readItems []string) bool
+}
+
+// Runtime executes Specs on a Scheduler.
+type Runtime struct {
+	Sched sched.Scheduler
+	// MaxAttempts bounds retries (0 = retry forever).
+	MaxAttempts int
+	// Backoff is the base sleep after an abort; attempt n sleeps
+	// Backoff * 2^min(n,6) with full jitter. Zero disables sleeping.
+	Backoff time.Duration
+	// Think sleeps between consecutive operations of a transaction,
+	// forcing transactions to overlap in time (the regime where the
+	// protocols' ordering decisions actually differ).
+	Think time.Duration
+	// PartialRollback enables the Section VI-C-1 scheme when both the
+	// scheduler implements PartialRestarter and Store is set (item
+	// versions decide whether kept read values are still current).
+	PartialRollback bool
+	// Store is consulted for per-item versions under PartialRollback.
+	Store *storage.Store
+}
+
+// Exec runs one transaction to commit or retry exhaustion.
+func (r *Runtime) Exec(spec Spec) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(int64(spec.ID)))
+	res := Result{ID: spec.ID}
+	resumeFrom := 0
+	var reads map[string]int64
+	var readVers map[string]int64
+	for attempt := 1; ; attempt++ {
+		if resumeFrom == 0 {
+			reads = make(map[string]int64)
+			readVers = make(map[string]int64)
+		}
+		got, failedAt, err := r.attempt(spec, resumeFrom, reads, readVers, &res)
+		if err == nil {
+			res.Committed = true
+			res.Attempts = attempt
+			res.Reads = got
+			res.Latency = time.Since(start)
+			return res
+		}
+		if !errors.Is(err, sched.ErrAbort) {
+			panic("txn: scheduler returned a non-abort error: " + err.Error())
+		}
+		resumeFrom = 0
+		if r.PartialRollback && r.Store != nil && failedAt > 0 {
+			if pr, ok := r.Sched.(PartialRestarter); ok && r.tryResume(spec, failedAt, reads, readVers, pr) {
+				resumeFrom = failedAt
+				res.PartialResumes++
+			}
+		}
+		if resumeFrom == 0 {
+			r.Sched.Abort(spec.ID)
+		}
+		if r.MaxAttempts > 0 && attempt >= r.MaxAttempts {
+			res.Attempts = attempt
+			res.Latency = time.Since(start)
+			return res
+		}
+		if r.Backoff > 0 {
+			shift := attempt
+			if shift > 6 {
+				shift = 6
+			}
+			max := int64(r.Backoff) << shift
+			time.Sleep(time.Duration(rng.Int63n(max + 1)))
+		}
+	}
+}
+
+// tryResume decides whether execution can continue mid-transaction: the
+// kept reads' item versions must be unchanged (their values are still
+// current) and the scheduler must re-validate them under a reseeded
+// vector.
+func (r *Runtime) tryResume(spec Spec, failedAt int, reads, readVers map[string]int64, pr PartialRestarter) bool {
+	var kept []string
+	for _, op := range spec.Ops[:failedAt] {
+		if op.Kind != oplog.Read {
+			continue
+		}
+		if r.Store.ItemVersion(op.Item) != readVers[op.Item] {
+			return false // a newer committed value invalidates the kept read
+		}
+		kept = append(kept, op.Item)
+	}
+	return pr.TryPartialRestart(spec.ID, kept)
+}
+
+// attempt runs ops[resumeFrom:] of the spec; a fresh attempt
+// (resumeFrom == 0) begins the transaction first. It returns the reads,
+// the failing op index and the error.
+func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]int64, res *Result) (map[string]int64, int, error) {
+	if resumeFrom == 0 {
+		r.Sched.Begin(spec.ID)
+	}
+	for i := resumeFrom; i < len(spec.Ops); i++ {
+		op := spec.Ops[i]
+		if r.Think > 0 && i > 0 {
+			time.Sleep(r.Think)
+		}
+		res.OpsExecuted++
+		if op.Kind == oplog.Read {
+			if r.Store != nil {
+				readVers[op.Item] = r.Store.ItemVersion(op.Item)
+			}
+			v, err := r.Sched.Read(spec.ID, op.Item)
+			if err != nil {
+				return nil, i, err
+			}
+			reads[op.Item] = v
+			continue
+		}
+		var v int64
+		if spec.Value != nil {
+			v = spec.Value(op.Item, reads)
+		} else {
+			v = int64(spec.ID)
+		}
+		if err := r.Sched.Write(spec.ID, op.Item, v); err != nil {
+			return nil, i, err
+		}
+	}
+	if err := r.Sched.Commit(spec.ID); err != nil {
+		return nil, len(spec.Ops), err
+	}
+	return reads, -1, nil
+}
+
+// Pool executes specs on w workers and returns every result.
+func (r *Runtime) Pool(specs []Spec, workers int) []Result {
+	if workers < 1 {
+		workers = 1
+	}
+	in := make(chan Spec)
+	out := make([]Result, len(specs))
+	idx := make(map[int]int, len(specs)) // spec id -> slot
+	for i, s := range specs {
+		idx[s.ID] = i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range in {
+				out[idx[spec.ID]] = r.Exec(spec)
+			}
+		}()
+	}
+	for _, s := range specs {
+		in <- s
+	}
+	close(in)
+	wg.Wait()
+	return out
+}

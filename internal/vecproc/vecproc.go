@@ -1,0 +1,164 @@
+// Package vecproc simulates the parallel timestamp-vector comparison
+// mechanism of Section III-E (Fig. 6 and 7): an array of processing
+// elements compares two k-element vectors in O(log k) parallel time.
+//
+// The five phases of Fig. 6 are modelled explicitly:
+//
+//  1. load the vector elements into the PE rows a and b;
+//  2. per-element difference c_i (0 iff the elements are "equal" in the
+//     Definition 6 sense: both defined with the same value);
+//  3. parallel-prefix OR d_i = c_1 ⊕ … ⊕ c_i over a binary tree of
+//     height ⌈log₂ k⌉ (Fig. 7);
+//  4. each PE checks its left neighbour: the unique i with d_i = 1 and
+//     d_{i-1} = 0 is the deciding position;
+//  5. the order of the two vectors is read off a_m versus b_m.
+//
+// Steps 1, 2, 4 and 5 take constant parallel time; step 3 takes ⌈log₂ k⌉
+// rounds, so the whole comparison takes ⌈log₂ k⌉ + 4 parallel steps
+// (Theorem 4). The package also provides a goroutine-per-PE
+// implementation to demonstrate the same dataflow with real concurrency.
+package vecproc
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Result is the outcome of a simulated parallel comparison.
+type Result struct {
+	Rel core.Rel // relation of a versus b per Definition 6
+	Pos int      // 1-based deciding position (k if the vectors are identical)
+	// ParallelSteps is the number of parallel phases executed:
+	// ⌈log₂ k⌉ for the prefix-OR tree plus 4 constant phases.
+	ParallelSteps int
+}
+
+// log2ceil returns ⌈log₂ n⌉ (0 for n <= 1).
+func log2ceil(n int) int {
+	d := 0
+	for (1 << d) < n {
+		d++
+	}
+	return d
+}
+
+// elemsEqual is the PE subtraction of phase 2 under Definition 6: two
+// elements are equal iff both are defined with the same value.
+func elemsEqual(a, b core.Elem) bool {
+	return a.Defined && b.Defined && a.V == b.V
+}
+
+// decide resolves the relation at the deciding position.
+func decide(a, b core.Elem) core.Rel {
+	switch {
+	case a.Defined && b.Defined && a.V < b.V:
+		return core.Less
+	case a.Defined && b.Defined && a.V > b.V:
+		return core.Greater
+	case !a.Defined && !b.Defined:
+		return core.Equal
+	default:
+		return core.Unknown
+	}
+}
+
+// Compare runs the PE-array simulation on two equal-size vectors. The
+// returned relation and position agree exactly with the sequential
+// Definition 6 comparison, while ParallelSteps reflects the O(log k)
+// parallel cost.
+func Compare(a, b *core.Vector) Result {
+	k := a.K()
+	if b.K() != k {
+		panic("vecproc: vector sizes differ")
+	}
+	// Phase 2: difference bits.
+	c := make([]bool, k)
+	for i := 0; i < k; i++ {
+		c[i] = !elemsEqual(a.Elem(i+1), b.Elem(i+1))
+	}
+	// Phase 3: parallel-prefix OR with pointer doubling; rounds = ⌈log₂ k⌉.
+	d := append([]bool(nil), c...)
+	rounds := log2ceil(k)
+	for step := 1; step < k; step <<= 1 {
+		next := append([]bool(nil), d...)
+		for i := step; i < k; i++ {
+			next[i] = d[i] || d[i-step]
+		}
+		d = next
+	}
+	// Phase 4: find the unique PE with d_i && !d_{i-1}.
+	pos := k // identical vectors: fall back to position k
+	for i := 0; i < k; i++ {
+		prev := false
+		if i > 0 {
+			prev = d[i-1]
+		}
+		if d[i] && !prev {
+			pos = i + 1
+			break
+		}
+	}
+	// Phase 5: decide.
+	rel := core.Equal
+	if d[k-1] { // some difference exists
+		rel = decide(a.Elem(pos), b.Elem(pos))
+	}
+	return Result{Rel: rel, Pos: pos, ParallelSteps: rounds + 4}
+}
+
+// CompareConcurrent runs the same five-phase dataflow with one goroutine
+// per processing element, demonstrating the Fig. 7 layout with real
+// concurrency. Results are identical to Compare.
+func CompareConcurrent(a, b *core.Vector) Result {
+	k := a.K()
+	if b.K() != k {
+		panic("vecproc: vector sizes differ")
+	}
+	c := make([]bool, k)
+	var wg sync.WaitGroup
+	// Phase 2 in parallel.
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c[i] = !elemsEqual(a.Elem(i+1), b.Elem(i+1))
+		}(i)
+	}
+	wg.Wait()
+	// Phase 3: log-depth doubling, PEs advance in lockstep rounds.
+	d := append([]bool(nil), c...)
+	for step := 1; step < k; step <<= 1 {
+		next := make([]bool, k)
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if i >= step {
+					next[i] = d[i] || d[i-step]
+				} else {
+					next[i] = d[i]
+				}
+			}(i)
+		}
+		wg.Wait()
+		d = next
+	}
+	// Phases 4-5 (constant).
+	pos := k
+	for i := 0; i < k; i++ {
+		prev := false
+		if i > 0 {
+			prev = d[i-1]
+		}
+		if d[i] && !prev {
+			pos = i + 1
+			break
+		}
+	}
+	rel := core.Equal
+	if d[k-1] {
+		rel = decide(a.Elem(pos), b.Elem(pos))
+	}
+	return Result{Rel: rel, Pos: pos, ParallelSteps: log2ceil(k) + 4}
+}

@@ -1,0 +1,114 @@
+package vecproc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// fig6Vectors reproduces the Fig. 6 example: TS(1) = <1,3,2,2>,
+// TS(2) = <1,3,5,2> — deciding position 3, TS(1) < TS(2).
+func fig6Vectors() (*core.Vector, *core.Vector) {
+	a := core.VectorOf(core.Int(1), core.Int(3), core.Int(2), core.Int(2))
+	b := core.VectorOf(core.Int(1), core.Int(3), core.Int(5), core.Int(2))
+	return a, b
+}
+
+func TestFig6Example(t *testing.T) {
+	a, b := fig6Vectors()
+	r := Compare(a, b)
+	if r.Rel != core.Less || r.Pos != 3 {
+		t.Fatalf("Compare = %+v, want Less at 3", r)
+	}
+	// k = 4: ⌈log₂ 4⌉ + 4 = 6 parallel steps.
+	if r.ParallelSteps != 6 {
+		t.Fatalf("ParallelSteps = %d, want 6", r.ParallelSteps)
+	}
+}
+
+func TestDepthFormula(t *testing.T) {
+	for _, c := range []struct{ k, want int }{
+		{1, 4}, {2, 5}, {3, 6}, {4, 6}, {5, 7}, {8, 7}, {9, 8}, {16, 8}, {17, 9},
+	} {
+		a, b := core.NewVector(c.k), core.NewVector(c.k)
+		if got := Compare(a, b).ParallelSteps; got != c.want {
+			t.Errorf("k=%d: steps = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestIdenticalVectors(t *testing.T) {
+	v := core.VectorOf(core.Int(1), core.Int(2))
+	r := Compare(v, v.Clone())
+	// No difference bit set: Equal at the fallback position k.
+	if r.Rel != core.Equal || r.Pos != 2 {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestUndefinedHandling(t *testing.T) {
+	a := core.VectorOf(core.Int(2), core.Undef)
+	b := core.VectorOf(core.Int(2), core.Undef)
+	if r := Compare(a, b); r.Rel != core.Equal || r.Pos != 2 {
+		t.Fatalf("both-undefined: %+v", r)
+	}
+	c := core.VectorOf(core.Int(2), core.Int(1))
+	if r := Compare(a, c); r.Rel != core.Unknown || r.Pos != 2 {
+		t.Fatalf("one-undefined: %+v", r)
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compare(core.NewVector(2), core.NewVector(3))
+}
+
+func randVector(rng *rand.Rand, k int) *core.Vector {
+	elems := make([]core.Elem, k)
+	d := rng.Intn(k + 1) // defined-prefix invariant
+	for i := 0; i < d; i++ {
+		elems[i] = core.Int(int64(rng.Intn(4)))
+	}
+	return core.VectorOf(elems...)
+}
+
+// Property: the PE simulation agrees with the sequential Definition 6
+// comparison on relation and deciding position.
+func TestQuickMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		a, b := randVector(rng, k), randVector(rng, k)
+		seqRel, seqPos := a.Compare(b)
+		r := Compare(a, b)
+		if r.Rel != seqRel {
+			return false
+		}
+		// Sequential Compare reports position k for fully-equal defined
+		// vectors; the PE array reports the same fallback.
+		return r.Pos == seqPos
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the goroutine-per-PE implementation matches the simulation.
+func TestQuickConcurrentMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		a, b := randVector(rng, k), randVector(rng, k)
+		return CompareConcurrent(a, b) == Compare(a, b)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package workload generates transaction mixes for the simulation
+// harness: uniform or hotspot item selection, tunable read fraction and
+// transaction length, deterministic under a seed. These parameterize the
+// paper's Section VI-B questions (conflict rate, transaction length,
+// vector size).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/txn"
+)
+
+// Config describes a workload.
+type Config struct {
+	// Txns is the number of transactions to generate.
+	Txns int
+	// OpsPerTxn is the number of operations per transaction (q).
+	OpsPerTxn int
+	// Items is the database size |D|.
+	Items int
+	// ReadFraction is the probability an operation is a read (0..1).
+	ReadFraction float64
+	// HotItems carves this many items into a hotspot.
+	HotItems int
+	// HotFraction routes this probability mass of accesses to the
+	// hotspot (0 disables).
+	HotFraction float64
+	// ZipfS, when > 1, draws items from a Zipf distribution with
+	// parameter s (most-skewed item first); overrides the hotspot knobs.
+	ZipfS float64
+	// TwoStep forces the paper's two-step shape: one read followed by
+	// one write (OpsPerTxn is then ignored).
+	TwoStep bool
+	// FirstID numbers the transactions starting here (default 1).
+	FirstID int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// ItemName returns the canonical name of item i.
+func ItemName(i int) string { return fmt.Sprintf("i%04d", i) }
+
+// Items returns the full item list of the config.
+func (c Config) ItemNames() []string {
+	out := make([]string, c.Items)
+	for i := range out {
+		out[i] = ItemName(i)
+	}
+	return out
+}
+
+// zipfFor builds the generator lazily per Generate call.
+func (c Config) zipfFor(rng *rand.Rand) *rand.Zipf {
+	if c.ZipfS <= 1 {
+		return nil
+	}
+	return rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Items-1))
+}
+
+// pick selects an item index under the hotspot distribution.
+func (c Config) pick(rng *rand.Rand) int {
+	if c.HotItems > 0 && c.HotFraction > 0 && rng.Float64() < c.HotFraction {
+		return rng.Intn(c.HotItems)
+	}
+	lo := 0
+	if c.HotItems > 0 && c.HotFraction > 0 {
+		lo = c.HotItems
+	}
+	if lo >= c.Items {
+		lo = 0
+	}
+	return lo + rng.Intn(c.Items-lo)
+}
+
+// Generate produces the transaction specs.
+func (c Config) Generate() []txn.Spec {
+	if c.Txns <= 0 || c.Items <= 0 {
+		panic("workload: Txns and Items must be positive")
+	}
+	first := c.FirstID
+	if first == 0 {
+		first = 1
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	zipf := c.zipfFor(rng)
+	next := func() string {
+		if zipf != nil {
+			return ItemName(int(zipf.Uint64()))
+		}
+		return ItemName(c.pick(rng))
+	}
+	specs := make([]txn.Spec, 0, c.Txns)
+	for t := 0; t < c.Txns; t++ {
+		var ops []txn.Op
+		if c.TwoStep {
+			ops = []txn.Op{txn.R(next()), txn.W(next())}
+		} else {
+			n := c.OpsPerTxn
+			if n <= 0 {
+				n = 2
+			}
+			for o := 0; o < n; o++ {
+				item := next()
+				if rng.Float64() < c.ReadFraction {
+					ops = append(ops, txn.R(item))
+				} else {
+					ops = append(ops, txn.W(item))
+				}
+			}
+		}
+		specs = append(specs, txn.Spec{ID: first + t, Ops: ops})
+	}
+	return specs
+}
+
+// Transfer builds a banking transfer transaction: read both accounts,
+// write both with the amount moved from src to dst. The total balance is
+// invariant under any serializable execution.
+func Transfer(id int, src, dst string, amount int64) txn.Spec {
+	return txn.Spec{
+		ID:  id,
+		Ops: []txn.Op{txn.R(src), txn.R(dst), txn.W(src), txn.W(dst)},
+		Value: func(item string, reads map[string]int64) int64 {
+			if item == src {
+				return reads[src] - amount
+			}
+			return reads[dst] + amount
+		},
+	}
+}
+
+// Transfers generates n random transfers among the given accounts.
+func Transfers(n int, accounts []string, amount int64, seed int64) []txn.Spec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]txn.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(len(accounts))
+		b := rng.Intn(len(accounts) - 1)
+		if b >= a {
+			b++
+		}
+		specs = append(specs, Transfer(i+1, accounts[a], accounts[b], amount))
+	}
+	return specs
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/oplog"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Txns: 20, OpsPerTxn: 4, Items: 10, ReadFraction: 0.5, Seed: 7}
+	a, b := cfg.Generate(), cfg.Generate()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatal("wrong count")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || len(a[i].Ops) != len(b[i].Ops) {
+			t.Fatal("not deterministic")
+		}
+		for j := range a[i].Ops {
+			if a[i].Ops[j] != b[i].Ops[j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := Config{Txns: 50, OpsPerTxn: 3, Items: 5, ReadFraction: 1.0, Seed: 1}
+	for _, s := range cfg.Generate() {
+		if len(s.Ops) != 3 {
+			t.Fatalf("ops = %d", len(s.Ops))
+		}
+		for _, op := range s.Ops {
+			if op.Kind != oplog.Read {
+				t.Fatal("ReadFraction=1 produced a write")
+			}
+		}
+	}
+	cfg.ReadFraction = 0
+	for _, s := range cfg.Generate() {
+		for _, op := range s.Ops {
+			if op.Kind != oplog.Write {
+				t.Fatal("ReadFraction=0 produced a read")
+			}
+		}
+	}
+}
+
+func TestTwoStepShape(t *testing.T) {
+	cfg := Config{Txns: 30, Items: 4, TwoStep: true, Seed: 3}
+	for _, s := range cfg.Generate() {
+		if len(s.Ops) != 2 || s.Ops[0].Kind != oplog.Read || s.Ops[1].Kind != oplog.Write {
+			t.Fatalf("not two-step: %+v", s.Ops)
+		}
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	cfg := Config{
+		Txns: 2000, OpsPerTxn: 1, Items: 100, ReadFraction: 0.5,
+		HotItems: 2, HotFraction: 0.9, Seed: 11,
+	}
+	hot := 0
+	total := 0
+	hotNames := map[string]bool{ItemName(0): true, ItemName(1): true}
+	for _, s := range cfg.Generate() {
+		for _, op := range s.Ops {
+			total++
+			if hotNames[op.Item] {
+				hot++
+			}
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestFirstID(t *testing.T) {
+	cfg := Config{Txns: 3, OpsPerTxn: 1, Items: 2, FirstID: 100, Seed: 1}
+	specs := cfg.Generate()
+	if specs[0].ID != 100 || specs[2].ID != 102 {
+		t.Fatalf("ids = %d..%d", specs[0].ID, specs[2].ID)
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Config{}.Generate()
+}
+
+func TestTransferSpec(t *testing.T) {
+	s := Transfer(1, "a", "b", 10)
+	if len(s.Ops) != 4 {
+		t.Fatalf("ops = %d", len(s.Ops))
+	}
+	reads := map[string]int64{"a": 100, "b": 50}
+	if got := s.Value("a", reads); got != 90 {
+		t.Fatalf("a -> %d", got)
+	}
+	if got := s.Value("b", reads); got != 60 {
+		t.Fatalf("b -> %d", got)
+	}
+}
+
+func TestTransfersDistinctAccounts(t *testing.T) {
+	accounts := []string{"a", "b", "c"}
+	for _, s := range Transfers(100, accounts, 5, 9) {
+		src := s.Ops[0].Item
+		dst := s.Ops[1].Item
+		if src == dst {
+			t.Fatal("self transfer generated")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	cfg := Config{Txns: 2000, OpsPerTxn: 1, Items: 50, ReadFraction: 0.5, ZipfS: 1.5, Seed: 4}
+	counts := map[string]int{}
+	total := 0
+	for _, s := range cfg.Generate() {
+		for _, op := range s.Ops {
+			counts[op.Item]++
+			total++
+		}
+	}
+	// The most popular item should dominate a uniform share by far.
+	if counts[ItemName(0)] < total/10 {
+		t.Fatalf("item 0 got %d of %d accesses; expected heavy skew", counts[ItemName(0)], total)
+	}
+	// Determinism.
+	again := map[string]int{}
+	for _, s := range cfg.Generate() {
+		for _, op := range s.Ops {
+			again[op.Item]++
+		}
+	}
+	for k, v := range counts {
+		if again[k] != v {
+			t.Fatal("Zipf generation not deterministic")
+		}
+	}
+}

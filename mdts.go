@@ -1,0 +1,209 @@
+// Package mdts is the public API of the multidimensional-timestamp
+// concurrency-control library, a faithful implementation of
+//
+//	Pei-Jyun Leu and Bharat Bhargava,
+//	"Multidimensional Timestamp Protocols for Concurrency Control",
+//	Purdue CSD-TR-521 (1985, rev. 1986), ICDE 1986.
+//
+// The package re-exports the protocol family and its supporting cast:
+//
+//   - MT(k), the k-dimensional timestamp protocol (Algorithm 1), as an
+//     offline log recognizer (NewMT / Accepts) and via the runtime
+//     adapters in runtime.go;
+//   - MT(k⁺), the composite protocol recognizing TO(1) ∪ … ∪ TO(k)
+//     (Algorithm 2);
+//   - MT(k1,k2), the hierarchical protocol for nested/grouped
+//     transactions;
+//   - DMT(k), the decentralized protocol over simulated sites;
+//   - the class recognizers of the Fig. 4 hierarchy (DSR, SR, SSR, 2PL,
+//     TO(1), TO(k));
+//   - the O(log k) parallel vector comparison of Section III-E;
+//   - runtime baselines: strict 2PL, single-valued TO, OCC, SGT and
+//     Bayer-style timestamp intervals, plus the multiversion extension.
+//
+// Logs use the paper's notation: "W1[x] R2[y]" is a write of x by T1
+// followed by a read of y by T2 (see ParseLog).
+package mdts
+
+import (
+	"repro/internal/classify"
+	"repro/internal/composite"
+	"repro/internal/core"
+	"repro/internal/dmt"
+	"repro/internal/nested"
+	"repro/internal/oplog"
+	"repro/internal/vecproc"
+)
+
+// Log model (the quintuple L = (D,T,Σ,S,π) of Section II).
+type (
+	// Log is a finite sequence of read/write operations.
+	Log = oplog.Log
+	// Op is one atomic operation on a set of items.
+	Op = oplog.Op
+	// OpKind distinguishes reads from writes.
+	OpKind = oplog.Kind
+)
+
+// Operation kinds.
+const (
+	Read  = oplog.Read
+	Write = oplog.Write
+)
+
+// R builds a read operation of transaction txn on the given items.
+func R(txn int, items ...string) Op { return oplog.R(txn, items...) }
+
+// W builds a write operation.
+func W(txn int, items ...string) Op { return oplog.W(txn, items...) }
+
+// NewLog builds a log from operations in sequence order.
+func NewLog(ops ...Op) *Log { return oplog.NewLog(ops...) }
+
+// ParseLog reads a log in the paper's notation, e.g. "W1[x] W1[y] R3[x]".
+func ParseLog(s string) (*Log, error) { return oplog.Parse(s) }
+
+// MustParseLog is ParseLog that panics on error.
+func MustParseLog(s string) *Log { return oplog.MustParse(s) }
+
+// Conflicts reports whether two operations conflict (Definition 1).
+func Conflicts(a, b Op) bool { return oplog.Conflicts(a, b) }
+
+// Timestamp vectors (Definition 6).
+type (
+	// Vector is a k-dimensional timestamp vector.
+	Vector = core.Vector
+	// VectorElem is a single element: an integer or undefined ('*').
+	VectorElem = core.Elem
+	// VectorRel is a comparison outcome: Less, Greater, Equal, Unknown.
+	VectorRel = core.Rel
+)
+
+// Comparison outcomes.
+const (
+	Less    = core.Less
+	Greater = core.Greater
+	Equal   = core.Equal
+	Unknown = core.Unknown
+)
+
+// Undefined is the undefined vector element, the paper's '*'.
+var Undefined = core.Undef
+
+// IntElem returns a defined vector element.
+func IntElem(v int64) VectorElem { return core.Int(v) }
+
+// The protocol MT(k).
+type (
+	// MTScheduler is the MT(k) concurrency controller of Algorithm 1.
+	MTScheduler = core.Scheduler
+	// MTOptions configures MT(k): vector size K, ThomasWriteRule,
+	// StarvationAvoidance, RelaxedReadCheck and hot-item encoding.
+	MTOptions = core.Options
+	// SchedulerDecision is the verdict on one scheduled operation.
+	SchedulerDecision = core.Decision
+	// Verdict is Accept, AcceptIgnored or Reject.
+	Verdict = core.Verdict
+)
+
+// Scheduler verdicts.
+const (
+	Accept        = core.Accept
+	AcceptIgnored = core.AcceptIgnored
+	Reject        = core.Reject
+)
+
+// NewMT returns an MT(k) scheduler (offline recognizer / building block).
+func NewMT(opts MTOptions) *MTScheduler { return core.NewScheduler(opts) }
+
+// Accepts reports whether MT(k) accepts the log, i.e. whether the log is
+// in the class TO(k).
+func Accepts(k int, l *Log) bool { return core.Accepts(k, l) }
+
+// The composite protocol MT(k⁺) of Section IV.
+type (
+	// CompositeScheduler is the MT(k⁺) controller of Algorithm 2.
+	CompositeScheduler = composite.Scheduler
+	// CompositeOptions configures MT(k⁺).
+	CompositeOptions = composite.Options
+)
+
+// NewComposite returns an MT(k⁺) scheduler.
+func NewComposite(opts CompositeOptions) *CompositeScheduler {
+	return composite.NewScheduler(opts)
+}
+
+// AcceptsComposite reports membership in TO(k⁺) = TO(1) ∪ … ∪ TO(k).
+func AcceptsComposite(k int, l *Log) bool { return composite.Accepts(k, l) }
+
+// SharedCompositeScheduler is the paper's optimized MT(k⁺) over the
+// Fig. 9/10 shared PREFIX/LASTCOL tables: O(k) per operation instead of
+// running the k subprotocols independently.
+type SharedCompositeScheduler = composite.SharedScheduler
+
+// NewSharedComposite returns the shared-table MT(k⁺) scheduler.
+func NewSharedComposite(k int) *SharedCompositeScheduler {
+	return composite.NewSharedScheduler(k)
+}
+
+// The nested/grouped protocol MT(k1, k2) of Section V-A.
+type (
+	// NestedScheduler is the hierarchical MT(k1,...,kl) controller.
+	NestedScheduler = nested.Scheduler
+	// NestedOptions configures the hierarchy levels.
+	NestedOptions = nested.Options
+)
+
+// NewNested returns a hierarchical scheduler.
+func NewNested(opts NestedOptions) *NestedScheduler { return nested.NewScheduler(opts) }
+
+// NewNested2 is the paper's MT(k1, k2) with a transaction-to-group map.
+func NewNested2(k1, k2 int, groups map[int]int) *NestedScheduler {
+	return nested.New2Level(k1, k2, groups)
+}
+
+// SignatureGroups partitions transactions by read/write-set signature
+// (Example 6); SiteGroups partitions by originating site (Example 5).
+func SignatureGroups(l *Log) map[int]int        { return nested.SignatureGroups(l) }
+func SiteGroups(siteOf map[int]int) map[int]int { return nested.SiteGroups(siteOf) }
+
+// The decentralized protocol DMT(k) of Section V-B.
+type (
+	// DMTCluster is a multi-site DMT(k) deployment.
+	DMTCluster = dmt.Cluster
+	// DMTOptions configures sites and home functions.
+	DMTOptions = dmt.Options
+)
+
+// NewDMT returns a DMT(k) cluster of simulated sites.
+func NewDMT(opts DMTOptions) *DMTCluster { return dmt.NewCluster(opts) }
+
+// Class recognizers of the Fig. 4 hierarchy.
+
+// DSR reports D-serializability (acyclic dependency relation, Theorem 1).
+func DSR(l *Log) bool { return classify.DSR(l) }
+
+// SR reports final-state serializability (brute force; small logs only).
+func SR(l *Log) bool { return classify.SR(l) }
+
+// SSR reports strict serializability (brute force; small logs only).
+func SSR(l *Log) bool { return classify.SSR(l) }
+
+// TwoPL reports membership in the two-phase-locking class.
+func TwoPL(l *Log) bool { return classify.TwoPL(l) }
+
+// TO1 reports membership in TO(1) per Definition 4.
+func TO1(l *Log) bool { return classify.TO1(l) }
+
+// TOk reports membership in TO(k), the class recognized by MT(k).
+func TOk(k int, l *Log) bool { return classify.TOk(k, l) }
+
+// Parallel vector comparison (Section III-E).
+
+// CompareParallel runs the simulated PE-array comparison: the result
+// matches the sequential Definition 6 comparison and reports the
+// ⌈log₂ k⌉+4 parallel step count of Theorem 4.
+func CompareParallel(a, b *Vector) vecproc.Result { return vecproc.Compare(a, b) }
+
+// VecResult is the outcome of a parallel comparison.
+type VecResult = vecproc.Result

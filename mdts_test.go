@@ -1,0 +1,132 @@
+package mdts
+
+import (
+	"testing"
+	"time"
+)
+
+// The facade round-trips the paper's running example end to end.
+func TestFacadeExample1(t *testing.T) {
+	l := MustParseLog("W1[x] W1[y] R3[x] R2[y] W3[y]")
+	if Accepts(1, l) {
+		t.Error("MT(1) should reject Example 1")
+	}
+	if !Accepts(2, l) {
+		t.Error("MT(2) should accept Example 1")
+	}
+	if !AcceptsComposite(2, l) {
+		t.Error("MT(2+) should accept Example 1")
+	}
+	if !DSR(l) || !SR(l) {
+		t.Error("Example 1 is DSR and SR")
+	}
+	if TO1(l) {
+		t.Error("Example 1 is not TO(1)")
+	}
+}
+
+func TestFacadeVectorAPI(t *testing.T) {
+	s := NewMT(MTOptions{K: 2})
+	d := s.Step(R(1, "x"))
+	if d.Verdict != Accept {
+		t.Fatalf("verdict = %v", d.Verdict)
+	}
+	if got := s.Vector(1).String(); got != "<1,*>" {
+		t.Fatalf("TS(1) = %s", got)
+	}
+	a := s.Vector(0)
+	b := s.Vector(1)
+	r := CompareParallel(a, b)
+	if r.Rel != Less {
+		t.Fatalf("parallel compare = %v", r.Rel)
+	}
+}
+
+func TestFacadeNestedAndDMT(t *testing.T) {
+	n := NewNested2(2, 2, map[int]int{1: 1, 2: 1, 3: 2})
+	if ok, _ := n.AcceptLog(MustParseLog("R1[x] R2[y] W2[x] R3[x]")); !ok {
+		t.Fatal("nested rejected Table III log")
+	}
+	c := NewDMT(DMTOptions{K: 2, Sites: 2})
+	if ok, _ := c.AcceptLog(MustParseLog("R1[x] W1[x] R2[x] W2[x]")); !ok {
+		t.Fatal("DMT rejected a serial log")
+	}
+}
+
+func TestFacadeConflicts(t *testing.T) {
+	if !Conflicts(R(1, "x"), W(2, "x")) || Conflicts(R(1, "x"), R(2, "x")) {
+		t.Fatal("Conflicts wrong")
+	}
+	l := NewLog(R(1, "x"), W(1, "x"))
+	if l.Len() != 2 {
+		t.Fatal("NewLog wrong")
+	}
+	if _, err := ParseLog("garbage"); err == nil {
+		t.Fatal("ParseLog accepted garbage")
+	}
+}
+
+func TestFacadeRuntimeBanking(t *testing.T) {
+	accounts := []string{"a", "b", "c"}
+	rep := RunSim(SimConfig{
+		NewScheduler: func(st *Store) RuntimeScheduler {
+			return NewMTRuntime(st, DefaultMTOptions(4), true)
+		},
+		Specs:   Transfers(30, accounts, 5, 7),
+		Workers: 4,
+		Backoff: 20 * time.Microsecond,
+		Initial: map[string]int64{"a": 100, "b": 100, "c": 100},
+	})
+	if rep.Committed != 30 {
+		t.Fatalf("committed = %d", rep.Committed)
+	}
+	if rep.Store.Sum(accounts) != 300 {
+		t.Fatalf("sum = %d", rep.Store.Sum(accounts))
+	}
+}
+
+func TestFacadeAllRuntimes(t *testing.T) {
+	mks := []func(*Store) RuntimeScheduler{
+		func(st *Store) RuntimeScheduler { return NewMTRuntime(st, DefaultMTOptions(2), false) },
+		func(st *Store) RuntimeScheduler { return NewCompositeRuntime(st, 2, MTOptions{}) },
+		func(st *Store) RuntimeScheduler { return NewTwoPLRuntime(st) },
+		func(st *Store) RuntimeScheduler { return NewTORuntime(st, true) },
+		func(st *Store) RuntimeScheduler { return NewOCCRuntime(st) },
+		func(st *Store) RuntimeScheduler { return NewSGTRuntime(st) },
+		func(st *Store) RuntimeScheduler { return NewIntervalRuntime(st) },
+		func(st *Store) RuntimeScheduler { return NewMVMTRuntime(st, 3) },
+	}
+	for _, mk := range mks {
+		st := NewStore()
+		s := mk(st)
+		rt := &Runtime{Sched: s, MaxAttempts: 10}
+		res := rt.Exec(Txn{ID: 1, Ops: []TxnOp{ReadOp("x"), WriteOp("y")}})
+		if !res.Committed {
+			t.Errorf("%s: simple transaction failed", s.Name())
+		}
+	}
+}
+
+func TestDefaultMTOptions(t *testing.T) {
+	if DefaultMTOptions(3).K != 5 {
+		t.Fatalf("K = %d, want 2q-1 = 5", DefaultMTOptions(3).K)
+	}
+	if DefaultMTOptions(0).K != 1 {
+		t.Fatal("floor broken")
+	}
+	if !DefaultMTOptions(2).StarvationAvoidance {
+		t.Fatal("starvation fix should default on")
+	}
+}
+
+func TestSignatureAndSiteGroups(t *testing.T) {
+	l := MustParseLog("R1[x] W1[y] R2[x] W2[y]")
+	g := SignatureGroups(l)
+	if g[1] != g[2] {
+		t.Fatal("same signature, different groups")
+	}
+	sg := SiteGroups(map[int]int{1: 3})
+	if sg[1] != 3 {
+		t.Fatal("SiteGroups wrong")
+	}
+}

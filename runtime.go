@@ -1,0 +1,125 @@
+package mdts
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/lock"
+	"repro/internal/mvmt"
+	"repro/internal/occ"
+	"repro/internal/sched"
+	"repro/internal/sgt"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tsto"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Runtime layer: schedulers that execute real transactions over a store,
+// the goroutine transaction runtime, workload generation and the
+// simulation harness.
+type (
+	// Store is the committed-state key-value store.
+	Store = storage.Store
+	// RuntimeScheduler is the concurrency-control interface every
+	// protocol implements at runtime.
+	RuntimeScheduler = sched.Scheduler
+	// Txn is a transaction specification for the runtime.
+	Txn = txn.Spec
+	// TxnOp is one step of a transaction.
+	TxnOp = txn.Op
+	// TxnResult reports a transaction's fate.
+	TxnResult = txn.Result
+	// Runtime executes transactions with retry.
+	Runtime = txn.Runtime
+	// Workload parameterizes generated transaction mixes.
+	Workload = workload.Config
+	// SimConfig configures a simulation run.
+	SimConfig = sim.Config
+	// SimReport aggregates a simulation's results.
+	SimReport = sim.Report
+)
+
+// ErrAbort is returned (wrapped) by runtime schedulers when a transaction
+// must abort and may be retried.
+var ErrAbort = sched.ErrAbort
+
+// NewStore returns an empty store.
+func NewStore() *Store { return storage.New() }
+
+// ReadOp and WriteOp build transaction steps.
+func ReadOp(item string) TxnOp  { return txn.R(item) }
+func WriteOp(item string) TxnOp { return txn.W(item) }
+
+// Transfer builds a balance-preserving transfer transaction.
+func Transfer(id int, src, dst string, amount int64) Txn {
+	return workload.Transfer(id, src, dst, amount)
+}
+
+// Transfers generates n random transfers among the accounts.
+func Transfers(n int, accounts []string, amount int64, seed int64) []Txn {
+	return workload.Transfers(n, accounts, amount, seed)
+}
+
+// NewMTRuntime returns the MT(k) runtime scheduler over the store.
+// deferWrites selects the Section VI-C-2 commit-time write validation.
+func NewMTRuntime(store *Store, opts MTOptions, deferWrites bool) RuntimeScheduler {
+	return sched.NewMT(store, sched.MTOptions{Core: opts, DeferWrites: deferWrites})
+}
+
+// NewCompositeRuntime returns the MT(k⁺) runtime scheduler.
+func NewCompositeRuntime(store *Store, k int, sub MTOptions) RuntimeScheduler {
+	return sched.NewComposite(store, k, sub)
+}
+
+// NewTwoPLRuntime returns the strict two-phase-locking baseline.
+func NewTwoPLRuntime(store *Store) RuntimeScheduler { return lock.NewTwoPL(store) }
+
+// NewTORuntime returns the single-valued timestamp-ordering baseline.
+func NewTORuntime(store *Store, thomas bool) RuntimeScheduler {
+	return tsto.New(store, tsto.Options{ThomasWriteRule: thomas})
+}
+
+// NewOCCRuntime returns the optimistic (Kung-Robinson) baseline.
+func NewOCCRuntime(store *Store) RuntimeScheduler { return occ.New(store) }
+
+// NewSGTRuntime returns the serialization-graph-tester baseline (accepts
+// exactly DSR prefixes).
+func NewSGTRuntime(store *Store) RuntimeScheduler { return sgt.New(store) }
+
+// NewIntervalRuntime returns the Bayer-style dynamic timestamp-interval
+// baseline of Section VI-A.
+func NewIntervalRuntime(store *Store) RuntimeScheduler {
+	return interval.New(store, interval.Options{})
+}
+
+// NewMVMTRuntime returns the multiversion MT(k) extension (reads slide to
+// older versions instead of aborting).
+func NewMVMTRuntime(store *Store, k int) RuntimeScheduler {
+	return mvmt.New(store, mvmt.Options{K: k})
+}
+
+// AdaptiveOptions tunes the self-adjusting MT(k) scheduler.
+type AdaptiveOptions = adaptive.Options
+
+// NewAdaptiveRuntime returns the self-tuning MT(k) scheduler: the vector
+// size grows under abort pressure and shrinks when quiet, switching only
+// at quiescent epoch boundaries (the paper's adaptable-CC remark).
+func NewAdaptiveRuntime(store *Store, opts AdaptiveOptions) RuntimeScheduler {
+	return adaptive.New(store, opts)
+}
+
+// RunSim executes a simulation and returns its report.
+func RunSim(cfg SimConfig) *SimReport { return sim.Run(cfg) }
+
+// DefaultMTOptions returns the recommended production configuration:
+// k = 2q-1 for the expected transaction length q (Section VI-B guideline
+// (b)), with the starvation fix enabled.
+func DefaultMTOptions(expectedOps int) MTOptions {
+	k := 2*expectedOps - 1
+	if k < 1 {
+		k = 1
+	}
+	return core.Options{K: k, StarvationAvoidance: true}
+}

@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench chaos
+
+# The full gate: what must pass before merging.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages under the race detector: the fault
+# injector and the DMT(k) degraded-mode machinery (crash/recovery racing
+# allocations and counter sync), plus the runtime and harness that drive
+# them.
+race:
+	$(GO) test -race ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/sim/...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=20x ./...
+
+# A quick chaos smoke run: DMT(k) under crash + drift + message loss.
+chaos:
+	$(GO) run ./cmd/mtsim -chaos chaos -sites 4 -txns 2000 -workers 8 -k 3

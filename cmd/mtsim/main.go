@@ -7,19 +7,29 @@
 //
 //	mtsim -sched mt -k 3 -txns 2000 -ops 4 -items 64 -readfrac 0.7 -workers 8
 //	mtsim -sched all -hotitems 4 -hotfrac 0.8
+//	mtsim -chaos crash-drift -sites 4 -txns 2000
 //
-// Schedulers: mt, mtdefer, composite, 2pl, to, occ, sgt, interval, mvmt,
-// or "all" to sweep every one over the same workload.
+// Schedulers: mt, mtdefer, composite, dmt, 2pl, to, occ, sgt, interval,
+// mvmt, or "all" to sweep every one over the same workload.
+//
+// With -chaos <plan>, the workload runs on DMT(k) under a named,
+// seed-deterministic fault plan (message loss, delays, site crash and
+// recovery) and the tool reports commit rate, unavailability aborts,
+// gave-up transactions, injector counters and per-site recovery latency.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
+	"repro/internal/dmt"
+	"repro/internal/fault"
 	"repro/internal/interval"
 	"repro/internal/lock"
 	"repro/internal/mvmt"
@@ -29,11 +39,12 @@ import (
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/tsto"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
 func main() {
-	schedName := flag.String("sched", "all", "scheduler: mt|mtmono|mtdefer|composite|adaptive|2pl|to|occ|sgt|interval|mvmt|all")
+	schedName := flag.String("sched", "all", "scheduler: mt|mtmono|mtdefer|composite|adaptive|dmt|2pl|to|occ|sgt|interval|mvmt|all")
 	k := flag.Int("k", 0, "vector size for the MT family (0 = 2q-1 per Theorem 3)")
 	txns := flag.Int("txns", 2000, "number of transactions")
 	ops := flag.Int("ops", 4, "operations per transaction")
@@ -44,6 +55,10 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent client goroutines")
 	maxAttempts := flag.Int("maxattempts", 1000, "per-transaction retry budget")
 	seed := flag.Int64("seed", 1, "workload seed")
+	sites := flag.Int("sites", 4, "DMT(k) site count (dmt scheduler and -chaos)")
+	chaos := flag.String("chaos", "", "fault plan for a DMT(k) chaos run: "+strings.Join(fault.PlanNames(), "|"))
+	faultSeed := flag.Int64("faultseed", 1, "fault-injection seed (-chaos)")
+	unavailBudget := flag.Int("unavailbudget", 64, "per-transaction unavailability retry budget (-chaos)")
 	flag.Parse()
 
 	if *k <= 0 {
@@ -54,6 +69,11 @@ func main() {
 		ReadFraction: *readFrac, HotItems: *hotItems, HotFraction: *hotFrac,
 		Seed: *seed,
 	}.Generate()
+
+	if *chaos != "" {
+		runChaos(specs, *chaos, *k, *sites, *workers, *maxAttempts, *unavailBudget, *seed, *faultSeed)
+		return
+	}
 
 	factories := map[string]func(*storage.Store) sched.Scheduler{
 		"mt": func(st *storage.Store) sched.Scheduler {
@@ -84,8 +104,11 @@ func main() {
 				Core: core.Options{StarvationAvoidance: true},
 			})
 		},
+		"dmt": func(st *storage.Store) sched.Scheduler {
+			return sched.NewDMT(st, dmt.Options{K: *k, Sites: *sites})
+		},
 	}
-	order := []string{"mt", "mtmono", "mtdefer", "composite", "adaptive", "2pl", "to", "occ", "sgt", "interval", "mvmt"}
+	order := []string{"mt", "mtmono", "mtdefer", "composite", "adaptive", "dmt", "2pl", "to", "occ", "sgt", "interval", "mvmt"}
 
 	var names []string
 	if *schedName == "all" {
@@ -108,5 +131,62 @@ func main() {
 			Backoff:      20 * time.Microsecond,
 		})
 		fmt.Println(rep)
+	}
+}
+
+// runChaos executes the workload on DMT(k) under a named fault plan and
+// reports the degraded-mode picture: commit rate, unavailability aborts,
+// gave-up transactions, injector counters and recovery latency.
+func runChaos(specs []txn.Spec, planName string, k, sites, workers, maxAttempts, unavailBudget int, seed, faultSeed int64) {
+	plan, err := fault.PlanByName(planName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtsim: %v\n", err)
+		os.Exit(2)
+	}
+	inj := fault.New(plan, sites, faultSeed)
+	var d *sched.DMT
+	fmt.Printf("chaos: %s sites=%d faultseed=%d\n", plan, sites, faultSeed)
+	rep := sim.Run(sim.Config{
+		NewScheduler: func(st *storage.Store) sched.Scheduler {
+			d = sched.NewDMT(st, dmt.Options{K: k, Sites: sites, Transport: inj})
+			return d
+		},
+		Specs:              specs,
+		Workers:            workers,
+		MaxAttempts:        maxAttempts,
+		Backoff:            20 * time.Microsecond,
+		RuntimeSeed:        seed,
+		UnavailableBudget:  unavailBudget,
+		UnavailableBackoff: 200 * time.Microsecond,
+		FaultStats:         inj.Stats(),
+	})
+	fmt.Println(rep)
+	fmt.Printf("commit-rate=%.3f unavailability-aborts=%d timeouts=%d gaveup=%d\n",
+		float64(rep.Committed)/float64(rep.Txns), rep.Unavailable, rep.Timeouts, rep.GaveUp)
+	fmt.Printf("cluster: messages=%d lock-retries=%d unavailable-steps=%d\n",
+		d.Cluster().Messages(), d.Cluster().LockRetries(), d.Cluster().UnavailableCount())
+	lats := d.Cluster().RecoveryLatencies()
+	if len(lats) > 0 {
+		var sitesWithLat []int
+		for s := range lats {
+			sitesWithLat = append(sitesWithLat, s)
+		}
+		sort.Ints(sitesWithLat)
+		for _, s := range sitesWithLat {
+			fmt.Printf("recovery-latency site %d: %v (recovery to first home commit)\n", s, lats[s])
+		}
+	}
+	if sched := inj.Schedule(); len(sched) > 0 {
+		fmt.Printf("fault schedule (%d decisions):\n", len(sched))
+		shown := sched
+		if len(shown) > 12 {
+			shown = shown[:12]
+		}
+		for _, line := range shown {
+			fmt.Println("  " + line)
+		}
+		if len(sched) > len(shown) {
+			fmt.Printf("  ... %d more\n", len(sched)-len(shown))
+		}
 	}
 }

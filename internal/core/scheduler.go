@@ -11,10 +11,14 @@ type Verdict int
 
 // Possible verdicts. AcceptIgnored is an accepted write whose effect is
 // dropped under the Thomas write rule (implementation issue (c)).
+// Unavailable is not a protocol decision at all: a distributed scheduler
+// could not reach a site it needed (crash or partition), so the
+// operation failed fast without establishing or violating any ordering.
 const (
 	Accept Verdict = iota
 	AcceptIgnored
 	Reject
+	Unavailable
 )
 
 // String names the verdict.
@@ -24,6 +28,8 @@ func (v Verdict) String() string {
 		return "accept"
 	case AcceptIgnored:
 		return "accept-ignored"
+	case Unavailable:
+		return "unavailable"
 	default:
 		return "reject"
 	}
@@ -39,6 +45,9 @@ type Decision struct {
 	// Item is the item on which the reject happened (multi-item ops may
 	// pass several items before one rejects).
 	Item string
+	// Site is the unreachable site of an Unavailable verdict (-1
+	// otherwise meaningless).
+	Site int
 	// IgnoredItems lists the items of an accepted write whose effect must
 	// be dropped under the Thomas write rule.
 	IgnoredItems []string

@@ -17,6 +17,22 @@
 //
 // Cross-site object accesses are tallied as messages (one request plus one
 // reply), giving the message-overhead figures of the DMT(k) discussion.
+//
+// # Failure model
+//
+// Every object access is routed through an injectable fault.Transport
+// hook (the message counter is one observer of that hook). Sites fail by
+// stopping: a crash loses the site's volatile item index and — under
+// counter drift — its local counters; the transaction vectors are
+// treated as stable storage. Operations that need a crashed or
+// unreachable site fail fast with an Unavailable verdict (surfaced as
+// sched.ErrUnavailable by the runtime adapter) instead of proceeding on
+// stale state. Recovery rebuilds the site's item index by replaying the
+// cluster's accepted-operation journal and re-validates the site's
+// ucnt/lcnt counters against the surviving sites and every live
+// k-th-column element the site ever allocated, hardening the paper's
+// "synchronize the counters periodically" remark into an actual
+// recovery path.
 package dmt
 
 import (
@@ -25,8 +41,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/oplog"
 )
 
@@ -41,6 +59,13 @@ type Options struct {
 	HomeOfTxn func(txn int) int
 	// HomeOfItem maps an item to its home site (default: FNV hash).
 	HomeOfItem func(item string) int
+	// Transport, when non-nil, carries every object access; faults it
+	// injects make operations fail fast with an Unavailable verdict. If
+	// the transport also implements SetHooks(fault.Hooks) — as
+	// *fault.Injector does — the cluster wires its crash/recovery
+	// handlers so scheduled site events drive the degraded-mode state
+	// machine. Nil models a perfect network.
+	Transport fault.Transport
 }
 
 // itemEntry is the per-item index record stored at the item's home site.
@@ -63,17 +88,36 @@ type site struct {
 	done  map[int]bool           // finished transactions awaiting GC
 	ucnt  int64                  // local upper counter
 	lcnt  int64                  // local lower counter
+	down  bool                   // fail-stopped (degraded mode)
+}
+
+// journalRec is one accepted item-index update, the cluster's stable
+// redo record: recovery replays these to rebuild a crashed site's index.
+type journalRec struct {
+	site int
+	item string
+	kind oplog.Kind
+	txn  int
 }
 
 // Cluster is a DMT(k) deployment of several cooperating local schedulers.
 // Step may be called concurrently from any number of goroutines.
 type Cluster struct {
-	opts  Options
-	sites []*site
+	opts      Options
+	sites     []*site
+	transport fault.Transport
 
 	messages    atomic.Int64 // cross-site request/reply messages
 	lockRetries atomic.Int64 // optimistic re-lock rounds
+	unavailable atomic.Int64 // operations failed fast on a down site
 	t0          *vecEntry
+
+	jmu     sync.Mutex
+	journal []journalRec
+
+	rmu         sync.Mutex
+	recoveredAt map[int]time.Time     // site -> recovery completion, latency pending
+	recoveryLat map[int]time.Duration // site -> recovery-to-first-commit latency
 }
 
 // NewCluster returns an initialized DMT(k) cluster.
@@ -84,7 +128,12 @@ func NewCluster(opts Options) *Cluster {
 	if opts.Sites < 1 {
 		panic("dmt: Options.Sites must be >= 1")
 	}
-	c := &Cluster{opts: opts}
+	c := &Cluster{
+		opts:        opts,
+		transport:   opts.Transport,
+		recoveredAt: make(map[int]time.Time),
+		recoveryLat: make(map[int]time.Duration),
+	}
 	for s := 0; s < opts.Sites; s++ {
 		c.sites = append(c.sites, &site{
 			vecs:  make(map[int]*vecEntry),
@@ -98,6 +147,9 @@ func NewCluster(opts Options) *Cluster {
 	c.sites[0].vecs[0] = c.t0
 	// TS(0) = <0,*,...,*>: seed via a table trick — element 1 must be 0.
 	c.t0.vec = core.VectorOf(seedT0(opts.K)...)
+	if h, ok := opts.Transport.(interface{ SetHooks(fault.Hooks) }); ok {
+		h.SetHooks(fault.Hooks{OnCrash: c.CrashSite, OnRecover: c.RecoverSite})
+	}
 	return c
 }
 
@@ -128,13 +180,226 @@ func (c *Cluster) homeOfItem(x string) int {
 	return int(h.Sum32()) % c.opts.Sites
 }
 
-// countAccess tallies messages for touching an object homed at obj from
-// the acting site.
-func (c *Cluster) countAccess(acting, objHome int) {
+// access routes one object access (an object homed at objHome touched
+// from the acting site) through the transport hook. The message tally is
+// one observer of the hook: a delivered cross-site access costs one
+// request plus one reply. A transport fault (site down, message lost)
+// returns the error and the access must not touch state.
+func (c *Cluster) access(acting, objHome int) error {
+	if c.transport != nil {
+		if err := c.transport.Send(acting, objHome); err != nil {
+			return err
+		}
+	} else if c.siteDown(objHome) {
+		return &fault.Error{Site: objHome, Err: fault.ErrSiteDown}
+	}
 	if acting != objHome {
 		c.messages.Add(2) // request + reply
 	}
+	return nil
 }
+
+// siteDown reads the cluster-local fail-stop flag.
+func (c *Cluster) siteDown(sidx int) bool {
+	s := c.sites[sidx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// SiteUp reports whether a site is operational, consulting both the
+// transport (partitions, scheduled events) and the cluster's own
+// fail-stop flag (manual CrashSite).
+func (c *Cluster) SiteUp(sidx int) bool {
+	if sidx < 0 || sidx >= len(c.sites) {
+		return false
+	}
+	if c.transport != nil && !c.transport.SiteUp(sidx) {
+		return false
+	}
+	return !c.siteDown(sidx)
+}
+
+// TxnSite resolves the home site of a transaction (exported for runtime
+// adapters that must check availability at commit).
+func (c *Cluster) TxnSite(txn int) int { return c.homeOfTxn(txn) }
+
+// CrashSite fail-stops a site: its volatile item index is lost (the
+// journal is the stable copy) and, with drift, its local counters reset
+// as if the site restarted from zeroed volatile state. Operations
+// needing the site fail fast with Unavailable until RecoverSite. Wired
+// as the transport's OnCrash hook; may also be called directly when no
+// transport is configured.
+func (c *Cluster) CrashSite(sidx int, drift bool) {
+	if sidx < 0 || sidx >= len(c.sites) {
+		return
+	}
+	s := c.sites[sidx]
+	s.mu.Lock()
+	s.down = true
+	// Fail-stop: the in-memory index is gone. Entry pointers held by
+	// in-flight operations detach harmlessly — every accepted update is
+	// also in the journal, which recovery replays.
+	s.items = make(map[string]*itemEntry)
+	if drift {
+		s.ucnt, s.lcnt = 1, 0
+	}
+	s.mu.Unlock()
+}
+
+// RecoverSite brings a crashed site back: it rebuilds the item index by
+// replaying the journal and re-validates the site's counters against the
+// surviving sites and against every live k-th-column element this site
+// ever allocated, so post-recovery allocations can never collide with a
+// pre-crash allocation (the correctness half of the paper's "synchronize
+// the counters periodically" remark). Wired as the transport's OnRecover
+// hook.
+func (c *Cluster) RecoverSite(sidx int) {
+	if sidx < 0 || sidx >= len(c.sites) {
+		return
+	}
+	// 1. Replay the journal records of items homed here, in accept order.
+	c.jmu.Lock()
+	var recs []journalRec
+	for _, r := range c.journal {
+		if r.site == sidx {
+			recs = append(recs, r)
+		}
+	}
+	c.jmu.Unlock()
+	s := c.sites[sidx]
+	s.mu.Lock()
+	s.items = make(map[string]*itemEntry)
+	for _, r := range recs {
+		e := s.items[r.item]
+		if e == nil {
+			e = &itemEntry{}
+			s.items[r.item] = e
+			if s.locks[r.item] == nil {
+				s.locks[r.item] = &sync.Mutex{}
+			}
+		}
+		if r.kind == oplog.Read {
+			e.rt = r.txn
+		} else {
+			e.wt = r.txn
+		}
+	}
+	s.mu.Unlock()
+	// 2. Re-validate the counters: at least the surviving maxima, and
+	// strictly past every live element this site allocated.
+	hiU, hiL := c.survivingCounters(sidx)
+	aU, aL := c.allocatedBySite(sidx)
+	s.mu.Lock()
+	if u := max64(hiU, aU+1); u > s.ucnt {
+		s.ucnt = u
+	}
+	if l := max64(hiL, aL+1); l > s.lcnt {
+		s.lcnt = l
+	}
+	s.down = false
+	s.mu.Unlock()
+	// 3. Stamp the recovery for latency reporting.
+	c.rmu.Lock()
+	c.recoveredAt[sidx] = time.Now()
+	c.rmu.Unlock()
+}
+
+// survivingCounters returns the maximum upper and lower counters across
+// every site except the recovering one.
+func (c *Cluster) survivingCounters(except int) (hiU, hiL int64) {
+	for idx, s := range c.sites {
+		if idx == except {
+			continue
+		}
+		s.mu.Lock()
+		if s.ucnt > hiU {
+			hiU = s.ucnt
+		}
+		if s.lcnt > hiL {
+			hiL = s.lcnt
+		}
+		s.mu.Unlock()
+	}
+	return hiU, hiL
+}
+
+// allocatedBySite scans the k-th column of every live vector and returns
+// the highest upper and lower counter values decoded from elements this
+// site allocated (value = counter·S + site, negated for lower).
+func (c *Cluster) allocatedBySite(sidx int) (maxU, maxL int64) {
+	n := int64(c.opts.Sites)
+	for _, s := range c.sites {
+		s.mu.Lock()
+		entries := make([]*vecEntry, 0, len(s.vecs))
+		for _, e := range s.vecs {
+			entries = append(entries, e)
+		}
+		s.mu.Unlock()
+		for _, e := range entries {
+			e.mu.Lock()
+			last := e.vec.Elem(e.vec.K())
+			e.mu.Unlock()
+			if !last.Defined {
+				continue
+			}
+			v := last.V
+			if v >= 0 {
+				if v%n == int64(sidx) && v/n > maxU {
+					maxU = v / n
+				}
+			} else {
+				if (-v)%n == int64(sidx) && (-v)/n > maxL {
+					maxL = (-v) / n
+				}
+			}
+		}
+	}
+	return maxU, maxL
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// logIndexUpdate appends one accepted rt/wt update to the stable journal.
+// Called while the item's lock is held, so per-item record order is the
+// true accept order.
+func (c *Cluster) logIndexUpdate(sidx int, item string, kind oplog.Kind, txn int) {
+	c.jmu.Lock()
+	c.journal = append(c.journal, journalRec{site: sidx, item: item, kind: kind, txn: txn})
+	c.jmu.Unlock()
+}
+
+// noteCommit resolves a pending recovery-latency measurement when the
+// first post-recovery transaction homed at the site commits.
+func (c *Cluster) noteCommit(sidx int) {
+	c.rmu.Lock()
+	if at, ok := c.recoveredAt[sidx]; ok {
+		c.recoveryLat[sidx] = time.Since(at)
+		delete(c.recoveredAt, sidx)
+	}
+	c.rmu.Unlock()
+}
+
+// RecoveryLatencies returns, per recovered site, the wall time from
+// recovery completion to the first commit of a transaction homed there.
+func (c *Cluster) RecoveryLatencies() map[int]time.Duration {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	out := make(map[int]time.Duration, len(c.recoveryLat))
+	for s, d := range c.recoveryLat {
+		out[s] = d
+	}
+	return out
+}
+
+// UnavailableCount returns how many operations failed fast because a
+// site they needed was down or unreachable.
+func (c *Cluster) UnavailableCount() int64 { return c.unavailable.Load() }
 
 // vecOf fetches (or creates) the vector entry of txn at its home site.
 func (c *Cluster) vecOf(txn int) *vecEntry {
@@ -176,24 +441,41 @@ func (c *Cluster) Vector(i int) *core.Vector {
 	return e.vec.Clone()
 }
 
-// SyncCounters aligns every site's upper counter to the cluster maximum
-// and every lower counter to the minimum — the paper's periodic
-// synchronization for fairness under unbalanced load.
+// SyncCounters aligns every site's upper and lower counter to the
+// cluster maximum — the paper's periodic synchronization for fairness
+// under unbalanced load. Both counters only ever advance, so syncing to
+// the maximum can never cause a site to re-issue a counter value it (or
+// any other site) already consumed; syncing the lower counter *down*
+// would do exactly that and break the global uniqueness of the k-th
+// column. Crashed sites are skipped: their counters are re-validated by
+// RecoverSite instead.
 func (c *Cluster) SyncCounters() {
-	var hi, lo int64
+	var hiU, hiL int64
 	for _, s := range c.sites {
 		s.mu.Lock()
-		if s.ucnt > hi {
-			hi = s.ucnt
-		}
-		if s.lcnt < lo {
-			lo = s.lcnt
+		if !s.down {
+			if s.ucnt > hiU {
+				hiU = s.ucnt
+			}
+			if s.lcnt > hiL {
+				hiL = s.lcnt
+			}
 		}
 		s.mu.Unlock()
 	}
 	for _, s := range c.sites {
 		s.mu.Lock()
-		s.ucnt, s.lcnt = hi, lo
+		if !s.down {
+			// Raise, never assign: a counter may have advanced past the
+			// collected maximum while this loop ran, and lowering it would
+			// re-issue consumed values.
+			if s.ucnt < hiU {
+				s.ucnt = hiU
+			}
+			if s.lcnt < hiL {
+				s.lcnt = hiL
+			}
+		}
 		s.mu.Unlock()
 	}
 }
@@ -353,11 +635,17 @@ func maxDefined(vs ...*core.Vector) int64 {
 
 // Step schedules one operation. Safe for concurrent use; each item of a
 // multi-item operation is scheduled independently under its own lock set.
+// An Unavailable verdict means a site the operation needed is crashed or
+// unreachable: nothing was decided or mutated, and the operation may be
+// retried once the site recovers.
 func (c *Cluster) Step(op oplog.Op) core.Decision {
 	acting := c.homeOfTxn(op.Txn)
 	for _, x := range op.Items {
-		v, blocker := c.stepItem(acting, op.Txn, op.Kind, x)
-		if v == core.Reject {
+		v, blocker, site := c.stepItem(acting, op.Txn, op.Kind, x)
+		switch v {
+		case core.Unavailable:
+			return core.Decision{Op: op, Verdict: core.Unavailable, Site: site, Item: x}
+		case core.Reject:
 			return core.Decision{Op: op, Verdict: core.Reject, Blocker: blocker, Item: x}
 		}
 	}
@@ -365,9 +653,20 @@ func (c *Cluster) Step(op oplog.Op) core.Decision {
 }
 
 // stepItem performs the optimistic lock-validate-decide round for one
-// (transaction, item) pair.
-func (c *Cluster) stepItem(acting, txn int, kind oplog.Kind, x string) (core.Verdict, int) {
+// (transaction, item) pair. Returns the verdict, the blocker on Reject,
+// and the unreachable site on Unavailable. Every transport check runs
+// before the first mutation, so a fault leaves no partial state behind.
+func (c *Cluster) stepItem(acting, txn int, kind oplog.Kind, x string) (core.Verdict, int, int) {
 	for {
+		// Fail fast: a crashed site schedules nothing. The check is a
+		// probe through the transport, so it advances the injector's
+		// logical clock — even a fully-degraded cluster (every live
+		// transaction homed at a crashed site) makes progress toward its
+		// scheduled recovery instead of livelocking.
+		if err := c.access(acting, acting); err != nil {
+			c.unavailable.Add(1)
+			return core.Unavailable, 0, fault.SiteOf(err)
+		}
 		entry, itemMu := c.itemOf(x)
 		// Snapshot the index under its own lock only, then acquire the
 		// full sorted lock set and validate the snapshot.
@@ -382,13 +681,24 @@ func (c *Cluster) stepItem(acting, txn int, kind oplog.Kind, x string) (core.Ver
 			c.lockRetries.Add(1)
 			continue
 		}
-		// Tally cross-site traffic: item entry + each distinct vector.
-		c.countAccess(acting, c.homeOfItem(x))
+		// Route every object access through the transport before any
+		// mutation: item entry + each distinct vector. A fault releases
+		// the locks and reports the unreachable site.
+		fail := func(err error) (core.Verdict, int, int) {
+			locks.release()
+			c.unavailable.Add(1)
+			return core.Unavailable, 0, fault.SiteOf(err)
+		}
+		if err := c.access(acting, c.homeOfItem(x)); err != nil {
+			return fail(err)
+		}
 		seen := map[int]bool{}
 		for _, t := range []int{txn, rt, wt} {
 			if !seen[t] {
 				seen[t] = true
-				c.countAccess(acting, c.homeOfTxn(t))
+				if err := c.access(acting, c.homeOfTxn(t)); err != nil {
+					return fail(err)
+				}
 			}
 		}
 		vi := c.vecOf(txn).vec
@@ -405,6 +715,7 @@ func (c *Cluster) stepItem(acting, txn int, kind oplog.Kind, x string) (core.Ver
 			} else {
 				entry.wt = txn
 			}
+			c.logIndexUpdate(c.homeOfItem(x), x, kind, txn)
 			verdict = core.Accept
 		} else if kind == oplog.Read && j == rt && vwt.Less(vi) {
 			verdict = core.Accept // line-9 slot-in, RT unchanged
@@ -412,15 +723,15 @@ func (c *Cluster) stepItem(acting, txn int, kind oplog.Kind, x string) (core.Ver
 			verdict, blocker = core.Reject, j
 		}
 		locks.release()
-		return verdict, blocker
+		return verdict, blocker, 0
 	}
 }
 
 // AcceptLog runs a complete log sequentially, returning (true, -1) on
-// full acceptance or (false, i) at the first rejected operation.
+// full acceptance or (false, i) at the first operation not accepted.
 func (c *Cluster) AcceptLog(l *oplog.Log) (bool, int) {
 	for idx, op := range l.Ops {
-		if d := c.Step(op); d.Verdict == core.Reject {
+		if d := c.Step(op); d.Verdict != core.Accept {
 			return false, idx
 		}
 	}
@@ -465,6 +776,9 @@ func (c *Cluster) Abort(txn, blocker int) {
 // once no item index references it.
 func (c *Cluster) Commit(txn int) {
 	c.markDone(txn)
+	if txn != 0 {
+		c.noteCommit(c.homeOfTxn(txn))
+	}
 }
 
 // done transactions per site, guarded by the site mutex of the txn's home.
@@ -485,15 +799,33 @@ func (c *Cluster) markDone(txn int) {
 // most recent read or write timestamp of any item (implementation issue
 // (b), distributed). It returns the number of vectors dropped. Callers
 // run it periodically; it takes site locks only.
+//
+// While a site is down its in-memory index is gone, but recovery will
+// rebuild it from the journal — so the sweep conservatively treats every
+// transaction in the down site's journal records as referenced, keeping
+// the vectors the rebuilt index will point at.
 func (c *Cluster) GC() int {
 	referenced := map[int]bool{0: true}
-	for _, s := range c.sites {
+	downSites := map[int]bool{}
+	for idx, s := range c.sites {
 		s.mu.Lock()
+		if s.down {
+			downSites[idx] = true
+		}
 		for _, e := range s.items {
 			referenced[e.rt] = true
 			referenced[e.wt] = true
 		}
 		s.mu.Unlock()
+	}
+	if len(downSites) > 0 {
+		c.jmu.Lock()
+		for _, r := range c.journal {
+			if downSites[r.site] {
+				referenced[r.txn] = true
+			}
+		}
+		c.jmu.Unlock()
 	}
 	dropped := 0
 	for _, s := range c.sites {

@@ -1,0 +1,401 @@
+// Package fault is the deterministic fault-injection subsystem for the
+// distributed protocol DMT(k). It models the failure modes the paper's
+// Section V-B silently assumes away: lost and delayed cross-site
+// messages, fail-stop site crashes with recovery, and crash-induced
+// counter drift (a crashed site restarting with stale or zeroed local
+// counters, the hazard behind the paper's "synchronize the counters
+// periodically" remark).
+//
+// The injector is driven by a *logical clock*: every cross-object access
+// in the cluster calls Transport.Send, which advances a global sequence
+// number under one mutex. All fault decisions — which message drops,
+// when a site crashes or recovers — are functions of that sequence
+// number and a seeded RNG consumed in sequence order, so a (Plan, seed)
+// pair reproduces the exact same fault schedule byte-for-byte no matter
+// how goroutines interleave. Schedule() returns the decision log for
+// reproducibility assertions.
+//
+// Wall-clock time appears only in the injected message delays and the
+// recovery timestamps used for latency reporting; it never influences
+// which faults fire.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ErrSiteDown reports an access to (or from) a crashed site.
+var ErrSiteDown = errors.New("fault: site down")
+
+// ErrDropped reports a cross-site message lost in transit.
+var ErrDropped = errors.New("fault: message dropped")
+
+// Error carries the failing site and the underlying fault cause so the
+// scheduler layer can name the unavailable site in its error.
+type Error struct {
+	Site int // the site that is down or unreachable
+	Err  error
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("site %d: %v", e.Site, e.Err) }
+
+// Unwrap exposes the cause for errors.Is.
+func (e *Error) Unwrap() error { return e.Err }
+
+// SiteOf extracts the failing site from a transport error (-1 if the
+// error carries none).
+func SiteOf(err error) int {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Site
+	}
+	return -1
+}
+
+// Transport is the injectable hook every cross-site (and local) object
+// access of a DMT cluster goes through. A nil Transport in the cluster
+// options means a perfect network.
+type Transport interface {
+	// Send delivers one logical request/reply exchange from site `from`
+	// to the site `to` that homes the accessed object. A nil return means
+	// the access succeeds; otherwise the returned error wraps ErrSiteDown
+	// or ErrDropped and the access must fail fast without touching state.
+	Send(from, to int) error
+	// SiteUp reports whether the site is currently operational.
+	SiteUp(site int) bool
+}
+
+// EventKind labels a scheduled site transition.
+type EventKind int
+
+// Site transition kinds.
+const (
+	// Crash fail-stops a site: its volatile item index is lost and, with
+	// Event.Drift, its local counters reset (clock-skewed drift).
+	Crash EventKind = iota
+	// Recover brings a crashed site back; the cluster rebuilds its item
+	// index and re-validates its counters against the survivors.
+	Recover
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	if k == Crash {
+		return "crash"
+	}
+	return "recover"
+}
+
+// Event is one scheduled site transition, fired when the injector's
+// logical clock reaches At.
+type Event struct {
+	At    int64 // logical access sequence at which the event fires
+	Kind  EventKind
+	Site  int
+	Drift bool // with Crash: also reset the site's local counters
+}
+
+// Plan is a named, deterministic fault schedule.
+type Plan struct {
+	Name string
+	// DropRate is the per-message probability a cross-site exchange is
+	// lost (0..1). Local accesses never drop.
+	DropRate float64
+	// Delay is the maximum injected cross-site latency; each exchange
+	// sleeps uniformly in [0, Delay). Zero disables delays.
+	Delay time.Duration
+	// Events are site transitions ordered by At.
+	Events []Event
+}
+
+// Hooks let the cluster react to site transitions: the injector calls
+// OnCrash/OnRecover synchronously (outside its own lock) when an event
+// fires, so the cluster can wipe volatile state and run recovery.
+type Hooks struct {
+	OnCrash   func(site int, drift bool)
+	OnRecover func(site int)
+}
+
+// Stats are the injector's observable fault counters, built on the
+// metrics toolkit so harnesses can surface them alongside throughput.
+type Stats struct {
+	Sent       metrics.Counter // logical exchanges attempted
+	Dropped    metrics.Counter // cross-site messages lost
+	Rejected   metrics.Counter // accesses refused because a site was down
+	Crashes    metrics.Counter // crash events fired
+	Recoveries metrics.Counter // recovery events fired
+}
+
+// Injector implements Transport for a Plan. Safe for concurrent use.
+type Injector struct {
+	plan  Plan
+	sites int
+	seed  int64
+	hooks Hooks
+
+	mu    sync.Mutex
+	seq   int64
+	next  int // index of the next unfired event
+	down  []bool
+	sched []string // decision log, one line per fault decision
+
+	stats Stats
+}
+
+// New builds the injector for a plan over the given number of sites.
+// The seed fixes every probabilistic decision: same (plan, sites, seed)
+// means the same fault schedule.
+func New(plan Plan, sites int, seed int64) *Injector {
+	if sites < 1 {
+		panic("fault: sites must be >= 1")
+	}
+	return &Injector{
+		plan:  plan.Normalize(),
+		sites: sites,
+		seed:  seed,
+		down:  make([]bool, sites),
+	}
+}
+
+// SetHooks registers the cluster's crash/recovery callbacks. Must be set
+// before traffic flows; the cluster wires this at construction.
+func (in *Injector) SetHooks(h Hooks) {
+	in.mu.Lock()
+	in.hooks = h
+	in.mu.Unlock()
+}
+
+// Stats exposes the fault counters.
+func (in *Injector) Stats() *Stats { return &in.stats }
+
+// Seq returns the current logical clock value.
+func (in *Injector) Seq() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seq
+}
+
+// Schedule returns a copy of the fault-decision log: one line per drop,
+// crash and recovery, each tagged with the logical sequence number at
+// which it fired. Two runs with the same plan and seed produce identical
+// schedules.
+func (in *Injector) Schedule() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.sched...)
+}
+
+// PlannedSchedule renders the full fault schedule up to the given
+// logical time as a pure function of (plan, seed): scheduled site events
+// and every sequence slot whose cross-site message would drop. Identical
+// for identical (plan, sites, seed) regardless of workload interleaving,
+// which is what makes chaos runs reproducible.
+func (in *Injector) PlannedSchedule(upTo int64) []string {
+	var out []string
+	next := 0
+	for seq := int64(1); seq <= upTo; seq++ {
+		for next < len(in.plan.Events) && in.plan.Events[next].At <= seq {
+			ev := in.plan.Events[next]
+			next++
+			tag := ev.Kind.String()
+			if ev.Kind == Crash && ev.Drift {
+				tag = "crash+drift"
+			}
+			out = append(out, fmt.Sprintf("seq=%d %s site=%d", seq, tag, ev.Site))
+		}
+		if in.wouldDrop(seq) {
+			out = append(out, fmt.Sprintf("seq=%d would-drop", seq))
+		}
+	}
+	return out
+}
+
+// SiteUp implements Transport.
+func (in *Injector) SiteUp(site int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if site < 0 || site >= in.sites {
+		return false
+	}
+	return !in.down[site]
+}
+
+// Crash fail-stops a site immediately (manual control for tests and
+// interactive drivers; scheduled plans use Events). The caller must not
+// hold cluster locks: the crash hook runs synchronously.
+func (in *Injector) Crash(site int, drift bool) {
+	in.mu.Lock()
+	fired := in.crashLocked(Event{At: in.seq, Kind: Crash, Site: site, Drift: drift})
+	hooks := in.hooks
+	in.mu.Unlock()
+	if fired && hooks.OnCrash != nil {
+		hooks.OnCrash(site, drift)
+	}
+}
+
+// Recover brings a crashed site back immediately: the recovery hook runs
+// synchronously and the site is only marked up once it completes, so no
+// traffic reaches a half-rebuilt site. The caller must not hold cluster
+// locks.
+func (in *Injector) Recover(site int) {
+	in.mu.Lock()
+	fired := in.beginRecoverLocked(Event{At: in.seq, Kind: Recover, Site: site})
+	hooks := in.hooks
+	in.mu.Unlock()
+	if !fired {
+		return
+	}
+	if hooks.OnRecover != nil {
+		hooks.OnRecover(site)
+	}
+	in.markUp(site)
+}
+
+// crashLocked flips the site down and logs the decision. Caller holds mu.
+func (in *Injector) crashLocked(ev Event) bool {
+	if ev.Site < 0 || ev.Site >= in.sites || in.down[ev.Site] {
+		return false
+	}
+	in.down[ev.Site] = true
+	in.stats.Crashes.Inc()
+	tag := "crash"
+	if ev.Drift {
+		tag = "crash+drift"
+	}
+	in.sched = append(in.sched, fmt.Sprintf("seq=%d %s site=%d", in.seq, tag, ev.Site))
+	return true
+}
+
+// beginRecoverLocked logs a recovery decision but leaves the site down:
+// the caller runs the recovery hook and then markUp, so the site only
+// serves traffic once its state is rebuilt. Caller holds mu.
+func (in *Injector) beginRecoverLocked(ev Event) bool {
+	if ev.Site < 0 || ev.Site >= in.sites || !in.down[ev.Site] {
+		return false
+	}
+	in.stats.Recoveries.Inc()
+	in.sched = append(in.sched, fmt.Sprintf("seq=%d recover site=%d", in.seq, ev.Site))
+	return true
+}
+
+// markUp completes a recovery.
+func (in *Injector) markUp(site int) {
+	in.mu.Lock()
+	in.down[site] = false
+	in.mu.Unlock()
+}
+
+// Send implements Transport. Each call advances the logical clock, fires
+// any due scheduled events, then decides the fate of this exchange. Drop
+// and delay decisions are pure functions of (seed, sequence number), so
+// the fault schedule does not depend on which goroutine's access drew
+// which sequence slot.
+func (in *Injector) Send(from, to int) error {
+	in.mu.Lock()
+	in.seq++
+	seq := in.seq
+
+	// Fire scheduled events whose time has come; callbacks run after the
+	// injector lock is released (the cluster's handlers take their own
+	// locks).
+	var crashes, recovers []Event
+	for in.next < len(in.plan.Events) && in.plan.Events[in.next].At <= seq {
+		ev := in.plan.Events[in.next]
+		in.next++
+		switch ev.Kind {
+		case Crash:
+			if in.crashLocked(ev) {
+				crashes = append(crashes, ev)
+			}
+		case Recover:
+			if in.beginRecoverLocked(ev) {
+				recovers = append(recovers, ev)
+			}
+		}
+	}
+
+	var err error
+	var site int
+	switch {
+	case in.down[from]:
+		err, site = ErrSiteDown, from
+	case in.down[to]:
+		err, site = ErrSiteDown, to
+	case from != to && in.wouldDrop(seq):
+		err, site = ErrDropped, to
+		in.sched = append(in.sched, fmt.Sprintf("seq=%d drop %d->%d", seq, from, to))
+	}
+	var delay time.Duration
+	if err == nil && from != to {
+		delay = in.delayFor(seq)
+	}
+	hooks := in.hooks
+	in.mu.Unlock()
+
+	for _, ev := range crashes {
+		if hooks.OnCrash != nil {
+			hooks.OnCrash(ev.Site, ev.Drift)
+		}
+	}
+	// Scheduled recovery runs asynchronously: the goroutine in whose Send
+	// the event fired may hold cluster locks the recovery handler needs.
+	// The site stays down until the rebuild completes.
+	for _, ev := range recovers {
+		go func(site int) {
+			if hooks.OnRecover != nil {
+				hooks.OnRecover(site)
+			}
+			in.markUp(site)
+		}(ev.Site)
+	}
+
+	in.stats.Sent.Inc()
+	if err != nil {
+		if errors.Is(err, ErrDropped) {
+			in.stats.Dropped.Inc()
+		} else {
+			in.stats.Rejected.Inc()
+		}
+		return &Error{Site: site, Err: err}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// wouldDrop decides message loss for a sequence slot: a pure function of
+// the injector seed and the slot, never of goroutine interleaving.
+func (in *Injector) wouldDrop(seq int64) bool {
+	if in.plan.DropRate <= 0 {
+		return false
+	}
+	u := splitmix64(uint64(in.seed) ^ uint64(seq)*0x9E3779B97F4A7C15)
+	return float64(u>>11)/float64(1<<53) < in.plan.DropRate
+}
+
+// delayFor derives the injected latency for a sequence slot.
+func (in *Injector) delayFor(seq int64) time.Duration {
+	if in.plan.Delay <= 0 {
+		return 0
+	}
+	u := splitmix64(uint64(in.seed)*0xBF58476D1CE4E5B9 ^ uint64(seq))
+	return time.Duration(u % uint64(in.plan.Delay))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

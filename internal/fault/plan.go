@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Named plans for the -chaos mode of cmd/mtsim and the chaos test
+// suites. Crash/recovery positions are expressed on the logical access
+// clock, so they land at the same point of the workload regardless of
+// machine speed.
+//
+//	none        perfect network (baseline under the transport hook)
+//	lossy       2% cross-site message loss
+//	slow        up to 200µs injected cross-site latency
+//	crash       site 1 crashes at access 400, recovers at access 2400
+//	crash-drift same, and the crash zeroes site 1's local counters
+//	chaos       crash-drift plus 1% message loss
+var planNames = []string{"none", "lossy", "slow", "crash", "crash-drift", "chaos"}
+
+// PlanNames lists the named plans in presentation order.
+func PlanNames() []string { return append([]string(nil), planNames...) }
+
+// PlanByName resolves a named plan. The crash plans target site 1 (site
+// 0 homes the virtual transaction T0 and stays up).
+func PlanByName(name string) (Plan, error) {
+	crash := []Event{
+		{At: 400, Kind: Crash, Site: 1},
+		{At: 2400, Kind: Recover, Site: 1},
+	}
+	crashDrift := []Event{
+		{At: 400, Kind: Crash, Site: 1, Drift: true},
+		{At: 2400, Kind: Recover, Site: 1},
+	}
+	switch name {
+	case "none", "":
+		return Plan{Name: "none"}, nil
+	case "lossy":
+		return Plan{Name: "lossy", DropRate: 0.02}, nil
+	case "slow":
+		return Plan{Name: "slow", Delay: 200 * time.Microsecond}, nil
+	case "crash":
+		return Plan{Name: "crash", Events: crash}, nil
+	case "crash-drift":
+		return Plan{Name: "crash-drift", Events: crashDrift}, nil
+	case "chaos":
+		return Plan{Name: "chaos", DropRate: 0.01, Events: crashDrift}, nil
+	}
+	return Plan{}, fmt.Errorf("fault: unknown plan %q (have %s)", name, strings.Join(planNames, ", "))
+}
+
+// Normalize sorts the plan's events by firing time, keeping the relative
+// order of simultaneous events. Call after hand-building event lists.
+func (p Plan) Normalize() Plan {
+	evs := append([]Event(nil), p.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	p.Events = evs
+	return p
+}
+
+// String renders the plan for reports.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s: drop=%.2f delay=%v", p.Name, p.DropRate, p.Delay)
+	for _, ev := range p.Events {
+		tag := ev.Kind.String()
+		if ev.Kind == Crash && ev.Drift {
+			tag = "crash+drift"
+		}
+		fmt.Fprintf(&b, " [%s site %d @%d]", tag, ev.Site, ev.At)
+	}
+	return b.String()
+}

@@ -48,19 +48,23 @@ func (d *DMT) Begin(txn int) {
 	d.mu.Unlock()
 }
 
+// state returns the live incarnation's buffers, or nil if the
+// transaction has no live incarnation (never began, or was aborted by a
+// timed-out runtime attempt whose straggler operation arrives late).
+// Returning nil instead of panicking keeps a degraded run alive: the
+// caller answers such stray operations with a plain abort.
 func (d *DMT) state(txn int) *mtTxn {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	st := d.txns[txn]
-	if st == nil {
-		panic(fmt.Sprintf("sched: operation on transaction %d without Begin", txn))
-	}
-	return st
+	return d.txns[txn]
 }
 
 // Read implements Scheduler.
 func (d *DMT) Read(txn int, item string) (int64, error) {
 	st := d.state(txn)
+	if st == nil {
+		return 0, Abort(txn, 0, "no live incarnation")
+	}
 	d.mu.Lock()
 	if v, ok := st.writes[item]; ok {
 		d.mu.Unlock()
@@ -68,6 +72,9 @@ func (d *DMT) Read(txn int, item string) (int64, error) {
 	}
 	d.mu.Unlock()
 	dec := d.cluster.Step(oplog.R(txn, item))
+	if dec.Verdict == core.Unavailable {
+		return 0, Unavailable(txn, dec.Site, "read unreachable")
+	}
 	if dec.Verdict == core.Reject {
 		d.mu.Lock()
 		st.blocker = dec.Blocker
@@ -93,7 +100,13 @@ func (d *DMT) Read(txn int, item string) (int64, error) {
 // buffered for atomic publication at commit.
 func (d *DMT) Write(txn int, item string, v int64) error {
 	st := d.state(txn)
+	if st == nil {
+		return Abort(txn, 0, "no live incarnation")
+	}
 	dec := d.cluster.Step(oplog.W(txn, item))
+	if dec.Verdict == core.Unavailable {
+		return Unavailable(txn, dec.Site, "write unreachable")
+	}
 	if dec.Verdict == core.Reject {
 		d.mu.Lock()
 		st.blocker = dec.Blocker
@@ -106,8 +119,14 @@ func (d *DMT) Write(txn int, item string, v int64) error {
 	return nil
 }
 
-// Commit implements Scheduler.
+// Commit implements Scheduler. A transaction whose home site crashed
+// mid-flight cannot commit: its write set is left intact and the error
+// is retryable, so the runtime aborts and re-runs the transaction once
+// the site recovers.
 func (d *DMT) Commit(txn int) error {
+	if home := d.cluster.TxnSite(txn); !d.cluster.SiteUp(home) {
+		return Unavailable(txn, home, "commit on crashed home site")
+	}
 	d.mu.Lock()
 	st := d.txns[txn]
 	delete(d.txns, txn)

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dmt"
+	"repro/internal/storage"
+)
+
+// Unavailability must surface as ErrUnavailable carrying the site — and
+// never be misclassified as a protocol abort (ErrAbort), which would
+// charge the conflict-retry budget for a down site.
+func TestDMTUnavailableClassification(t *testing.T) {
+	d := NewDMT(storage.New(), dmt.Options{K: 2, Sites: 2})
+	d.Cluster().CrashSite(1, false)
+	d.Begin(1) // txn 1 is homed at site 1
+	_, rerr := d.Read(1, "x")
+	werr := d.Write(1, "x", 9)
+	cerr := d.Commit(1)
+	for name, err := range map[string]error{"read": rerr, "write": werr, "commit": cerr} {
+		if !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("%s on crashed site: %v, want ErrUnavailable", name, err)
+		}
+		if errors.Is(err, ErrAbort) {
+			t.Fatalf("%s misclassified as ErrAbort: %v", name, err)
+		}
+		var ue *UnavailableError
+		if !errors.As(err, &ue) || ue.Site != 1 {
+			t.Fatalf("%s error does not name site 1: %v", name, err)
+		}
+	}
+}
+
+// A transaction caught mid-flight by its home site's crash cannot
+// commit; after recovery a fresh incarnation runs to commit and its
+// writes land.
+func TestDMTCommitAfterHomeSiteRecovery(t *testing.T) {
+	st := storage.New()
+	st.Set("x", 5)
+	d := NewDMT(st, dmt.Options{
+		K: 2, Sites: 2,
+		HomeOfItem: func(string) int { return 0 },
+	})
+	run := func() error {
+		d.Begin(1)
+		if _, err := d.Read(1, "x"); err != nil {
+			return err
+		}
+		if err := d.Write(1, "y", 9); err != nil {
+			return err
+		}
+		return d.Commit(1)
+	}
+	if err := run(); err != nil { // healthy warm-up path works
+		t.Fatalf("healthy run: %v", err)
+	}
+	d.Cluster().CrashSite(1, false)
+	d.Begin(3) // also homed at site 1
+	if err := d.Commit(3); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("commit on crashed home site: %v", err)
+	}
+	d.Abort(3)
+	d.Cluster().RecoverSite(1)
+	d.Begin(3)
+	if _, err := d.Read(3, "x"); err != nil {
+		t.Fatalf("post-recovery read: %v", err)
+	}
+	if err := d.Write(3, "z", 11); err != nil {
+		t.Fatalf("post-recovery write: %v", err)
+	}
+	if err := d.Commit(3); err != nil {
+		t.Fatalf("post-recovery commit: %v", err)
+	}
+	if st.Get("z") != 11 {
+		t.Fatalf("z = %d after post-recovery commit", st.Get("z"))
+	}
+}

@@ -39,6 +39,34 @@ func Abort(txn, blocker int, reason string) error {
 	return &AbortError{Txn: txn, Blocker: blocker, Reason: reason}
 }
 
+// ErrUnavailable is returned by distributed schedulers when a site the
+// operation needs is crashed, partitioned or lost the message (degraded
+// mode). It is NOT an ErrAbort: the transaction did not lose a conflict
+// and no ordering was established against it; the operation simply could
+// not be performed right now. Callers retry it under a separate budget
+// with backoff instead of treating it as a protocol abort.
+var ErrUnavailable = errors.New("sched: site unavailable")
+
+// UnavailableError wraps ErrUnavailable with the failing site.
+type UnavailableError struct {
+	Txn    int
+	Site   int // unreachable site (-1 if unknown)
+	Reason string
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("sched: txn %d unavailable (%s, site %d)", e.Txn, e.Reason, e.Site)
+}
+
+// Unwrap makes errors.Is(err, ErrUnavailable) true.
+func (e *UnavailableError) Unwrap() error { return ErrUnavailable }
+
+// Unavailable builds an *UnavailableError.
+func Unavailable(txn, site int, reason string) error {
+	return &UnavailableError{Txn: txn, Site: site, Reason: reason}
+}
+
 // Scheduler is a runtime concurrency controller bound to a store.
 // Transaction ids must be unique among concurrently live transactions; a
 // retried transaction reuses its id (so protocols like MT(k) with the

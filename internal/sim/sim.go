@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/storage"
@@ -22,7 +23,7 @@ type Config struct {
 	Specs []txn.Spec
 	// Workers is the number of concurrent client goroutines.
 	Workers int
-	// MaxAttempts bounds per-transaction retries (0 = retry forever).
+	// MaxAttempts bounds per-transaction conflict retries (0 = forever).
 	MaxAttempts int
 	// Backoff is the retry backoff base (0 = none).
 	Backoff time.Duration
@@ -30,19 +31,35 @@ type Config struct {
 	Think time.Duration
 	// Seed sets initial item values (item -> value); optional.
 	Initial map[string]int64
+	// RuntimeSeed perturbs per-transaction retry jitter (see
+	// txn.Runtime.Seed); 0 keeps the legacy per-spec seeding.
+	RuntimeSeed int64
+	// AttemptTimeout bounds one attempt's wall time (0 = unbounded).
+	AttemptTimeout time.Duration
+	// UnavailableBudget bounds unavailability retries (0 = forever).
+	UnavailableBudget int
+	// UnavailableBackoff is the backoff base for unavailability retries
+	// (0 = use Backoff).
+	UnavailableBackoff time.Duration
+	// FaultStats, when set, is attached to the Report so chaos harnesses
+	// can print injector counters next to throughput.
+	FaultStats *fault.Stats
 }
 
 // Report aggregates one run's results.
 type Report struct {
-	Name      string
-	Txns      int
-	Committed int64
-	GaveUp    int64 // transactions that exhausted MaxAttempts
-	Attempts  int64 // total executions, committed or not
-	Restarts  int64 // Attempts - Txns that finished (retry count)
-	Wall      time.Duration
-	Latency   *metrics.Histogram
-	Store     *storage.Store
+	Name        string
+	Txns        int
+	Committed   int64
+	GaveUp      int64 // transactions that exhausted a retry budget
+	Attempts    int64 // total executions, committed or not
+	Restarts    int64 // Attempts - Txns that finished (retry count)
+	Unavailable int64 // attempts ended by sched.ErrUnavailable
+	Timeouts    int64 // attempts abandoned by the per-attempt timeout
+	Wall        time.Duration
+	Latency     *metrics.Histogram
+	Store       *storage.Store
+	Fault       *fault.Stats // injector counters (nil without faults)
 }
 
 // Throughput returns committed transactions per second.
@@ -61,11 +78,22 @@ func (r *Report) AbortRate() float64 {
 	return float64(r.Restarts) / float64(r.Attempts)
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. Gave-up and restart counts appear
+// alongside throughput so degraded runs are visible at a glance;
+// unavailability counters are appended only when they fired.
 func (r *Report) String() string {
-	return fmt.Sprintf("%-14s txns=%d committed=%d restarts=%d abort-rate=%.3f tput=%.0f/s mean-lat=%.0fµs p99=%dµs",
-		r.Name, r.Txns, r.Committed, r.Restarts, r.AbortRate(), r.Throughput(),
+	s := fmt.Sprintf("%-14s txns=%d committed=%d gaveup=%d restarts=%d abort-rate=%.3f tput=%.0f/s mean-lat=%.0fµs p99=%dµs",
+		r.Name, r.Txns, r.Committed, r.GaveUp, r.Restarts, r.AbortRate(), r.Throughput(),
 		r.Latency.Mean()/1e3, r.Latency.Percentile(99)/1000)
+	if r.Unavailable > 0 || r.Timeouts > 0 {
+		s += fmt.Sprintf(" unavail=%d timeouts=%d", r.Unavailable, r.Timeouts)
+	}
+	if r.Fault != nil {
+		s += fmt.Sprintf(" [faults: sent=%d dropped=%d rejected=%d crashes=%d recoveries=%d]",
+			r.Fault.Sent.Value(), r.Fault.Dropped.Value(), r.Fault.Rejected.Value(),
+			r.Fault.Crashes.Value(), r.Fault.Recoveries.Value())
+	}
+	return s
 }
 
 // Run executes the configured simulation.
@@ -75,12 +103,17 @@ func Run(cfg Config) *Report {
 		store.Set(x, v)
 	}
 	s := cfg.NewScheduler(store)
-	rt := &txn.Runtime{Sched: s, MaxAttempts: cfg.MaxAttempts, Backoff: cfg.Backoff, Think: cfg.Think}
+	rt := &txn.Runtime{
+		Sched: s, MaxAttempts: cfg.MaxAttempts, Backoff: cfg.Backoff, Think: cfg.Think,
+		Seed: cfg.RuntimeSeed, AttemptTimeout: cfg.AttemptTimeout,
+		UnavailableBudget: cfg.UnavailableBudget, UnavailableBackoff: cfg.UnavailableBackoff,
+	}
 	rep := &Report{
 		Name:    s.Name(),
 		Txns:    len(cfg.Specs),
 		Latency: &metrics.Histogram{},
 		Store:   store,
+		Fault:   cfg.FaultStats,
 	}
 	start := time.Now()
 	results := rt.Pool(cfg.Specs, cfg.Workers)
@@ -93,6 +126,8 @@ func Run(cfg Config) *Report {
 			rep.GaveUp++
 		}
 		rep.Restarts += int64(res.Attempts - 1)
+		rep.Unavailable += int64(res.Unavailable)
+		rep.Timeouts += int64(res.Timeouts)
 		rep.Latency.ObserveDuration(res.Latency)
 	}
 	return rep

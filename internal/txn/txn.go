@@ -7,6 +7,7 @@ package txn
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -53,6 +54,11 @@ type Result struct {
 	// OpsExecuted counts operations actually issued across all attempts
 	// (the wasted-work metric of the rollback experiments).
 	OpsExecuted int
+	// Unavailable counts attempts that ended in sched.ErrUnavailable
+	// (degraded-mode retries, not protocol aborts).
+	Unavailable int
+	// Timeouts counts attempts abandoned by the per-attempt timeout.
+	Timeouts int
 	// Reads holds the read values of the committed attempt (nil if the
 	// transaction never committed).
 	Reads map[string]int64
@@ -71,7 +77,7 @@ type PartialRestarter interface {
 // Runtime executes Specs on a Scheduler.
 type Runtime struct {
 	Sched sched.Scheduler
-	// MaxAttempts bounds retries (0 = retry forever).
+	// MaxAttempts bounds conflict-abort retries (0 = retry forever).
 	MaxAttempts int
 	// Backoff is the base sleep after an abort; attempt n sleeps
 	// Backoff * 2^min(n,6) with full jitter. Zero disables sleeping.
@@ -86,56 +92,134 @@ type Runtime struct {
 	PartialRollback bool
 	// Store is consulted for per-item versions under PartialRollback.
 	Store *storage.Store
+	// Seed perturbs the per-transaction backoff RNG. Zero preserves the
+	// legacy seeding from the spec ID alone; any other value is mixed
+	// with the spec ID so chaos experiments can vary jitter across runs
+	// deterministically via config.
+	Seed int64
+	// AttemptTimeout bounds one attempt's wall time (0 = unbounded). A
+	// timed-out attempt is abandoned, the incarnation aborted, and the
+	// transaction retried under the unavailability budget — the last
+	// line of defense against a hung site.
+	AttemptTimeout time.Duration
+	// UnavailableBudget bounds retries caused by sched.ErrUnavailable or
+	// attempt timeouts (0 = retry forever). Unavailability retries have
+	// their own budget and backoff: they signal a down site, not a lost
+	// conflict, so they should not consume the conflict-retry budget.
+	UnavailableBudget int
+	// UnavailableBackoff is the base sleep for unavailability retries
+	// (exponential with full jitter); falls back to Backoff when zero.
+	// Typically set much higher than Backoff: the site needs time to
+	// recover, not just the conflict window to pass.
+	UnavailableBackoff time.Duration
 }
 
-// Exec runs one transaction to commit or retry exhaustion.
+// errAttemptTimeout marks an attempt abandoned by AttemptTimeout. It
+// wraps sched.ErrUnavailable: a hung attempt is indistinguishable from
+// an unreachable site and is retried under the same budget.
+var errAttemptTimeout = fmt.Errorf("txn: attempt timed out: %w", sched.ErrUnavailable)
+
+// jitterSeed mixes the runtime-level seed into the per-spec RNG seed.
+// With Seed == 0 the legacy spec.ID-only seeding is preserved; otherwise
+// two runs of the same spec under different runtime seeds draw different
+// jitter, deterministically (SplitMix64 finalizer).
+func jitterSeed(runtimeSeed int64, id int) int64 {
+	if runtimeSeed == 0 {
+		return int64(id)
+	}
+	z := uint64(runtimeSeed) ^ uint64(id)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Exec runs one transaction to commit or retry exhaustion. Conflict
+// aborts (sched.ErrAbort) and unavailability (sched.ErrUnavailable,
+// attempt timeouts) are retried under separate budgets with separate
+// exponential-backoff-plus-jitter schedules.
 func (r *Runtime) Exec(spec Spec) Result {
 	start := time.Now()
-	rng := rand.New(rand.NewSource(int64(spec.ID)))
+	rng := rand.New(rand.NewSource(jitterSeed(r.Seed, spec.ID)))
 	res := Result{ID: spec.ID}
 	resumeFrom := 0
 	var reads map[string]int64
 	var readVers map[string]int64
-	for attempt := 1; ; attempt++ {
+	conflicts := 0 // attempts ended by ErrAbort, counted against MaxAttempts
+	unavail := 0   // attempts ended by ErrUnavailable, separate budget
+	for {
 		if resumeFrom == 0 {
 			reads = make(map[string]int64)
 			readVers = make(map[string]int64)
 		}
-		got, failedAt, err := r.attempt(spec, resumeFrom, reads, readVers, &res)
-		if err == nil {
+		out := r.attemptWithTimeout(spec, resumeFrom, reads, readVers)
+		res.OpsExecuted += out.ops
+		res.Attempts++
+		if out.err == nil {
 			res.Committed = true
-			res.Attempts = attempt
-			res.Reads = got
+			res.Reads = out.reads
 			res.Latency = time.Since(start)
 			return res
 		}
-		if !errors.Is(err, sched.ErrAbort) {
-			panic("txn: scheduler returned a non-abort error: " + err.Error())
-		}
-		resumeFrom = 0
-		if r.PartialRollback && r.Store != nil && failedAt > 0 {
-			if pr, ok := r.Sched.(PartialRestarter); ok && r.tryResume(spec, failedAt, reads, readVers, pr) {
-				resumeFrom = failedAt
-				res.PartialResumes++
+		switch {
+		case errors.Is(out.err, sched.ErrUnavailable):
+			// Degraded mode: no conflict was lost and no ordering was
+			// established against us — abort the incarnation and wait for
+			// the site to come back.
+			if errors.Is(out.err, errAttemptTimeout) {
+				res.Timeouts++
+			} else {
+				res.Unavailable++
 			}
-		}
-		if resumeFrom == 0 {
+			unavail++
+			resumeFrom = 0
 			r.Sched.Abort(spec.ID)
-		}
-		if r.MaxAttempts > 0 && attempt >= r.MaxAttempts {
-			res.Attempts = attempt
-			res.Latency = time.Since(start)
-			return res
-		}
-		if r.Backoff > 0 {
-			shift := attempt
-			if shift > 6 {
-				shift = 6
+			if r.UnavailableBudget > 0 && unavail >= r.UnavailableBudget {
+				res.Latency = time.Since(start)
+				return res
 			}
-			max := int64(r.Backoff) << shift
-			time.Sleep(time.Duration(rng.Int63n(max + 1)))
+			base := r.UnavailableBackoff
+			if base == 0 {
+				base = r.Backoff
+			}
+			sleepBackoff(rng, unavail, base)
+		case errors.Is(out.err, sched.ErrAbort):
+			conflicts++
+			resumeFrom = 0
+			if r.PartialRollback && r.Store != nil && out.failedAt > 0 {
+				if pr, ok := r.Sched.(PartialRestarter); ok && r.tryResume(spec, out.failedAt, reads, readVers, pr) {
+					resumeFrom = out.failedAt
+					res.PartialResumes++
+				}
+			}
+			if resumeFrom == 0 {
+				r.Sched.Abort(spec.ID)
+			}
+			if r.MaxAttempts > 0 && conflicts >= r.MaxAttempts {
+				res.Latency = time.Since(start)
+				return res
+			}
+			sleepBackoff(rng, conflicts, r.Backoff)
+		default:
+			panic("txn: scheduler returned a non-abort error: " + out.err.Error())
 		}
 	}
+}
+
+// sleepBackoff sleeps Backoff-style full jitter: uniform in
+// [0, base·2^min(n,6)].
+func sleepBackoff(rng *rand.Rand, n int, base time.Duration) {
+	if base <= 0 {
+		return
+	}
+	shift := n
+	if shift > 6 {
+		shift = 6
+	}
+	max := int64(base) << shift
+	time.Sleep(time.Duration(rng.Int63n(max + 1)))
 }
 
 // tryResume decides whether execution can continue mid-transaction: the
@@ -156,10 +240,40 @@ func (r *Runtime) tryResume(spec Spec, failedAt int, reads, readVers map[string]
 	return pr.TryPartialRestart(spec.ID, kept)
 }
 
+// attemptOut is one attempt's outcome: the reads on success, the failing
+// op index, the number of ops issued, and the error.
+type attemptOut struct {
+	reads    map[string]int64
+	failedAt int
+	ops      int
+	err      error
+}
+
+// attemptWithTimeout runs one attempt, bounded by AttemptTimeout when
+// set. A timed-out attempt is abandoned: its goroutine keeps draining
+// against the scheduler (which must tolerate stray operations of a dead
+// incarnation) but its maps are never reused by the caller, and its op
+// count is lost.
+func (r *Runtime) attemptWithTimeout(spec Spec, resumeFrom int, reads, readVers map[string]int64) attemptOut {
+	if r.AttemptTimeout <= 0 {
+		return r.attempt(spec, resumeFrom, reads, readVers)
+	}
+	ch := make(chan attemptOut, 1)
+	go func() { ch <- r.attempt(spec, resumeFrom, reads, readVers) }()
+	timer := time.NewTimer(r.AttemptTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out
+	case <-timer.C:
+		return attemptOut{failedAt: -1, err: errAttemptTimeout}
+	}
+}
+
 // attempt runs ops[resumeFrom:] of the spec; a fresh attempt
-// (resumeFrom == 0) begins the transaction first. It returns the reads,
-// the failing op index and the error.
-func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]int64, res *Result) (map[string]int64, int, error) {
+// (resumeFrom == 0) begins the transaction first.
+func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]int64) attemptOut {
+	out := attemptOut{failedAt: -1}
 	if resumeFrom == 0 {
 		r.Sched.Begin(spec.ID)
 	}
@@ -168,14 +282,15 @@ func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]
 		if r.Think > 0 && i > 0 {
 			time.Sleep(r.Think)
 		}
-		res.OpsExecuted++
+		out.ops++
 		if op.Kind == oplog.Read {
 			if r.Store != nil {
 				readVers[op.Item] = r.Store.ItemVersion(op.Item)
 			}
 			v, err := r.Sched.Read(spec.ID, op.Item)
 			if err != nil {
-				return nil, i, err
+				out.failedAt, out.err = i, err
+				return out
 			}
 			reads[op.Item] = v
 			continue
@@ -187,13 +302,16 @@ func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]
 			v = int64(spec.ID)
 		}
 		if err := r.Sched.Write(spec.ID, op.Item, v); err != nil {
-			return nil, i, err
+			out.failedAt, out.err = i, err
+			return out
 		}
 	}
 	if err := r.Sched.Commit(spec.ID); err != nil {
-		return nil, len(spec.Ops), err
+		out.failedAt, out.err = len(spec.Ops), err
+		return out
 	}
-	return reads, -1, nil
+	out.reads = reads
+	return out
 }
 
 // Pool executes specs on w workers and returns every result.

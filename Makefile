@@ -1,9 +1,10 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race bench chaos
+.PHONY: ci vet build test race bench chaos fuzz-smoke crash
 
 # The full gate: what must pass before merging.
-ci: vet build test race
+ci: vet build test race fuzz-smoke crash
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +17,10 @@ test:
 
 # The concurrency-sensitive packages under the race detector: the fault
 # injector and the DMT(k) degraded-mode machinery (crash/recovery racing
-# allocations and counter sync), plus the runtime and harness that drive
-# them.
+# allocations and counter sync), plus the runtime, the group-commit log
+# writer and the harness that drive them.
 race:
-	$(GO) test -race ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/sim/...
+	$(GO) test -race ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/wal/... ./internal/sim/...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=20x ./...
@@ -27,3 +28,14 @@ bench:
 # A quick chaos smoke run: DMT(k) under crash + drift + message loss.
 chaos:
 	$(GO) run ./cmd/mtsim -chaos chaos -sites 4 -txns 2000 -workers 8 -k 3
+
+# Run every fuzz target for FUZZTIME each (Go runs one -fuzz target per
+# invocation, hence the loop). Seed corpora alone run in `test`.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseLog -fuzztime=$(FUZZTIME) ./internal/oplog/
+	$(GO) test -fuzz=FuzzParseLogWAL -fuzztime=$(FUZZTIME) ./internal/wal/
+
+# The full crash matrix from the CLI: one run per filesystem sync
+# boundary, verifying recovery, durability acks and counter watermarks.
+crash:
+	$(GO) run ./cmd/mtsim -sched mtdefer -txns 60 -items 8 -crashpoint -1 -checkpoint-every 16

@@ -15,6 +15,8 @@ package mdts
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,6 +39,7 @@ import (
 	"repro/internal/tsto"
 	"repro/internal/txn"
 	"repro/internal/vecproc"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -688,6 +691,95 @@ func BenchmarkAdaptive(b *testing.B) {
 				finalK = a.K()
 			}
 			b.ReportMetric(float64(finalK), "final-k")
+		})
+	}
+}
+
+// E23a: raw write-ahead-log cost — the journal+Wait path in isolation,
+// per sync policy. Concurrency is the group-commit batch-size lever: a
+// flush leader gathers whatever is in flight, so 1/8/64 concurrent
+// committers yield batches of roughly that size. Reported metric:
+// records amortized per fsync (the Taurus-style batching win).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, pol := range []wal.SyncPolicy{wal.SyncGroup, wal.SyncAlways, wal.SyncNone} {
+		for _, writers := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/writers=%d", pol, writers), func(b *testing.B) {
+				w, _, err := wal.Open(wal.Options{Dir: b.TempDir(), Sync: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := storage.New()
+				w.Attach(st, nil)
+				var next atomic.Int64
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < writers; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							id := next.Add(1)
+							if id > int64(b.N) {
+								return
+							}
+							st.ApplyTxn(int(id), map[string]int64{"x": id})
+							if err := w.Wait(int(id)); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				if s := w.Stats(); s.Syncs.Value() > 0 {
+					b.ReportMetric(s.BatchRecords.Mean(), "recs/fsync")
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// E23b: end-to-end durable commit latency — the runtime workload with
+// no log at all, then under each sync policy. The volatile/wal-none
+// gap is the journaling overhead; wal-none/wal-group is the batched
+// fsync; wal-group/wal-always is what group commit saves.
+func BenchmarkDurableCommit(b *testing.B) {
+	specs := workload.Config{
+		Txns: 64, OpsPerTxn: 4, Items: 32, ReadFraction: 0.5, Seed: 83,
+	}.Generate()
+	newSched := func(st *storage.Store) sched.Scheduler {
+		return sched.NewMT(st, sched.MTOptions{
+			Core:        core.Options{K: 7, StarvationAvoidance: true},
+			DeferWrites: true,
+		})
+	}
+	run := func(b *testing.B, mkWAL func() *wal.Options) {
+		var lat float64
+		for i := 0; i < b.N; i++ {
+			cfg := sim.Config{
+				NewScheduler: newSched, Specs: specs, Workers: 8,
+				MaxAttempts: 500, Backoff: 20 * time.Microsecond,
+			}
+			if mkWAL != nil {
+				cfg.WAL = mkWAL()
+			}
+			rep := sim.Run(cfg)
+			if rep.Durable != rep.Committed {
+				b.Fatalf("durable=%d != committed=%d", rep.Durable, rep.Committed)
+			}
+			lat += rep.Latency.Mean()
+		}
+		b.ReportMetric(lat/float64(b.N)/1e3, "µs/txn")
+	}
+	b.Run("volatile", func(b *testing.B) { run(b, nil) })
+	for _, pol := range []wal.SyncPolicy{wal.SyncNone, wal.SyncGroup, wal.SyncAlways} {
+		pol := pol
+		b.Run("wal-"+pol.String(), func(b *testing.B) {
+			run(b, func() *wal.Options { return &wal.Options{Dir: b.TempDir(), Sync: pol} })
 		})
 	}
 }

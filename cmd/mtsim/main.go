@@ -8,20 +8,41 @@
 //	mtsim -sched mt -k 3 -txns 2000 -ops 4 -items 64 -readfrac 0.7 -workers 8
 //	mtsim -sched all -hotitems 4 -hotfrac 0.8
 //	mtsim -chaos crash-drift -sites 4 -txns 2000
+//	mtsim -sched mtdefer -wal /tmp/mtwal -walsync group -checkpoint-every 512
+//	mtsim -sched mtdefer -crashpoint -1 -txns 200
 //
 // Schedulers: mt, mtdefer, composite, dmt, 2pl, to, occ, sgt, interval,
 // mvmt, or "all" to sweep every one over the same workload.
+//
+// With -wal <dir>, commits are durable: every commit appends a redo
+// record to a write-ahead log in <dir> (group-committed per -walsync:
+// always, group or none) and acks only after fsync; a later run over
+// the same directory recovers the store and counter watermarks before
+// traffic. -sched all logs each scheduler under its own subdirectory.
+//
+// With -crashpoint N, the tool runs the in-process crash-point harness
+// instead: the WAL lives on an in-memory disk that dies at the N-th
+// I/O operation, the "machine" restarts, and recovery is verified
+// against a shadow copy (exact state match, no acked-durable commit
+// lost, counter watermarks dominate, and — for the MT family — no
+// k-th-column counter value re-issued). N = -1 sweeps every I/O
+// operation of a clean run.
 //
 // With -chaos <plan>, the workload runs on DMT(k) under a named,
 // seed-deterministic fault plan (message loss, delays, site crash and
 // recovery) and the tool reports commit rate, unavailability aborts,
 // gave-up transactions, injector counters and per-site recovery latency.
+// Chaos runs are reproducible: the fault schedule is a pure function of
+// (-faultseed, plan, -sites) and retry jitter of (-seed), so re-running
+// with identical flags replays the identical schedule — the tool prints
+// the decision list so two runs can be diffed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -40,6 +61,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/tsto"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -59,6 +81,10 @@ func main() {
 	chaos := flag.String("chaos", "", "fault plan for a DMT(k) chaos run: "+strings.Join(fault.PlanNames(), "|"))
 	faultSeed := flag.Int64("faultseed", 1, "fault-injection seed (-chaos)")
 	unavailBudget := flag.Int("unavailbudget", 64, "per-transaction unavailability retry budget (-chaos)")
+	walDir := flag.String("wal", "", "write-ahead log directory: enables durable commits")
+	walSync := flag.String("walsync", "group", "WAL sync policy: always|group|none")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the WAL after N log records (0 = never)")
+	crashPoint := flag.Int64("crashpoint", 0, "crash-point harness: kill the in-memory disk at the Nth I/O op, recover, verify (-1 = sweep all ops, 0 = off)")
 	flag.Parse()
 
 	if *k <= 0 {
@@ -120,17 +146,110 @@ func main() {
 		os.Exit(2)
 	}
 
+	pol, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *crashPoint != 0 {
+		name := names[0]
+		if *schedName == "all" {
+			name = "mtdefer"
+		}
+		runCrashHarness(name, factories[name], specs, *k, *workers, *maxAttempts,
+			*seed, *crashPoint, pol, *ckptEvery)
+		return
+	}
+
 	fmt.Printf("workload: txns=%d ops=%d items=%d readfrac=%.2f hot=%d/%.2f workers=%d k=%d\n",
 		*txns, *ops, *items, *readFrac, *hotItems, *hotFrac, *workers, *k)
 	for _, name := range names {
-		rep := sim.Run(sim.Config{
+		cfg := sim.Config{
 			NewScheduler: factories[name],
 			Specs:        specs,
 			Workers:      *workers,
 			MaxAttempts:  *maxAttempts,
 			Backoff:      20 * time.Microsecond,
-		})
+		}
+		if *walDir != "" {
+			cfg.WAL = &wal.Options{
+				Dir:             filepath.Join(*walDir, name),
+				Sync:            pol,
+				CheckpointEvery: *ckptEvery,
+			}
+		}
+		rep := sim.Run(cfg)
 		fmt.Println(rep)
+	}
+}
+
+// runCrashHarness drives the in-process crash-point harness: a single
+// point when point > 0, the full matrix (every I/O op of a clean run)
+// when point < 0. MT-family schedulers additionally get the restart
+// phase that traces counter-column assignments for the re-issue check.
+func runCrashHarness(name string, factory func(*storage.Store) sched.Scheduler,
+	specs []txn.Spec, k, workers, maxAttempts int, seed, point int64,
+	pol wal.SyncPolicy, ckptEvery int) {
+	cfg := sim.CrashPointConfig{
+		Config: sim.Config{
+			NewScheduler: factory,
+			Specs:        specs,
+			Workers:      workers,
+			MaxAttempts:  maxAttempts,
+			Backoff:      20 * time.Microsecond,
+		},
+		Seed:            seed,
+		Sync:            pol,
+		BatchDelay:      200 * time.Microsecond,
+		CheckpointEvery: ckptEvery,
+	}
+	if name == "mt" || name == "mtmono" || name == "mtdefer" {
+		n := 8
+		if len(specs) < n {
+			n = len(specs)
+		}
+		rs := make([]txn.Spec, n)
+		for i := range rs {
+			rs[i] = specs[i]
+			rs[i].ID = 1_000_000 + i
+		}
+		cfg.RestartSpecs = rs
+		deferW, mono := name == "mtdefer", name == "mtmono"
+		cfg.NewTracedScheduler = func(st *storage.Store, trace func(core.Event)) sched.Scheduler {
+			return sched.NewMT(st, sched.MTOptions{
+				Core: core.Options{K: k, StarvationAvoidance: true,
+					MonotonicEncoding: mono, Trace: trace},
+				DeferWrites: deferW,
+			})
+		}
+	}
+	if point > 0 {
+		cfg.CrashAt = point
+		rep := sim.RunCrashPoint(cfg)
+		fmt.Printf("%s crashpoint %d: %s\n", name, point, rep)
+		if rep.Err() != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	clean := sim.RunCrashPoint(cfg)
+	fmt.Printf("%s clean: %s\n", name, clean)
+	if clean.Err() != nil {
+		os.Exit(1)
+	}
+	fails := 0
+	for at := int64(1); at <= clean.CleanOps; at++ {
+		c := cfg
+		c.CrashAt, c.Seed = at, seed+at
+		if rep := sim.RunCrashPoint(c); rep.Err() != nil {
+			fails++
+			fmt.Printf("%s crashpoint %d: %s\n", name, at, rep)
+		}
+	}
+	fmt.Printf("crash matrix: %d points, %d failures\n", clean.CleanOps, fails)
+	if fails > 0 {
+		os.Exit(1)
 	}
 }
 

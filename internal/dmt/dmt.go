@@ -480,6 +480,43 @@ func (c *Cluster) SyncCounters() {
 	}
 }
 
+// Counters returns the cluster-wide counter consumption watermarks:
+// the maximum lower and upper counter over all sites. Both site
+// counters only ever advance (CrashSite resets a site, but its old
+// values are re-validated from the survivors by RecoverSite), so a
+// durability log can treat the pair as monotone watermarks: restarting
+// every site at or above them guarantees no consumed k-th-column value
+// is re-issued.
+func (c *Cluster) Counters() (lo, hi int64) {
+	for _, s := range c.sites {
+		s.mu.Lock()
+		if s.lcnt > lo {
+			lo = s.lcnt
+		}
+		if s.ucnt > hi {
+			hi = s.ucnt
+		}
+		s.mu.Unlock()
+	}
+	return lo, hi
+}
+
+// RaiseCounters lifts every site's counters to at least (lo, hi) —
+// the recovery-side half of the Counters watermark contract. Raise,
+// never assign: a site may already be past the watermark.
+func (c *Cluster) RaiseCounters(lo, hi int64) {
+	for _, s := range c.sites {
+		s.mu.Lock()
+		if s.lcnt < lo {
+			s.lcnt = lo
+		}
+		if s.ucnt < hi {
+			s.ucnt = hi
+		}
+		s.mu.Unlock()
+	}
+}
+
 // CounterSkew returns max-min of the sites' upper counters, for the
 // fairness experiments.
 func (c *Cluster) CounterSkew() int64 {

@@ -389,6 +389,16 @@ func (in *Injector) delayFor(seq int64) time.Duration {
 	return time.Duration(u % uint64(in.plan.Delay))
 }
 
+// Mix derives a deterministic 64-bit value from a seed and a logical
+// sequence number — the seeded-logical-clock idiom every injector in
+// this package is built on (drop decisions, delays). Exported so other
+// fault-injection layers (the WAL's crash-point filesystem) schedule
+// their decisions the same way: as pure functions of (seed, sequence),
+// never of goroutine interleaving.
+func Mix(seed, seq int64) uint64 {
+	return splitmix64(uint64(seed) ^ uint64(seq)*0x9E3779B97F4A7C15)
+}
+
 // splitmix64 is the finalizer of the SplitMix64 generator.
 func splitmix64(z uint64) uint64 {
 	z += 0x9E3779B97F4A7C15

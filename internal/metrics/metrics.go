@@ -44,6 +44,24 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration sample in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// ObserveSince records the nanoseconds elapsed since start — the usual
+// pattern around an instrumented call: start := time.Now(); ...;
+// h.ObserveSince(start).
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
+
+// Max returns the largest sample (0 with no samples).
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var max int64
+	for i, v := range h.samples {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int {
 	h.mu.Lock()

@@ -72,6 +72,30 @@ func TestHistogramObserveAfterSort(t *testing.T) {
 	}
 }
 
+func TestHistogramMax(t *testing.T) {
+	var h Histogram
+	if h.Max() != 0 {
+		t.Fatal("empty Max not zero")
+	}
+	h.Observe(-5)
+	if h.Max() != -5 {
+		t.Fatalf("Max = %d, want -5", h.Max())
+	}
+	h.Observe(7)
+	h.Observe(3)
+	if h.Max() != 7 {
+		t.Fatalf("Max = %d, want 7", h.Max())
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	var h Histogram
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if v := h.Percentile(50); v < int64(time.Millisecond) {
+		t.Fatalf("ObserveSince recorded %d ns, want >= 1ms", v)
+	}
+}
+
 func TestObserveDuration(t *testing.T) {
 	var h Histogram
 	h.ObserveDuration(2 * time.Microsecond)

@@ -1,0 +1,70 @@
+package oplog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzParseLog drives Parse with arbitrary input and checks three
+// properties:
+//
+//  1. Parse never panics;
+//  2. anything Parse accepts is well formed — transaction indices are
+//     positive, item sets are non-empty, sorted and duplicate-free,
+//     and item names contain no structural characters ('[', ']', ','),
+//     whitespace or control characters (otherwise String() produces a
+//     log whose meaning differs from the one parsed);
+//  3. accepted logs round-trip: Parse(l.String()) yields an identical
+//     log (String is the paper notation, so this is the notation's
+//     print/parse closure).
+func FuzzParseLog(f *testing.F) {
+	f.Add("W1[x] R2[y] R3[x,y]")
+	f.Add("r1[a,b] w1[b,a]")
+	f.Add("R1[x]\nW1[x]\tR2[z]")
+	f.Add("R+1[x]")
+	f.Add("R1[a]b]")
+	f.Add("W2[[]")
+	f.Add("R3[\x00]")
+	f.Add("R99999999999999999999[x]")
+	f.Add("")
+	f.Add("W1[]")
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := Parse(s)
+		if err != nil {
+			return
+		}
+		for _, op := range l.Ops {
+			if op.Txn < 1 {
+				t.Fatalf("accepted non-positive transaction index %d in %q", op.Txn, s)
+			}
+			if len(op.Items) == 0 {
+				t.Fatalf("accepted empty item set in %q", s)
+			}
+			for i, it := range op.Items {
+				if it == "" {
+					t.Fatalf("accepted empty item name in %q", s)
+				}
+				if i > 0 && op.Items[i-1] >= it {
+					t.Fatalf("items not sorted/deduped: %q in %q", op.Items, s)
+				}
+				if strings.ContainsAny(it, "[],") {
+					t.Fatalf("accepted structural character in item %q from %q", it, s)
+				}
+				for _, r := range it {
+					if unicode.IsSpace(r) || unicode.IsControl(r) || r == unicode.ReplacementChar {
+						t.Fatalf("accepted unprintable rune %q in item %q from %q", r, it, s)
+					}
+				}
+			}
+		}
+		back, err := Parse(l.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q failed: %v", l.String(), err)
+		}
+		if !reflect.DeepEqual(l.Ops, back.Ops) {
+			t.Fatalf("round trip changed the log: %q -> %q", l.String(), back.String())
+		}
+	})
+}

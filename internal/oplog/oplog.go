@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"repro/internal/graph"
 )
@@ -311,15 +312,23 @@ func parseOp(tok string) (Op, error) {
 		return Op{}, fmt.Errorf("operation must start with R or W")
 	}
 	open := strings.IndexByte(tok, '[')
-	if open < 0 || !strings.HasSuffix(tok, "]") {
+	if open < 0 || tok[len(tok)-1] != ']' || strings.IndexByte(tok, ']') != len(tok)-1 {
 		return Op{}, fmt.Errorf("missing [items]")
 	}
-	txn, err := strconv.Atoi(tok[1:open])
+	// The index must be plain digits: Atoi alone would also accept
+	// signed forms like "+1" or "-0", which the notation never uses.
+	idx := tok[1:open]
+	for i := 0; i < len(idx); i++ {
+		if idx[i] < '0' || idx[i] > '9' {
+			return Op{}, fmt.Errorf("bad transaction index %q", idx)
+		}
+	}
+	txn, err := strconv.Atoi(idx)
 	if err != nil {
 		return Op{}, fmt.Errorf("bad transaction index: %v", err)
 	}
-	if txn < 0 {
-		return Op{}, fmt.Errorf("negative transaction index")
+	if txn < 1 {
+		return Op{}, fmt.Errorf("transaction index must be positive")
 	}
 	body := tok[open+1 : len(tok)-1]
 	if body == "" {
@@ -327,8 +336,13 @@ func parseOp(tok string) (Op, error) {
 	}
 	items := strings.Split(body, ",")
 	for _, it := range items {
-		if strings.TrimSpace(it) == "" {
+		if it == "" {
 			return Op{}, fmt.Errorf("empty item name")
+		}
+		for _, r := range it {
+			if r == '[' || unicode.IsSpace(r) || unicode.IsControl(r) || r == unicode.ReplacementChar {
+				return Op{}, fmt.Errorf("invalid character %q in item name", r)
+			}
 		}
 	}
 	return NewOp(txn, kind, items...), nil

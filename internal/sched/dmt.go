@@ -132,7 +132,7 @@ func (d *DMT) Commit(txn int) error {
 	delete(d.txns, txn)
 	d.mu.Unlock()
 	if st != nil {
-		d.store.Apply(st.writes)
+		d.store.ApplyTxn(txn, st.writes)
 	}
 	d.cluster.Commit(txn)
 	d.maybeGC()

@@ -1,0 +1,89 @@
+package sched
+
+// DurableCounters is implemented by schedulers whose commits consume
+// k-th-column counter values (MT's lcount/ucount, DMT's per-site
+// counters). The write-ahead log samples WALCounters at every commit
+// and persists the pair; recovery calls SeedWALCounters with the last
+// durable pair so the restarted scheduler never re-issues a counter
+// value consumed by a durable commit — the durability half of the
+// paper's "synchronize the counters periodically" remark.
+//
+// Both values are consumption watermarks and MUST be monotone
+// non-decreasing over a scheduler's lifetime (schedulers whose raw
+// counters run downward, like MT's lcount, negate them).
+type DurableCounters interface {
+	// WALCounters returns the current (lower, upper) consumption
+	// watermarks. It is called from the store's journal hook — i.e.
+	// under the store mutex inside the scheduler's own Commit, where
+	// the scheduler mutex is already held by the calling goroutine —
+	// so implementations must NOT re-acquire their own mutex.
+	WALCounters() (lo, hi int64)
+	// SeedWALCounters restarts the scheduler at or above the recovered
+	// watermarks. Call before traffic flows; raising, never lowering.
+	SeedWALCounters(lo, hi int64)
+}
+
+// WALCounters implements DurableCounters. MT's lcount runs downward
+// from 0 (every allocation decrements it), so its watermark is the
+// negation; ucount runs upward and is its own watermark.
+func (m *MT) WALCounters() (lo, hi int64) {
+	l, u := m.sched.Counters()
+	return -l, u
+}
+
+// SeedWALCounters implements DurableCounters.
+func (m *MT) SeedWALCounters(lo, hi int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, u := m.sched.Counters()
+	if -lo < l {
+		l = -lo
+	}
+	if hi > u {
+		u = hi
+	}
+	m.sched.SetCounters(l, u)
+}
+
+// WALCounters implements DurableCounters: the max over the live
+// subprotocols' counters. An epoch restart replaces the subprotocols
+// with fresh counters, so the instantaneous max can drop — the log
+// writer's monotone clamp keeps the persisted watermarks valid (they
+// simply stay at the all-time max, which is exactly the safe seed).
+func (c *Composite) WALCounters() (lo, hi int64) {
+	for h := 1; h <= c.sched.K(); h++ {
+		l, u := c.sched.Sub(h).Counters()
+		if -l > lo {
+			lo = -l
+		}
+		if u > hi {
+			hi = u
+		}
+	}
+	return lo, hi
+}
+
+// SeedWALCounters implements DurableCounters.
+func (c *Composite) SeedWALCounters(lo, hi int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for h := 1; h <= c.sched.K(); h++ {
+		sub := c.sched.Sub(h)
+		l, u := sub.Counters()
+		if -lo < l {
+			l = -lo
+		}
+		if hi > u {
+			u = hi
+		}
+		sub.SetCounters(l, u)
+	}
+}
+
+// WALCounters implements DurableCounters. The cluster takes its own
+// per-site locks (never the adapter mutex), so the journal-hook
+// no-reentrancy rule is satisfied trivially.
+func (d *DMT) WALCounters() (lo, hi int64) { return d.cluster.Counters() }
+
+// SeedWALCounters implements DurableCounters.
+func (d *DMT) SeedWALCounters(lo, hi int64) { d.cluster.RaiseCounters(lo, hi) }

@@ -164,7 +164,7 @@ func (m *MT) Commit(txn int) error {
 			}
 		}
 	}
-	m.store.Apply(apply)
+	m.store.ApplyTxn(txn, apply)
 	m.sched.Commit(txn)
 	delete(m.txns, txn)
 	return nil
@@ -303,7 +303,7 @@ func (c *Composite) Commit(txn int) error {
 			return err
 		}
 	}
-	c.store.Apply(st.writes)
+	c.store.ApplyTxn(txn, st.writes)
 	c.sched.Commit(txn)
 	delete(c.txns, txn)
 	return nil

@@ -13,6 +13,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // Config describes one simulation run.
@@ -44,6 +45,20 @@ type Config struct {
 	// FaultStats, when set, is attached to the Report so chaos harnesses
 	// can print injector counters next to throughput.
 	FaultStats *fault.Stats
+	// WAL, when set, makes commits durable: the run opens (and recovers)
+	// the write-ahead log directory, restores the store from it, attaches
+	// the journal before seeding, seeds the scheduler's counters from the
+	// recovered watermarks, and acks each commit only after its redo
+	// record reaches stable storage per the options' sync policy.
+	WAL *wal.Options
+	// Observe, when set, sees every committed batch (after the WAL
+	// journal, both under the store mutex). Crash harnesses use it to
+	// build the shadow copy recovery is checked against. Per the
+	// storage.Journal contract the maps are only valid during the call.
+	Observe storage.Journal
+	// KeepResults attaches every per-transaction txn.Result to the
+	// Report (crash harnesses need the durable-ack per transaction).
+	KeepResults bool
 }
 
 // Report aggregates one run's results.
@@ -56,10 +71,14 @@ type Report struct {
 	Restarts    int64 // Attempts - Txns that finished (retry count)
 	Unavailable int64 // attempts ended by sched.ErrUnavailable
 	Timeouts    int64 // attempts abandoned by the per-attempt timeout
+	Durable     int64 // commits acked durable (== Committed without a WAL)
 	Wall        time.Duration
 	Latency     *metrics.Histogram
 	Store       *storage.Store
-	Fault       *fault.Stats // injector counters (nil without faults)
+	Fault       *fault.Stats  // injector counters (nil without faults)
+	WAL         *wal.Stats    // log writer counters (nil without a WAL)
+	Results     []txn.Result  // per-transaction results (KeepResults only)
+	Recovered   *wal.RecoveredState // state the run started from (WAL only)
 }
 
 // Throughput returns committed transactions per second.
@@ -93,27 +112,69 @@ func (r *Report) String() string {
 			r.Fault.Sent.Value(), r.Fault.Dropped.Value(), r.Fault.Rejected.Value(),
 			r.Fault.Crashes.Value(), r.Fault.Recoveries.Value())
 	}
+	if r.WAL != nil {
+		s += fmt.Sprintf(" [wal: durable=%d fsyncs=%d batch-mean=%.1f fsync-p50=%dµs fsync-p99=%dµs ckpts=%d]",
+			r.Durable, r.WAL.Syncs.Value(), r.WAL.BatchRecords.Mean(),
+			r.WAL.FsyncNs.Percentile(50)/1000, r.WAL.FsyncNs.Percentile(99)/1000,
+			r.WAL.Checkpoints.Value())
+	}
 	return s
 }
 
-// Run executes the configured simulation.
+// Run executes the configured simulation. With cfg.WAL set the run is
+// durable: it restores the store and counter watermarks from the log
+// directory before traffic and journals every commit; a WAL that fails
+// to open panics (an experiment cannot meaningfully continue without
+// the durability it was asked to measure).
 func Run(cfg Config) *Report {
 	store := storage.New()
+	var w *wal.Writer
+	var recovered *wal.RecoveredState
+	if cfg.WAL != nil {
+		var err error
+		w, recovered, err = wal.Open(*cfg.WAL)
+		if err != nil {
+			panic(fmt.Sprintf("sim: opening WAL: %v", err))
+		}
+		store = storage.Restore(recovered.Store)
+		w.Attach(store, nil)
+	}
+	if cfg.Observe != nil {
+		journal := cfg.Observe
+		if w != nil {
+			wj := w.Journal
+			journal = func(ev storage.ApplyEvent) { wj(ev); cfg.Observe(ev) }
+		}
+		store.SetJournal(journal)
+	}
 	for x, v := range cfg.Initial {
 		store.Set(x, v)
 	}
 	s := cfg.NewScheduler(store)
+	if w != nil {
+		if dc, ok := s.(sched.DurableCounters); ok {
+			dc.SeedWALCounters(recovered.Lo, recovered.Hi)
+			w.SetCounterSource(dc.WALCounters)
+		}
+	}
 	rt := &txn.Runtime{
 		Sched: s, MaxAttempts: cfg.MaxAttempts, Backoff: cfg.Backoff, Think: cfg.Think,
 		Seed: cfg.RuntimeSeed, AttemptTimeout: cfg.AttemptTimeout,
 		UnavailableBudget: cfg.UnavailableBudget, UnavailableBackoff: cfg.UnavailableBackoff,
 	}
+	if w != nil {
+		rt.Durable = w
+	}
 	rep := &Report{
-		Name:    s.Name(),
-		Txns:    len(cfg.Specs),
-		Latency: &metrics.Histogram{},
-		Store:   store,
-		Fault:   cfg.FaultStats,
+		Name:      s.Name(),
+		Txns:      len(cfg.Specs),
+		Latency:   &metrics.Histogram{},
+		Store:     store,
+		Fault:     cfg.FaultStats,
+		Recovered: recovered,
+	}
+	if w != nil {
+		rep.WAL = w.Stats()
 	}
 	start := time.Now()
 	results := rt.Pool(cfg.Specs, cfg.Workers)
@@ -125,10 +186,22 @@ func Run(cfg Config) *Report {
 		} else {
 			rep.GaveUp++
 		}
+		if res.Committed && res.Durable {
+			rep.Durable++
+		}
 		rep.Restarts += int64(res.Attempts - 1)
 		rep.Unavailable += int64(res.Unavailable)
 		rep.Timeouts += int64(res.Timeouts)
 		rep.Latency.ObserveDuration(res.Latency)
+	}
+	if cfg.KeepResults {
+		rep.Results = results
+	}
+	if w != nil {
+		// Close flushes the tail; a writer that already died (injected
+		// crash) reports the sticky error, which the run has already
+		// accounted for per-transaction in the durable acks.
+		_ = w.Close()
 	}
 	return rep
 }

@@ -8,6 +8,37 @@ package storage
 
 import "sync"
 
+// ApplyEvent describes one committed batch, delivered to the journal
+// hook in apply order (the hook runs under the store mutex, so event
+// order is the true commit order). Writes and Vers are owned by the
+// store only for the duration of the call: a hook that retains them
+// must copy.
+type ApplyEvent struct {
+	// Txn is the committing transaction (0 for anonymous batches such
+	// as Set and legacy Apply callers).
+	Txn int
+	// Writes is the committed batch.
+	Writes map[string]int64
+	// Vers maps each written item to its per-item version after this
+	// batch.
+	Vers map[string]int64
+	// Version is the store version after this batch.
+	Version int64
+}
+
+// Journal observes committed batches. It is called synchronously under
+// the store mutex and must be fast (enqueue, don't fsync).
+type Journal func(ApplyEvent)
+
+// State is a consistent copy of the committed state — data, per-item
+// versions and the batch counter — the unit a checkpoint persists and
+// recovery restores.
+type State struct {
+	Data     map[string]int64
+	ItemVers map[string]int64
+	Version  int64
+}
+
 // Store is a concurrency-safe committed-state KV store.
 type Store struct {
 	mu   sync.RWMutex
@@ -18,11 +49,35 @@ type Store struct {
 	// itemVer counts commits per item; partial rollback uses it to decide
 	// whether a kept read value is still current.
 	itemVer map[string]int64
+	// journal, when set, observes every committed batch under the lock.
+	journal Journal
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{data: make(map[string]int64), itemVer: make(map[string]int64)}
+}
+
+// Restore builds a store from a recovered state. The maps are copied;
+// a nil map restores as empty.
+func Restore(st State) *Store {
+	s := New()
+	for x, v := range st.Data {
+		s.data[x] = v
+	}
+	for x, v := range st.ItemVers {
+		s.itemVer[x] = v
+	}
+	s.version = st.Version
+	return s
+}
+
+// SetJournal installs (or clears, with nil) the journaling hook. Set it
+// before traffic flows: batches applied earlier are not re-delivered.
+func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
 }
 
 // Get returns the committed value of item (0 if never written).
@@ -45,23 +100,31 @@ func (s *Store) GetMany(items []string) map[string]int64 {
 
 // Apply commits a write batch atomically and returns the new version.
 func (s *Store) Apply(writes map[string]int64) int64 {
+	return s.ApplyTxn(0, writes)
+}
+
+// ApplyTxn commits a write batch atomically on behalf of txn and
+// returns the new version. The journal hook (if any) observes the
+// batch under the lock, so journal order is commit order.
+func (s *Store) ApplyTxn(txn int, writes map[string]int64) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	vers := make(map[string]int64, len(writes))
 	for x, v := range writes {
 		s.data[x] = v
 		s.itemVer[x]++
+		vers[x] = s.itemVer[x]
 	}
 	s.version++
+	if s.journal != nil {
+		s.journal(ApplyEvent{Txn: txn, Writes: writes, Vers: vers, Version: s.version})
+	}
 	return s.version
 }
 
 // Set commits a single value.
 func (s *Store) Set(item string, v int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data[item] = v
-	s.itemVer[item]++
-	s.version++
+	s.ApplyTxn(0, map[string]int64{item: v})
 }
 
 // ItemVersion returns the number of commits that wrote item (0 if never
@@ -88,6 +151,26 @@ func (s *Store) Snapshot() map[string]int64 {
 		out[x] = v
 	}
 	return out
+}
+
+// State returns a consistent copy of the full committed state: data,
+// per-item versions and the batch counter — what a checkpoint persists
+// and what verification harnesses diff against a shadow store.
+func (s *Store) State() State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := State{
+		Data:     make(map[string]int64, len(s.data)),
+		ItemVers: make(map[string]int64, len(s.itemVer)),
+		Version:  s.version,
+	}
+	for x, v := range s.data {
+		st.Data[x] = v
+	}
+	for x, v := range s.itemVer {
+		st.ItemVers[x] = v
+	}
+	return st
 }
 
 // Sum returns the sum of the committed values of the given items

@@ -59,6 +59,12 @@ type Result struct {
 	Unavailable int
 	// Timeouts counts attempts abandoned by the per-attempt timeout.
 	Timeouts int
+	// Durable reports whether the commit reached stable storage before
+	// it was acknowledged. Equal to Committed when the runtime has no
+	// Durable waiter; false when the write-ahead log failed after the
+	// scheduler committed (the commit happened in memory but would not
+	// survive a crash).
+	Durable bool
 	// Reads holds the read values of the committed attempt (nil if the
 	// transaction never committed).
 	Reads map[string]int64
@@ -112,6 +118,12 @@ type Runtime struct {
 	// Typically set much higher than Backoff: the site needs time to
 	// recover, not just the conflict window to pass.
 	UnavailableBackoff time.Duration
+	// Durable, when set, is waited on after every successful commit:
+	// the commit acks only once its redo record reaches stable storage
+	// (wal.Writer satisfies this). A Wait error marks the result
+	// non-durable but still committed — the in-memory state has it,
+	// the disk does not.
+	Durable interface{ Wait(txn int) error }
 }
 
 // errAttemptTimeout marks an attempt abandoned by AttemptTimeout. It
@@ -159,6 +171,12 @@ func (r *Runtime) Exec(spec Spec) Result {
 		res.Attempts++
 		if out.err == nil {
 			res.Committed = true
+			res.Durable = true
+			if r.Durable != nil {
+				if werr := r.Durable.Wait(spec.ID); werr != nil {
+					res.Durable = false
+				}
+			}
 			res.Reads = out.reads
 			res.Latency = time.Since(start)
 			return res

@@ -1,0 +1,115 @@
+// Package wal is the durability subsystem: a crash-safe redo log plus
+// checkpoints that make scheduler commits survive process death. Each
+// committed write batch appends one CRC32C-framed, length-prefixed
+// record carrying the transaction id, the write set with per-item
+// versions, the store version, and the scheduler's k-th-column counter
+// watermarks (so a restarted scheduler never re-issues a consumed
+// counter value — the durability half of the paper's "synchronize the
+// counters periodically" remark). Appends flow through a group-commit
+// batcher in the style of Taurus' lightweight parallel logging: the
+// first committer to need durability becomes the flush leader, gathers
+// company for a bounded delay, writes the whole batch and fsyncs once,
+// and every rider's commit acks on that single fsync.
+//
+// Checkpoint persists a snapshot of the store (temp file, fsync,
+// atomic rename) and truncates the log so recovery replays a bounded
+// suffix. Recover loads snapshot + suffix, truncates a torn tail
+// (partial final record — the expected shape of a crash) and rejects
+// mid-log corruption with a typed error, never silently replaying it.
+//
+// All file I/O goes through the FS interface so the crash-point
+// harness can substitute MemFS: an in-memory filesystem with a
+// buffer-cache model (unsynced bytes die on crash, modulo a
+// deterministic torn tail) and fault-style seeded crash scheduling.
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of file operations the log needs.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync forces written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem so crash-point tests can model exactly
+// which bytes survive a crash. All paths are slash-separated and
+// relative to the FS root.
+type FS interface {
+	// MkdirAll ensures the directory exists.
+	MkdirAll(dir string) error
+	// Create opens a file for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the whole content; a missing file reports an
+	// error satisfying errors.Is(err, fs.ErrNotExist).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// Truncate cuts the named file to the given size.
+	Truncate(name string, size int64) error
+	// Remove deletes the file; missing files are not an error.
+	Remove(name string) error
+}
+
+// OSFS implements FS on the real filesystem. Renames are followed by a
+// best-effort fsync of the parent directory so the new directory entry
+// is durable, matching the crash model MemFS simulates.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(newname))
+	return nil
+}
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error {
+	err := os.Remove(name)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// syncDir fsyncs a directory, making renames durable on filesystems
+// that require it. Best effort: some platforms refuse to fsync
+// directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// notExist reports whether the error means "no such file".
+func notExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

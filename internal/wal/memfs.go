@@ -1,0 +1,251 @@
+package wal
+
+import (
+	"errors"
+	"hash/fnv"
+	"io/fs"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// ErrCrash is injected by MemFS at a scheduled I/O boundary: the
+// simulated process has died and every further filesystem operation
+// fails. Callers observing it must abandon the writer and reopen the
+// directory through Recover (after MemFS.Restart).
+var ErrCrash = errors.New("wal: crash injected")
+
+// MemFS is an in-memory FS with a buffer-cache crash model, the disk
+// half of the crash-point harness. Every mutating operation advances a
+// logical I/O clock (the fault package's seeded-clock idiom); when the
+// clock reaches the scheduled crash point the operation fails with
+// ErrCrash, all subsequent operations fail with ErrCrash, and the
+// "disk" freezes at exactly the durable image:
+//
+//   - bytes written but never synced die, except for a deterministic
+//     torn prefix (fault.Mix of the seed and the crash op) — the
+//     partial final record a real crash leaves behind;
+//   - metadata operations (create, rename, truncate, remove) that
+//     completed before the crash survive, modeling a journaling
+//     filesystem with ordered metadata.
+//
+// Restart clears the crashed flag and promotes the surviving image to
+// durable, modeling the process restart that recovery runs in.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	seed    int64
+	ops     int64 // logical I/O clock: mutating operations so far
+	crashAt int64 // 0 = never; the op that reaches it fails with ErrCrash
+	crashed bool
+}
+
+type memFile struct {
+	data    []byte
+	durable int // bytes guaranteed to survive a crash
+}
+
+// NewMemFS returns an empty in-memory filesystem. The seed drives the
+// torn-tail length at crash time; crashAt schedules the crash on the
+// crashAt-th mutating operation (0 disables crashing).
+func NewMemFS(seed, crashAt int64) *MemFS {
+	return &MemFS{files: make(map[string]*memFile), seed: seed, crashAt: crashAt}
+}
+
+// Ops returns the logical I/O clock (mutating operations so far), used
+// by the crash matrix to size its sweep.
+func (m *MemFS) Ops() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crashed reports whether the scheduled crash has fired.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Restart models the post-crash process restart: the surviving image
+// becomes the new durable state and operations work again. No further
+// crash is scheduled. It is also safe to call without a crash (no-op
+// beyond clearing the schedule).
+func (m *MemFS) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.crashAt = 0
+	for _, f := range m.files {
+		f.durable = len(f.data)
+	}
+}
+
+// op advances the logical clock and fires the scheduled crash. Caller
+// holds mu. Returns ErrCrash if the filesystem is (now) dead.
+func (m *MemFS) op() error {
+	if m.crashed {
+		return ErrCrash
+	}
+	m.ops++
+	if m.crashAt > 0 && m.ops >= m.crashAt {
+		m.crashLocked()
+		return ErrCrash
+	}
+	return nil
+}
+
+// crashLocked freezes the disk at its durable image plus a
+// deterministic torn prefix of each file's unsynced bytes.
+func (m *MemFS) crashLocked() {
+	m.crashed = true
+	for name, f := range m.files {
+		unsynced := len(f.data) - f.durable
+		if unsynced <= 0 {
+			continue
+		}
+		h := fnv.New32a()
+		h.Write([]byte(name))
+		torn := int(fault.Mix(m.seed^int64(h.Sum32()), m.ops) % uint64(unsynced+1))
+		f.data = f.data[:f.durable+torn]
+		f.durable = len(f.data)
+	}
+}
+
+// MkdirAll implements FS (directories are implicit in MemFS).
+func (m *MemFS) MkdirAll(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrash
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return nil, err
+	}
+	m.files[name] = &memFile{}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return nil, err
+	}
+	if m.files[name] == nil {
+		m.files[name] = &memFile{}
+	}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+// ReadFile implements FS. Reads see the volatile view (the page cache)
+// and do not advance the crash clock.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrash
+	}
+	f := m.files[name]
+	if f == nil {
+		return nil, fs.ErrNotExist
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Rename implements FS: atomic and, per the ordered-metadata model,
+// durable once it returns.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	f := m.files[oldname]
+	if f == nil {
+		return fs.ErrNotExist
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	f := m.files[name]
+	if f == nil {
+		return fs.ErrNotExist
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.durable > len(f.data) {
+		f.durable = len(f.data)
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// memHandle is an open MemFS file. All writes append (the log's only
+// write pattern; Create starts from empty).
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+// Write implements File: bytes land in the volatile view and die on
+// crash unless synced.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.op(); err != nil {
+		return 0, err
+	}
+	f := h.fs.files[h.name]
+	if f == nil {
+		return 0, fs.ErrNotExist
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+// Sync implements File: the volatile view becomes durable.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.op(); err != nil {
+		return err
+	}
+	f := h.fs.files[h.name]
+	if f == nil {
+		return fs.ErrNotExist
+	}
+	f.durable = len(f.data)
+	return nil
+}
+
+// Close implements File.
+func (h *memHandle) Close() error { return nil }

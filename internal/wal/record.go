@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Typed decode errors. A torn tail (partial final record) is NOT an
+// error: recovery truncates it. Corruption — a CRC mismatch or a
+// malformed payload with further data behind it — is never replayed.
+var (
+	// ErrCorrupt marks a record that fails its CRC or decodes to
+	// garbage while not being the file's torn tail.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrGap marks a log whose record versions are not contiguous —
+	// a record is missing, so the suffix cannot be replayed safely.
+	ErrGap = errors.New("wal: log has a version gap")
+)
+
+// CorruptError carries the offset of the offending frame.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) true.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// castagnoli is the CRC32C table (the polynomial storage systems use
+// for record framing: hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record kinds.
+const (
+	kindCommit     = 1
+	kindCheckpoint = 2
+)
+
+// maxFrame bounds a single frame so a garbage length field cannot make
+// the parser allocate unboundedly.
+const maxFrame = 1 << 26
+
+// KV is one committed write: the item, its new value, and the item's
+// per-item version after the commit.
+type KV struct {
+	Item string
+	Val  int64
+	Ver  int64
+}
+
+// Record is one redo-log entry: the write set of a committed
+// transaction plus the scheduler counter watermarks sampled at commit.
+// Lo and Hi are both monotone non-decreasing consumption watermarks
+// for the k-th-column lower/upper counters (see sched.DurableCounters)
+// — restarting a scheduler at or above them guarantees no consumed
+// counter value is ever re-issued.
+type Record struct {
+	Txn     int64
+	Version int64 // store version after this batch; contiguous in the log
+	Lo, Hi  int64 // counter watermarks at commit
+	Writes  []KV  // sorted by item
+}
+
+// checkpoint is the snapshot persisted by Checkpoint: the full store
+// image plus the watermarks, superseding every record with
+// Version <= its Version.
+type checkpoint struct {
+	Version int64
+	Lo, Hi  int64
+	Items   []KV // item -> (value, per-item version), sorted
+}
+
+// appendPayloadCommit encodes the record body (without framing).
+func appendPayloadCommit(buf []byte, r Record) []byte {
+	buf = append(buf, kindCommit)
+	buf = binary.AppendVarint(buf, r.Txn)
+	buf = binary.AppendVarint(buf, r.Version)
+	buf = binary.AppendVarint(buf, r.Lo)
+	buf = binary.AppendVarint(buf, r.Hi)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Writes)))
+	for _, w := range r.Writes {
+		buf = binary.AppendUvarint(buf, uint64(len(w.Item)))
+		buf = append(buf, w.Item...)
+		buf = binary.AppendVarint(buf, w.Val)
+		buf = binary.AppendVarint(buf, w.Ver)
+	}
+	return buf
+}
+
+// appendPayloadCheckpoint encodes a checkpoint body (without framing).
+func appendPayloadCheckpoint(buf []byte, c checkpoint) []byte {
+	buf = append(buf, kindCheckpoint)
+	buf = binary.AppendVarint(buf, c.Version)
+	buf = binary.AppendVarint(buf, c.Lo)
+	buf = binary.AppendVarint(buf, c.Hi)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Items)))
+	for _, it := range c.Items {
+		buf = binary.AppendUvarint(buf, uint64(len(it.Item)))
+		buf = append(buf, it.Item...)
+		buf = binary.AppendVarint(buf, it.Val)
+		buf = binary.AppendVarint(buf, it.Ver)
+	}
+	return buf
+}
+
+// appendFrame wraps a payload in the on-disk frame:
+//
+//	| len uint32 LE | crc32c(payload) uint32 LE | payload |
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// sortedKVs converts a write map (+ per-item versions) into the sorted
+// KV slice the record format wants (determinism: identical commits
+// encode identically).
+func sortedKVs(writes, vers map[string]int64) []KV {
+	kvs := make([]KV, 0, len(writes))
+	for x, v := range writes {
+		kvs = append(kvs, KV{Item: x, Val: v, Ver: vers[x]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Item < kvs[j].Item })
+	return kvs
+}
+
+// payloadReader decodes varint payloads with explicit error returns.
+type payloadReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (p *payloadReader) fail(reason string) {
+	if p.err == nil {
+		p.err = errors.New(reason)
+	}
+}
+
+func (p *payloadReader) varint() int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.buf[p.off:])
+	if n <= 0 {
+		p.fail("bad varint")
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+func (p *payloadReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.buf[p.off:])
+	if n <= 0 {
+		p.fail("bad uvarint")
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+func (p *payloadReader) bytes(n uint64) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n > uint64(len(p.buf)-p.off) {
+		p.fail("string runs past payload")
+		return nil
+	}
+	b := p.buf[p.off : p.off+int(n)]
+	p.off += int(n)
+	return b
+}
+
+func (p *payloadReader) done() bool { return p.err == nil && p.off == len(p.buf) }
+
+// decodeKVs reads n length-prefixed (item, val, ver) triples.
+func (p *payloadReader) decodeKVs(n uint64) []KV {
+	if n > uint64(len(p.buf)) { // each KV takes >= 3 bytes; cheap sanity bound
+		p.fail("kv count exceeds payload")
+		return nil
+	}
+	kvs := make([]KV, 0, n)
+	for i := uint64(0); i < n; i++ {
+		item := string(p.bytes(p.uvarint()))
+		val := p.varint()
+		ver := p.varint()
+		if p.err != nil {
+			return nil
+		}
+		kvs = append(kvs, KV{Item: item, Val: val, Ver: ver})
+	}
+	return kvs
+}
+
+// decodeCommit decodes a commit payload (after the kind byte has been
+// checked by the caller's framing loop).
+func decodeCommit(payload []byte) (Record, error) {
+	p := &payloadReader{buf: payload, off: 1}
+	r := Record{
+		Txn:     p.varint(),
+		Version: p.varint(),
+		Lo:      p.varint(),
+		Hi:      p.varint(),
+	}
+	r.Writes = p.decodeKVs(p.uvarint())
+	if p.err != nil {
+		return Record{}, p.err
+	}
+	if !p.done() {
+		return Record{}, errors.New("trailing bytes in commit payload")
+	}
+	return r, nil
+}
+
+// decodeCheckpoint decodes a checkpoint payload.
+func decodeCheckpoint(payload []byte) (checkpoint, error) {
+	p := &payloadReader{buf: payload, off: 1}
+	c := checkpoint{
+		Version: p.varint(),
+		Lo:      p.varint(),
+		Hi:      p.varint(),
+	}
+	c.Items = p.decodeKVs(p.uvarint())
+	if p.err != nil {
+		return checkpoint{}, p.err
+	}
+	if !p.done() {
+		return checkpoint{}, errors.New("trailing bytes in checkpoint payload")
+	}
+	return c, nil
+}
+
+// parseLog scans a log image and returns the decoded records, the byte
+// length of the valid prefix, and whether a torn tail was dropped.
+// A frame that runs past EOF (length field or payload cut short) is a
+// torn tail: parsing stops cleanly at the last whole record. A frame
+// that fits but fails its CRC or decodes to garbage is corruption and
+// returns a *CorruptError — it is never skipped, because every record
+// behind it would be replayed out of context.
+func parseLog(data []byte) (recs []Record, goodLen int, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return recs, off, true, nil // header cut short: torn tail
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if n > maxFrame {
+			if uint64(off)+8+uint64(n) > uint64(len(data)) {
+				return recs, off, true, nil // absurd length past EOF: torn length field
+			}
+			return recs, off, false, &CorruptError{Offset: int64(off), Reason: "frame length exceeds limit"}
+		}
+		if off+8+int(n) > len(data) {
+			return recs, off, true, nil // payload cut short: torn tail
+		}
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		payload := rest[8 : 8+int(n)]
+		if crc32.Checksum(payload, castagnoli) != want {
+			return recs, off, false, &CorruptError{Offset: int64(off), Reason: "crc mismatch"}
+		}
+		if len(payload) == 0 || payload[0] != kindCommit {
+			return recs, off, false, &CorruptError{Offset: int64(off), Reason: "unexpected record kind"}
+		}
+		rec, derr := decodeCommit(payload)
+		if derr != nil {
+			return recs, off, false, &CorruptError{Offset: int64(off), Reason: derr.Error()}
+		}
+		if len(recs) > 0 && rec.Version != recs[len(recs)-1].Version+1 {
+			return recs, off, false, &CorruptError{Offset: int64(off), Reason: ErrGap.Error()}
+		}
+		recs = append(recs, rec)
+		off += 8 + int(n)
+	}
+	return recs, off, false, nil
+}

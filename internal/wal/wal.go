@@ -1,0 +1,445 @@
+package wal
+
+import (
+	"fmt"
+	"path"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Log file names inside the WAL directory.
+const (
+	logName  = "wal.log"
+	ckptName = "checkpoint"
+	tmpName  = "checkpoint.tmp"
+)
+
+// SyncPolicy selects when the log reaches stable storage.
+type SyncPolicy int
+
+const (
+	// SyncGroup fsyncs once per group-commit batch: the flush leader
+	// waits BatchDelay for company, then one fsync acks every rider.
+	SyncGroup SyncPolicy = iota
+	// SyncAlways fsyncs eagerly, without waiting for company. Under
+	// contention waiters still coalesce behind the current leader, so
+	// this degrades gracefully rather than serializing fully.
+	SyncAlways
+	// SyncNone never fsyncs: commits ack after the buffered write.
+	// Fast, and exactly as durable as it sounds — for experiments that
+	// want log bytes without paying for stable storage.
+	SyncNone
+)
+
+// String names the policy (flag value round-trip).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "group"
+	}
+}
+
+// ParseSyncPolicy parses a -walsync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "group", "":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return SyncGroup, fmt.Errorf("wal: unknown sync policy %q (want always, group or none)", s)
+}
+
+// Options configures a Writer.
+type Options struct {
+	// Dir is the log directory (created if missing).
+	Dir string
+	// FS is the filesystem; nil means the real one (OSFS).
+	FS FS
+	// Sync selects the fsync policy (zero value: SyncGroup).
+	Sync SyncPolicy
+	// BatchDelay is how long a flush leader waits for company under
+	// SyncGroup (default 200µs; <0 disables waiting).
+	BatchDelay time.Duration
+	// BatchBytes flushes without waiting once the queue reaches this
+	// size (default 256 KiB).
+	BatchBytes int
+	// CheckpointEvery checkpoints automatically after this many
+	// records reach the log (0 = only explicit Checkpoint calls).
+	CheckpointEvery int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FS == nil {
+		out.FS = OSFS{}
+	}
+	if out.BatchDelay == 0 {
+		out.BatchDelay = 200 * time.Microsecond
+	}
+	if out.BatchBytes <= 0 {
+		out.BatchBytes = 256 << 10
+	}
+	return out
+}
+
+// Stats counts the writer's I/O work. Histograms carry nanosecond
+// samples.
+type Stats struct {
+	// Appends counts records enqueued.
+	Appends metrics.Counter
+	// Flushes counts write(+fsync) batches; Syncs counts actual fsyncs.
+	Flushes metrics.Counter
+	// Syncs counts fsync calls on the log file.
+	Syncs metrics.Counter
+	// Bytes counts log bytes written.
+	Bytes metrics.Counter
+	// Checkpoints counts completed checkpoints.
+	Checkpoints metrics.Counter
+	// FsyncNs samples the write+fsync latency of each flush batch.
+	FsyncNs metrics.Histogram
+	// BatchRecords samples records per flush batch (group-commit
+	// effectiveness: mean ≈ commits amortized per fsync).
+	BatchRecords metrics.Histogram
+}
+
+// Writer is the redo-log writer. One Writer owns a WAL directory;
+// open it with Open, wire it to a store and scheduler with Attach,
+// and commits become durable via Journal (enqueue, called under the
+// store lock) + Wait (group-commit flush, called by the runtime after
+// Commit returns).
+type Writer struct {
+	opts  Options
+	file  File
+	store *storage.Store
+	// counters samples the scheduler's (lo, hi) watermarks; set by
+	// Attach. Called inside Journal, i.e. under the store mutex, which
+	// the schedulers hold while their own counter mutex is held — the
+	// sample is consistent with the batch being journaled.
+	counters func() (lo, hi int64)
+
+	// mu protects the queue and bookkeeping. Never held across I/O.
+	mu       sync.Mutex
+	queue    []byte        // encoded frames awaiting flush
+	qRecords int64         // records in queue
+	qTxns    []int64       // txns with tickets in queue
+	txnVer   map[int64]int64 // txn -> version awaiting durability
+	queueVer int64         // version of the newest enqueued record
+	durable  int64         // newest version known flushed (+synced)
+	lastLo   int64         // monotone counter watermarks of the
+	lastHi   int64         //   newest enqueued record
+	since    int64         // records logged since the last checkpoint
+	err      error         // sticky I/O error; everything fails after
+
+	// flushMu serializes flush leaders and checkpoints. Held across
+	// I/O; waiters parked on it form the next group.
+	flushMu sync.Mutex
+
+	stats Stats
+}
+
+// Open recovers the WAL directory and returns a Writer appending after
+// the recovered tail, plus the recovered state (never nil on success;
+// empty for a fresh directory). Corruption fails the open.
+func Open(opts Options) (*Writer, *RecoveredState, error) {
+	o := opts.withDefaults()
+	if err := o.FS.MkdirAll(o.Dir); err != nil {
+		return nil, nil, err
+	}
+	st, err := Recover(o.FS, o.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := o.FS.OpenAppend(path.Join(o.Dir, logName))
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &Writer{
+		opts:     o,
+		file:     f,
+		txnVer:   make(map[int64]int64),
+		queueVer: st.Store.Version,
+		durable:  st.Store.Version,
+		lastLo:   st.Lo,
+		lastHi:   st.Hi,
+		since:    int64(st.Records),
+	}
+	return w, st, nil
+}
+
+// Attach wires the writer to a store (journaling every committed
+// batch) and a counter source (nil for schedulers without durable
+// counters). Call before traffic flows.
+func (w *Writer) Attach(store *storage.Store, counters func() (lo, hi int64)) {
+	w.store = store
+	w.counters = counters
+	store.SetJournal(w.Journal)
+}
+
+// SetCounterSource installs the watermark sampler after Attach — for
+// callers that must attach the journal (to capture seeding batches)
+// before the scheduler exists. Call before traffic flows: the field is
+// read without a lock by the journal hook.
+func (w *Writer) SetCounterSource(counters func() (lo, hi int64)) {
+	w.counters = counters
+}
+
+// Journal enqueues a redo record for a committed batch. It runs under
+// the store mutex and therefore observes batches in commit order; it
+// never touches the file (the group-commit flush does).
+func (w *Writer) Journal(ev storage.ApplyEvent) {
+	var lo, hi int64
+	if w.counters != nil {
+		lo, hi = w.counters()
+	}
+	kvs := sortedKVs(ev.Writes, ev.Vers)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Watermarks are monotone by contract; max defensively so a lagging
+	// source can never roll a record's watermark backwards.
+	if lo < w.lastLo {
+		lo = w.lastLo
+	}
+	if hi < w.lastHi {
+		hi = w.lastHi
+	}
+	rec := Record{Txn: int64(ev.Txn), Version: ev.Version, Lo: lo, Hi: hi, Writes: kvs}
+	w.queue = appendFrame(w.queue, appendPayloadCommit(nil, rec))
+	w.qRecords++
+	w.queueVer = ev.Version
+	w.lastLo, w.lastHi = lo, hi
+	w.since++
+	if ev.Txn != 0 {
+		w.txnVer[int64(ev.Txn)] = ev.Version
+		w.qTxns = append(w.qTxns, int64(ev.Txn))
+	}
+	w.stats.Appends.Inc()
+}
+
+// Wait blocks until txn's commit record is durable (per the sync
+// policy) and returns the sticky I/O error if durability was lost.
+// The first waiter becomes the flush leader: it gathers company for
+// BatchDelay, writes the whole queue, fsyncs once, and every waiter
+// parked behind it rides the same fsync. A txn with no pending record
+// (read-only, or already flushed by an earlier leader) returns
+// immediately.
+func (w *Writer) Wait(txn int) error {
+	w.mu.Lock()
+	ver, ok := w.txnVer[int64(txn)]
+	if !ok {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+	return w.waitVersion(ver)
+}
+
+// waitVersion drives the leader-follower loop until version ver is
+// durable or the writer has failed.
+func (w *Writer) waitVersion(ver int64) error {
+	for {
+		w.mu.Lock()
+		if w.durable >= ver {
+			w.mu.Unlock()
+			return nil
+		}
+		if w.err != nil {
+			err := w.err
+			w.mu.Unlock()
+			return err
+		}
+		w.mu.Unlock()
+
+		w.flushMu.Lock()
+		w.mu.Lock()
+		done := w.durable >= ver || w.err != nil
+		needDelay := w.opts.Sync == SyncGroup && w.opts.BatchDelay > 0 &&
+			len(w.queue) < w.opts.BatchBytes
+		w.mu.Unlock()
+		if done {
+			w.flushMu.Unlock()
+			continue // top of loop resolves success vs error
+		}
+		if needDelay {
+			// Gather company: commits journaled during the sleep join
+			// this batch; their Wait calls park on flushMu behind us.
+			time.Sleep(w.opts.BatchDelay)
+		}
+		w.flushLocked()
+		w.flushMu.Unlock()
+	}
+}
+
+// flushLocked writes and fsyncs the queued frames. Caller holds
+// flushMu (and must not hold mu).
+func (w *Writer) flushLocked() {
+	w.mu.Lock()
+	buf := w.queue
+	recs := w.qRecords
+	txns := w.qTxns
+	ver := w.queueVer
+	w.queue, w.qRecords, w.qTxns = nil, 0, nil
+	w.mu.Unlock()
+	if len(buf) == 0 {
+		return
+	}
+
+	start := time.Now()
+	_, err := w.file.Write(buf)
+	if err == nil && w.opts.Sync != SyncNone {
+		err = w.file.Sync()
+		w.stats.Syncs.Inc()
+	}
+	w.stats.Flushes.Inc()
+	w.stats.FsyncNs.ObserveSince(start)
+	w.stats.BatchRecords.Observe(recs)
+	w.stats.Bytes.Add(int64(len(buf)))
+
+	w.mu.Lock()
+	if err != nil {
+		w.err = err
+		w.mu.Unlock()
+		return
+	}
+	w.durable = ver
+	for _, t := range txns {
+		delete(w.txnVer, t)
+	}
+	auto := w.opts.CheckpointEvery > 0 && w.since >= int64(w.opts.CheckpointEvery)
+	w.mu.Unlock()
+
+	if auto && w.store != nil {
+		// Leader pays the checkpoint; riders still ack as soon as
+		// flushMu releases since their versions are already durable.
+		_ = w.checkpointLocked()
+	}
+}
+
+// Checkpoint snapshots the store into the checkpoint file and
+// truncates the log. Safe at every intermediate crash point: the old
+// checkpoint + full log stay valid until the atomic rename, and after
+// it every log record is superseded by the snapshot.
+func (w *Writer) Checkpoint() error {
+	if w.store == nil {
+		return fmt.Errorf("wal: Checkpoint before Attach")
+	}
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.flushLocked()
+	return w.checkpointLocked()
+}
+
+// checkpointLocked does the work; caller holds flushMu with the queue
+// drained. Only flushMu holders write the log file, so every record in
+// it has version <= the snapshot version taken here and truncating the
+// log after the rename loses nothing.
+func (w *Writer) checkpointLocked() error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	lo, hi := w.lastLo, w.lastHi
+	w.mu.Unlock()
+
+	st := w.store.State()
+	c := checkpoint{Version: st.Version, Lo: lo, Hi: hi, Items: stateKVs(st)}
+	frame := appendFrame(nil, appendPayloadCheckpoint(nil, c))
+
+	fail := func(err error) error {
+		w.mu.Lock()
+		if w.err == nil {
+			w.err = err
+		}
+		w.mu.Unlock()
+		return err
+	}
+	tmp := path.Join(w.opts.Dir, tmpName)
+	f, err := w.opts.FS.Create(tmp)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := w.opts.FS.Rename(tmp, path.Join(w.opts.Dir, ckptName)); err != nil {
+		return fail(err)
+	}
+	// The snapshot now owns everything in the log; an old log tail is
+	// merely redundant, so a crash between rename and truncate is safe.
+	if err := w.opts.FS.Truncate(path.Join(w.opts.Dir, logName), 0); err != nil {
+		return fail(err)
+	}
+	w.mu.Lock()
+	w.since = 0
+	w.mu.Unlock()
+	w.stats.Checkpoints.Inc()
+	return nil
+}
+
+// stateKVs flattens a store state into the checkpoint's sorted items.
+// Items with a version but no data (never the case today) default to
+// value 0, matching Store.Get on a missing key.
+func stateKVs(st storage.State) []KV {
+	vals := make(map[string]int64, len(st.Data))
+	for x, v := range st.Data {
+		vals[x] = v
+	}
+	for x := range st.ItemVers {
+		if _, ok := vals[x]; !ok {
+			vals[x] = 0
+		}
+	}
+	return sortedKVs(vals, st.ItemVers)
+}
+
+// Flush forces the queue to stable storage without waiting on a
+// specific transaction (used at shutdown and by tests).
+func (w *Writer) Flush() error {
+	w.flushMu.Lock()
+	w.flushLocked()
+	w.flushMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes and closes the log file. The writer is unusable after.
+func (w *Writer) Close() error {
+	err := w.Flush()
+	if cerr := w.file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats exposes the writer's counters (live; safe to read while
+// running).
+func (w *Writer) Stats() *Stats { return &w.stats }
+
+// DurableVersion returns the newest store version known durable.
+func (w *Writer) DurableVersion() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}

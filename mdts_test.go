@@ -85,6 +85,37 @@ func TestFacadeRuntimeBanking(t *testing.T) {
 	}
 }
 
+// The README durability quickstart, end to end: a durable banking run,
+// then recovery reproduces the final balances from disk.
+func TestFacadeDurableRuntime(t *testing.T) {
+	accounts := []string{"a", "b", "c"}
+	dir := t.TempDir() + "/wal"
+	rep := RunSim(SimConfig{
+		NewScheduler: func(st *Store) RuntimeScheduler {
+			return NewMTRuntime(st, DefaultMTOptions(4), true)
+		},
+		Specs:   Transfers(30, accounts, 5, 7),
+		Workers: 4,
+		Backoff: 20 * time.Microsecond,
+		Initial: map[string]int64{"a": 100, "b": 100, "c": 100},
+		WAL:     &WALOptions{Dir: dir, Sync: SyncGroup},
+	})
+	if rep.Durable != rep.Committed || rep.Committed != 30 {
+		t.Fatalf("durable=%d committed=%d, want 30/30", rep.Durable, rep.Committed)
+	}
+	rec, err := RecoverWAL(dir)
+	if err != nil {
+		t.Fatalf("RecoverWAL: %v", err)
+	}
+	sum := int64(0)
+	for _, a := range accounts {
+		sum += rec.Store.Data[a]
+	}
+	if sum != 300 {
+		t.Fatalf("recovered sum = %d, want 300", sum)
+	}
+}
+
 func TestFacadeAllRuntimes(t *testing.T) {
 	mks := []func(*Store) RuntimeScheduler{
 		func(st *Store) RuntimeScheduler { return NewMTRuntime(st, DefaultMTOptions(2), false) },

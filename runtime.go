@@ -13,6 +13,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/tsto"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -112,6 +113,36 @@ func NewAdaptiveRuntime(store *Store, opts AdaptiveOptions) RuntimeScheduler {
 
 // RunSim executes a simulation and returns its report.
 func RunSim(cfg SimConfig) *SimReport { return sim.Run(cfg) }
+
+// Durability layer: the write-ahead log that makes runtime commits
+// crash-safe (redo records, group commit, checkpoints, recovery).
+type (
+	// WALOptions configures a log directory, sync policy and batching;
+	// set SimConfig.WAL to make a simulation durable.
+	WALOptions = wal.Options
+	// WALWriter is the group-commit log writer.
+	WALWriter = wal.Writer
+	// WALRecovered is the state reconstructed from a log directory.
+	WALRecovered = wal.RecoveredState
+	// WALSyncPolicy selects when commits are fsynced.
+	WALSyncPolicy = wal.SyncPolicy
+)
+
+// Sync policies for WALOptions.Sync.
+const (
+	SyncGroup  = wal.SyncGroup  // batched fsync (group commit, default)
+	SyncAlways = wal.SyncAlways // fsync every flush, no gather delay
+	SyncNone   = wal.SyncNone   // write without fsync (volatile tail)
+)
+
+// OpenWAL opens (creating or recovering) a write-ahead log directory
+// and returns the writer plus the recovered state to restart from.
+func OpenWAL(opts WALOptions) (*WALWriter, *WALRecovered, error) { return wal.Open(opts) }
+
+// RecoverWAL reads a log directory without opening it for writing:
+// checkpoint + redo suffix, torn tail truncated, corruption rejected
+// with a typed *wal.CorruptError.
+func RecoverWAL(dir string) (*WALRecovered, error) { return wal.Recover(nil, dir) }
 
 // DefaultMTOptions returns the recommended production configuration:
 // k = 2q-1 for the expected transaction length q (Section VI-B guideline

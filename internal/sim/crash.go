@@ -17,8 +17,8 @@ const crashDir = "walcrash"
 
 // shadowEvent is one committed batch as the shadow copy saw it: deep
 // copies of the maps (the journal contract lends them only for the
-// call) plus the counter watermarks sampled at the same instant the
-// log writer sampled them.
+// call) plus the counter watermarks the log writer recorded in the
+// batch's redo record.
 type shadowEvent struct {
 	Txn     int
 	Version int64
@@ -119,16 +119,8 @@ func (r *CrashPointReport) String() string {
 func RunCrashPoint(cfg CrashPointConfig) *CrashPointReport {
 	fsys := wal.NewMemFS(cfg.Seed, cfg.CrashAt)
 	var shadow []shadowEvent
-	var dc sched.DurableCounters
-
-	inner := cfg.NewScheduler
-	cfg.Config.NewScheduler = func(s *storage.Store) sched.Scheduler {
-		sch := inner(s)
-		if d, ok := sch.(sched.DurableCounters); ok {
-			dc = d
-		}
-		return sch
-	}
+	var w *wal.Writer
+	cfg.Config.OnWALOpen = func(wr *wal.Writer, _ *wal.RecoveredState) { w = wr }
 	cfg.Config.WAL = &wal.Options{
 		Dir:             crashDir,
 		FS:              fsys,
@@ -147,8 +139,14 @@ func RunCrashPoint(cfg CrashPointConfig) *CrashPointReport {
 		for x, v := range ev.Vers {
 			e.Vers[x] = v
 		}
-		if dc != nil {
-			e.Lo, e.Hi = dc.WALCounters()
+		if w != nil {
+			// Read the watermarks the log writer just recorded for this
+			// batch (its journal hook ran first, under the same
+			// store-mutex hold) instead of re-sampling the scheduler:
+			// DMT's cluster counters advance under per-site locks, so a
+			// re-sample could exceed what the log persisted and trip
+			// invariant 4 spuriously.
+			e.Lo, e.Hi = w.LastWatermarks()
 		}
 		// The journal runs under the store mutex: appends are serialized
 		// and arrive in commit order.

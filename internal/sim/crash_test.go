@@ -175,14 +175,29 @@ func TestDurableRunOSFS(t *testing.T) {
 	}
 
 	// A second run over the same directory continues from the recovered
-	// state: the initial seed batches re-apply on top of it.
+	// state. Initial must NOT re-seed: it would overwrite the first
+	// run's committed values with the seed constants.
 	cfg2 := crashBase()
 	cfg2.WAL = &wal.Options{Dir: dir, Sync: wal.SyncGroup, BatchDelay: 100 * time.Microsecond}
 	rep2 := Run(cfg2)
 	if rep2.Recovered == nil || rep2.Recovered.Store.Version == 0 {
 		t.Fatal("second run did not recover the first run's state")
 	}
+	if !statesEqual(rep2.Recovered.Store, rep.Store.State()) {
+		t.Fatal("second run recovered a different state than the first run committed")
+	}
 	if rep2.Durable != rep2.Committed {
 		t.Fatalf("second run durable=%d != committed=%d", rep2.Durable, rep2.Committed)
+	}
+	// Every committed txn adds exactly +1 to two items; had Initial
+	// re-seeded (resetting every item to 100), the final sum would fall
+	// short of recovered-sum + 2*committed.
+	var recSum int64
+	for _, x := range crashItems {
+		recSum += rep2.Recovered.Store.Data[x]
+	}
+	if got, want := rep2.Store.Sum(crashItems), recSum+2*rep2.Committed; got != want {
+		t.Fatalf("final sum %d != recovered sum %d + 2*committed %d (Initial re-seeded a durable restart?)",
+			got, recSum, rep2.Committed)
 	}
 }

@@ -30,7 +30,9 @@ type Config struct {
 	Backoff time.Duration
 	// Think is the per-operation think time (forces overlap).
 	Think time.Duration
-	// Seed sets initial item values (item -> value); optional.
+	// Initial sets initial item values (item -> value); optional. With a
+	// WAL it only applies to a fresh log directory: a durable restart
+	// restores the seeded items' committed values from the log instead.
 	Initial map[string]int64
 	// RuntimeSeed perturbs per-transaction retry jitter (see
 	// txn.Runtime.Seed); 0 keeps the legacy per-spec seeding.
@@ -51,6 +53,11 @@ type Config struct {
 	// recovered watermarks, and acks each commit only after its redo
 	// record reaches stable storage per the options' sync policy.
 	WAL *wal.Options
+	// OnWALOpen, when set together with WAL, runs after the log writer
+	// is opened and attached, before any batch is journaled. Crash
+	// harnesses use it to capture the writer (e.g. to read
+	// LastWatermarks from the Observe hook).
+	OnWALOpen func(*wal.Writer, *wal.RecoveredState)
 	// Observe, when set, sees every committed batch (after the WAL
 	// journal, both under the store mutex). Crash harnesses use it to
 	// build the shadow copy recovery is checked against. Per the
@@ -138,6 +145,9 @@ func Run(cfg Config) *Report {
 		}
 		store = storage.Restore(recovered.Store)
 		w.Attach(store, nil)
+		if cfg.OnWALOpen != nil {
+			cfg.OnWALOpen(w, recovered)
+		}
 	}
 	if cfg.Observe != nil {
 		journal := cfg.Observe
@@ -147,8 +157,14 @@ func Run(cfg Config) *Report {
 		}
 		store.SetJournal(journal)
 	}
-	for x, v := range cfg.Initial {
-		store.Set(x, v)
+	// Seed initial values only on a fresh store: a durable restart has
+	// already recovered the seeded items (possibly overwritten by later
+	// commits), and re-seeding would clobber committed values while
+	// journaling spurious new versions for them.
+	if recovered == nil || recovered.Store.Version == 0 {
+		for x, v := range cfg.Initial {
+			store.Set(x, v)
+		}
 	}
 	s := cfg.NewScheduler(store)
 	if w != nil {

@@ -17,6 +17,8 @@ var (
 	ErrCorrupt = errors.New("wal: corrupt record")
 	// ErrGap marks a log whose record versions are not contiguous —
 	// a record is missing, so the suffix cannot be replayed safely.
+	// It is reported wrapped in a *CorruptError, so both
+	// errors.Is(err, ErrCorrupt) and errors.Is(err, ErrGap) hold.
 	ErrGap = errors.New("wal: log has a version gap")
 )
 
@@ -24,6 +26,9 @@ var (
 type CorruptError struct {
 	Offset int64
 	Reason string
+	// Err is the typed cause when the corruption has one (e.g. ErrGap);
+	// nil for generic corruption such as a CRC mismatch.
+	Err error
 }
 
 // Error implements error.
@@ -31,8 +36,14 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.Offset, e.Reason)
 }
 
-// Unwrap makes errors.Is(err, ErrCorrupt) true.
-func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+// Unwrap makes errors.Is(err, ErrCorrupt) true, and additionally
+// errors.Is(err, e.Err) when a typed cause is set.
+func (e *CorruptError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrCorrupt, e.Err}
+	}
+	return []error{ErrCorrupt}
+}
 
 // castagnoli is the CRC32C table (the polynomial storage systems use
 // for record framing: hardware-accelerated on amd64/arm64).
@@ -280,7 +291,7 @@ func parseLog(data []byte) (recs []Record, goodLen int, torn bool, err error) {
 			return recs, off, false, &CorruptError{Offset: int64(off), Reason: derr.Error()}
 		}
 		if len(recs) > 0 && rec.Version != recs[len(recs)-1].Version+1 {
-			return recs, off, false, &CorruptError{Offset: int64(off), Reason: ErrGap.Error()}
+			return recs, off, false, &CorruptError{Offset: int64(off), Reason: ErrGap.Error(), Err: ErrGap}
 		}
 		recs = append(recs, rec)
 		off += 8 + int(n)

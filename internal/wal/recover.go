@@ -75,11 +75,23 @@ func Recover(fsys FS, dir string) (*RecoveredState, error) {
 		}
 	}
 	for _, rec := range recs {
+		// Fold watermarks from every durable record — including ones the
+		// checkpoint supersedes — before deciding whether to replay it.
+		// Watermarks are monotone, so the newest pair dominates anyway;
+		// taking the max over the whole log is defense in depth: should a
+		// checkpoint's watermarks ever lag its snapshot, the superseded
+		// records still carry the correct values and repair it here.
+		if rec.Lo > st.Lo {
+			st.Lo = rec.Lo
+		}
+		if rec.Hi > st.Hi {
+			st.Hi = rec.Hi
+		}
 		if rec.Version <= st.Store.Version {
 			continue // superseded by the checkpoint
 		}
 		if rec.Version != st.Store.Version+1 {
-			return nil, &CorruptError{Reason: fmt.Sprintf(
+			return nil, &CorruptError{Err: ErrGap, Reason: fmt.Sprintf(
 				"%s: record version %d after state version %d",
 				ErrGap, rec.Version, st.Store.Version)}
 		}
@@ -88,14 +100,6 @@ func Recover(fsys FS, dir string) (*RecoveredState, error) {
 			st.Store.ItemVers[w.Item] = w.Ver
 		}
 		st.Store.Version = rec.Version
-		// Watermarks are monotone, so the last record's pair dominates;
-		// max anyway so a malformed-but-valid-CRC log cannot regress us.
-		if rec.Lo > st.Lo {
-			st.Lo = rec.Lo
-		}
-		if rec.Hi > st.Hi {
-			st.Hi = rec.Hi
-		}
 		st.Records++
 	}
 	return st, nil

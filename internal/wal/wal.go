@@ -351,10 +351,21 @@ func (w *Writer) checkpointLocked() error {
 		w.mu.Unlock()
 		return err
 	}
-	lo, hi := w.lastLo, w.lastHi
 	w.mu.Unlock()
 
 	st := w.store.State()
+	// Sample the watermarks only AFTER the snapshot is taken: the
+	// journal hook runs under the store write lock, so every commit
+	// State() captured has already raised lastLo/lastHi. A commit
+	// landing between the snapshot and this sample merely rounds the
+	// watermarks up, which is safe — they are monotone consumption
+	// bounds. Sampling before the snapshot would let such a commit into
+	// the checkpoint *without* its counter state; after the truncate,
+	// recovery would skip its log record as superseded and seed the
+	// scheduler below counters a durable commit already consumed.
+	w.mu.Lock()
+	lo, hi := w.lastLo, w.lastHi
+	w.mu.Unlock()
 	c := checkpoint{Version: st.Version, Lo: lo, Hi: hi, Items: stateKVs(st)}
 	frame := appendFrame(nil, appendPayloadCheckpoint(nil, c))
 
@@ -436,6 +447,17 @@ func (w *Writer) Close() error {
 // Stats exposes the writer's counters (live; safe to read while
 // running).
 func (w *Writer) Stats() *Stats { return &w.stats }
+
+// LastWatermarks returns the counter watermarks carried by the newest
+// journaled record (the recovered pair before any traffic). Journal
+// runs under the store mutex, so a journal observer calling this for
+// the same batch — i.e. under the same store-mutex hold, after the
+// WAL's hook — reads exactly the pair that batch's record persists.
+func (w *Writer) LastWatermarks() (lo, hi int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLo, w.lastHi
+}
 
 // DurableVersion returns the newest store version known durable.
 func (w *Writer) DurableVersion() int64 {

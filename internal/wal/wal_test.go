@@ -205,6 +205,67 @@ func TestVersionGapRejected(t *testing.T) {
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("gapped log: err=%v, want ErrCorrupt", err)
 	}
+	if !errors.Is(err, ErrGap) {
+		t.Fatalf("gapped log: err=%v, want ErrGap distinguishable via errors.Is", err)
+	}
+}
+
+// writeWALFile creates one file in the MemFS with the given bytes.
+func writeWALFile(t *testing.T, fsys *MemFS, name string, data []byte) {
+	t.Helper()
+	f, err := fsys.Create("d/" + name)
+	if err != nil {
+		t.Fatalf("Create %s: %v", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("Write %s: %v", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync %s: %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close %s: %v", name, err)
+	}
+}
+
+// TestSuffixGapAfterCheckpointRejected covers the Recover-level gap: a
+// log whose first live record does not continue the checkpoint version.
+func TestSuffixGapAfterCheckpointRejected(t *testing.T) {
+	fsys := NewMemFS(1, 0)
+	writeWALFile(t, fsys, ckptName, appendFrame(nil, appendPayloadCheckpoint(nil, checkpoint{Version: 2})))
+	writeWALFile(t, fsys, logName, appendFrame(nil, appendPayloadCommit(nil, Record{Txn: 5, Version: 5})))
+	_, err := Recover(fsys, "d")
+	if !errors.Is(err, ErrCorrupt) || !errors.Is(err, ErrGap) {
+		t.Fatalf("suffix gap: err=%v, want ErrCorrupt and ErrGap", err)
+	}
+}
+
+// TestSupersededRecordsRepairWatermarks models a checkpoint whose
+// watermarks lag its snapshot (a historical or buggy writer): the
+// superseded log records still carry the true consumption bounds, and
+// recovery must fold them in rather than trusting the checkpoint alone.
+func TestSupersededRecordsRepairWatermarks(t *testing.T) {
+	ck := appendFrame(nil, appendPayloadCheckpoint(nil, checkpoint{
+		Version: 2, Lo: 0, Hi: 0,
+		Items: []KV{{Item: "x", Val: 2, Ver: 2}},
+	}))
+	log := appendFrame(nil, appendPayloadCommit(nil, Record{
+		Txn: 1, Version: 1, Lo: 1, Hi: 2, Writes: []KV{{Item: "x", Val: 1, Ver: 1}}}))
+	log = appendFrame(log, appendPayloadCommit(nil, Record{
+		Txn: 2, Version: 2, Lo: 3, Hi: 6, Writes: []KV{{Item: "x", Val: 2, Ver: 2}}}))
+	fsys := NewMemFS(1, 0)
+	writeWALFile(t, fsys, ckptName, ck)
+	writeWALFile(t, fsys, logName, log)
+	got, err := Recover(fsys, "d")
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got.Store.Version != 2 || got.Records != 0 {
+		t.Fatalf("version=%d records=%d, want version 2 with 0 replayed", got.Store.Version, got.Records)
+	}
+	if got.Lo != 3 || got.Hi != 6 {
+		t.Fatalf("watermarks (%d,%d), want (3,6) repaired from superseded records", got.Lo, got.Hi)
+	}
 }
 
 func TestCheckpointTruncatesAndRecovers(t *testing.T) {

@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race bench chaos fuzz-smoke crash
+.PHONY: ci vet build test race bench bench-smoke bench-sweep chaos fuzz-smoke crash
 
 # The full gate: what must pass before merging.
-ci: vet build test race fuzz-smoke crash
+ci: vet build test race bench-smoke fuzz-smoke crash
 
 vet:
 	$(GO) vet ./...
@@ -15,15 +15,30 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrency-sensitive packages under the race detector: the fault
-# injector and the DMT(k) degraded-mode machinery (crash/recovery racing
-# allocations and counter sync), plus the runtime, the group-commit log
-# writer and the harness that drive them.
+# The concurrency-sensitive packages under the race detector: the
+# striped scheduler hot path (latch table, striped adapters, sharded
+# store), the fault injector and the DMT(k) degraded-mode machinery
+# (crash/recovery racing allocations and counter sync), plus the
+# runtime, the group-commit log writer and the harness that drive them.
 race:
-	$(GO) test -race ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/wal/... ./internal/sim/...
+	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/storage/... ./internal/lock/... ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/wal/... ./internal/sim/...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=20x ./...
+
+# Every benchmark for exactly one iteration: benchmarks are build- and
+# run-checked in CI so they cannot silently rot, without paying for a
+# real measurement run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# The reproducible scheduler sweep behind bench/BENCH_3.json (see
+# EXPERIMENTS.md E24). Re-running with the same flags re-runs the
+# identical workload.
+bench-sweep:
+	$(GO) run ./cmd/mtbench -scheds mt-coarse,mt-striped,mtdefer-striped,composite \
+		-workers 1,2,4,8,16 -workloads uniform,zipf -iolat 0,20us -txns 1200 \
+		-csv bench/bench_3.csv -json bench/BENCH_3.json
 
 # A quick chaos smoke run: DMT(k) under crash + drift + message loss.
 chaos:

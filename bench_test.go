@@ -803,3 +803,44 @@ func BenchmarkSharedComposite(b *testing.B) {
 		})
 	}
 }
+
+// E24: the striped MT(k) adapter versus the coarse global-mutex
+// reference. With StoreLatency=0 the two mostly measure protocol
+// overhead (on one CPU the striped adapter's extra latching is pure
+// cost); with a simulated per-access store latency the coarse adapter
+// serializes every sleep under its global mutex while the striped one
+// overlaps sleeps on disjoint items — the lock-granularity effect.
+// cmd/mtbench runs the full sweep; this keeps a sample in the suite.
+func BenchmarkStripedScheduler(b *testing.B) {
+	mkCoarse := func(st *storage.Store) sched.Scheduler {
+		return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 7, StarvationAvoidance: true}})
+	}
+	mkStriped := func(st *storage.Store) sched.Scheduler {
+		return sched.NewMTStriped(st, sched.MTOptions{Core: core.Options{K: 7, StarvationAvoidance: true}})
+	}
+	specs := workload.Config{
+		Txns: 200, OpsPerTxn: 4, Items: 1024, ReadFraction: 0.7, Seed: 7,
+	}.Generate()
+	run := func(b *testing.B, mk func(*storage.Store) sched.Scheduler, lat time.Duration) {
+		var committed int64
+		for i := 0; i < b.N; i++ {
+			rep := sim.Run(sim.Config{
+				NewScheduler: mk,
+				Specs:        specs,
+				Workers:      8,
+				MaxAttempts:  500,
+				Backoff:      10 * time.Microsecond,
+				StoreLatency: lat,
+			})
+			committed += rep.Committed
+		}
+		b.ReportMetric(float64(committed)/float64(b.N), "committed/run")
+	}
+	for _, c := range []struct {
+		name string
+		lat  time.Duration
+	}{{"free-store", 0}, {"iolat=20µs", 20 * time.Microsecond}} {
+		b.Run(c.name+"/coarse", func(b *testing.B) { run(b, mkCoarse, c.lat) })
+		b.Run(c.name+"/striped", func(b *testing.B) { run(b, mkStriped, c.lat) })
+	}
+}

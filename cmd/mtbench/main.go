@@ -1,0 +1,230 @@
+// Command mtbench is the reproducible scheduler benchmark harness: it
+// sweeps goroutine counts × contention profiles × schedulers over
+// seeded workloads and emits one CSV row per cell plus a JSON summary
+// with derived subject-vs-baseline speedups.
+//
+// Usage:
+//
+//	mtbench -csv bench.csv -json BENCH_3.json
+//	mtbench -scheds mt-coarse,mt-striped -workers 1,2,4,8 -iolat 0,20us
+//	mtbench -workloads uniform,zipf -items 1024 -txns 1500 -zipfs 1.3
+//
+// The -iolat list models a paged/remote storage backend: every store
+// access sleeps that long under the affected shard locks (see
+// storage.SetSimLatency). With -iolat 0 the store is free, so on a
+// single-CPU host the schedulers mostly measure protocol overhead;
+// with a non-zero latency the coarse global-mutex adapter serializes
+// every sleep while the striped adapter overlaps sleeps on disjoint
+// items — the lock-granularity effect the sweep exists to expose.
+//
+// Every cell is a pure function of its flags (workload seed, runtime
+// seed): re-running with identical flags re-runs the identical
+// workload, so two CSVs from the same flags differ only in timing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func main() {
+	schedList := flag.String("scheds", "mt-coarse,mt-striped",
+		"comma list: mt-coarse|mt-striped|mtdefer-coarse|mtdefer-striped|composite")
+	workerList := flag.String("workers", "1,2,4,8,16", "comma list of goroutine counts")
+	workloadList := flag.String("workloads", "uniform,zipf", "comma list: uniform|zipf|hotspot")
+	iolatList := flag.String("iolat", "0,20us", "comma list of simulated store latencies (Go durations)")
+	k := flag.Int("k", 0, "vector size for the MT family (0 = 2q-1 per Theorem 3)")
+	txns := flag.Int("txns", 1500, "transactions per cell")
+	ops := flag.Int("ops", 4, "operations per transaction")
+	items := flag.Int("items", 1024, "database size (uniform; zipf/hotspot scale it down)")
+	readFrac := flag.Float64("readfrac", 0.7, "fraction of reads")
+	zipfS := flag.Float64("zipfs", 1.3, "zipf exponent for the zipf workload")
+	seed := flag.Int64("seed", 1, "workload seed")
+	maxAttempts := flag.Int("maxattempts", 1000, "per-transaction retry budget")
+	csvPath := flag.String("csv", "", "write the per-cell CSV here (default stdout)")
+	jsonPath := flag.String("json", "", "write the JSON summary (rows + speedups) here")
+	baseline := flag.String("baseline", "mt-coarse", "speedup baseline scheduler")
+	subject := flag.String("subject", "mt-striped", "speedup subject scheduler")
+	notes := flag.String("notes", "", "free-form note recorded in the JSON summary")
+	flag.Parse()
+
+	if *k <= 0 {
+		*k = 2*(*ops) - 1
+	}
+
+	factories := map[string]func(*storage.Store) sched.Scheduler{
+		"mt-coarse": func(st *storage.Store) sched.Scheduler {
+			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: *k, StarvationAvoidance: true}})
+		},
+		"mt-striped": func(st *storage.Store) sched.Scheduler {
+			return sched.NewMTStriped(st, sched.MTOptions{Core: core.Options{K: *k, StarvationAvoidance: true}})
+		},
+		"mtdefer-coarse": func(st *storage.Store) sched.Scheduler {
+			return sched.NewMT(st, sched.MTOptions{
+				Core: core.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
+		},
+		"mtdefer-striped": func(st *storage.Store) sched.Scheduler {
+			return sched.NewMTStriped(st, sched.MTOptions{
+				Core: core.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
+		},
+		"composite": func(st *storage.Store) sched.Scheduler {
+			return sched.NewComposite(st, *k, core.Options{StarvationAvoidance: true})
+		},
+	}
+
+	scheds := splitList(*schedList)
+	for _, s := range scheds {
+		if _, ok := factories[s]; !ok {
+			fmt.Fprintf(os.Stderr, "mtbench: unknown scheduler %q\n", s)
+			os.Exit(2)
+		}
+	}
+	var workers []int
+	for _, w := range splitList(*workerList) {
+		n, err := strconv.Atoi(w)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "mtbench: bad worker count %q\n", w)
+			os.Exit(2)
+		}
+		workers = append(workers, n)
+	}
+	var iolats []time.Duration
+	for _, l := range splitList(*iolatList) {
+		d, err := time.ParseDuration(l)
+		if l == "0" {
+			d, err = 0, nil
+		}
+		if err != nil || d < 0 {
+			fmt.Fprintf(os.Stderr, "mtbench: bad store latency %q\n", l)
+			os.Exit(2)
+		}
+		iolats = append(iolats, d)
+	}
+
+	type wl struct {
+		name string
+		cfg  workload.Config
+	}
+	allWLs := map[string]wl{
+		"uniform": {"uniform", workload.Config{
+			Txns: *txns, OpsPerTxn: *ops, Items: *items,
+			ReadFraction: *readFrac, Seed: *seed}},
+		"zipf": {"zipf", workload.Config{
+			Txns: *txns, OpsPerTxn: *ops, Items: *items / 8,
+			ReadFraction: *readFrac, ZipfS: *zipfS, Seed: *seed}},
+		"hotspot": {"hotspot", workload.Config{
+			Txns: *txns, OpsPerTxn: *ops, Items: *items / 4,
+			ReadFraction: *readFrac, HotItems: 8, HotFraction: 0.8, Seed: *seed}},
+	}
+	var wls []wl
+	for _, name := range splitList(*workloadList) {
+		w, ok := allWLs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mtbench: unknown workload %q\n", name)
+			os.Exit(2)
+		}
+		if w.cfg.Items < 1 {
+			w.cfg.Items = 1
+		}
+		wls = append(wls, w)
+	}
+
+	fmt.Fprintf(os.Stderr, "mtbench: k=%d txns=%d ops=%d gomaxprocs=%d cells=%d\n",
+		*k, *txns, *ops, runtime.GOMAXPROCS(0),
+		len(scheds)*len(workers)*len(wls)*len(iolats))
+
+	var rows []metrics.BenchRow
+	for _, w := range wls {
+		specs := w.cfg.Generate()
+		for _, lat := range iolats {
+			for _, nw := range workers {
+				for _, sname := range scheds {
+					rep := sim.Run(sim.Config{
+						NewScheduler: factories[sname],
+						Specs:        specs,
+						Workers:      nw,
+						MaxAttempts:  *maxAttempts,
+						Backoff:      20 * time.Microsecond,
+						RuntimeSeed:  *seed,
+						StoreLatency: lat,
+					})
+					row := metrics.BenchRow{
+						Sched: sname, Workload: w.name, Workers: nw,
+						Items: w.cfg.Items, Txns: *txns, OpsPerTxn: *ops,
+						ReadFrac: *readFrac, StoreLatUS: lat.Microseconds(), Seed: *seed,
+						Committed: rep.Committed, GaveUp: rep.GaveUp, Restarts: rep.Restarts,
+						AbortRate: rep.AbortRate(), Throughput: rep.Throughput(),
+						WallMS:    float64(rep.Wall.Microseconds()) / 1000,
+						MeanLatUS: rep.Latency.Mean() / 1e3,
+						P99US:     rep.Latency.Percentile(99) / 1000,
+					}
+					if w.name == "zipf" {
+						row.ZipfS = *zipfS
+					}
+					rows = append(rows, row)
+					fmt.Fprintf(os.Stderr, "  %-16s %-8s workers=%-3d iolat=%-8s tput=%8.0f/s aborts=%.3f\n",
+						sname, w.name, nw, lat, row.Throughput, row.AbortRate)
+				}
+			}
+		}
+	}
+
+	csvOut := os.Stdout
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+	if err := metrics.WriteBenchCSV(csvOut, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "mtbench: writing CSV: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonPath != "" {
+		summary := metrics.BenchSummary{
+			Name:       "mtbench sweep",
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Notes:      *notes,
+			Rows:       rows,
+			Speedups:   metrics.ComputeSpeedups(rows, *baseline, *subject),
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := metrics.WriteBenchJSON(f, summary); err != nil {
+			fmt.Fprintf(os.Stderr, "mtbench: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

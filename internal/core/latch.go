@@ -1,0 +1,98 @@
+package core
+
+import "sort"
+
+// LatchTable is a hash-striped per-item latch table: each item maps to
+// one of a fixed set of mutex stripes, and a multi-item acquisition
+// takes its stripes in ascending stripe order — the same ordered-object
+// locking discipline DMT(k) uses for its per-item vector objects
+// (Section V), which makes every acquisition deadlock-free regardless
+// of how item sets overlap. Latches are short-term (held for one
+// protocol step or one commit's validate-and-publish), unlike the 2PL
+// locks in internal/lock, which are held to commit and need deadlock
+// detection.
+type LatchTable struct {
+	stripes []chanMutex
+	mask    uint32
+}
+
+// chanMutex is a mutex built on a 1-buffered channel. It behaves like
+// sync.Mutex but keeps the latch table self-contained and makes the
+// fuzz harness's bounded-wait watchdog meaningful (a lost wakeup would
+// park a goroutine forever; the channel send/receive pairing cannot
+// lose one).
+type chanMutex chan struct{}
+
+func (m chanMutex) lock()   { m <- struct{}{} }
+func (m chanMutex) unlock() { <-m }
+
+// NewLatchTable returns a table with at least n stripes (rounded up to
+// a power of two, minimum 1).
+func NewLatchTable(n int) *LatchTable {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &LatchTable{stripes: make([]chanMutex, size), mask: uint32(size - 1)}
+	for i := range t.stripes {
+		t.stripes[i] = make(chanMutex, 1)
+	}
+	return t
+}
+
+// Stripes returns the stripe count.
+func (t *LatchTable) Stripes() int { return len(t.stripes) }
+
+// StripeOf returns the stripe index item hashes to. Two items with the
+// same stripe index share a latch (and therefore serialize), which is
+// safe but costs concurrency; callers that keep per-stripe side state
+// (the striped scheduler's rt/wt maps) key it by this index.
+func (t *LatchTable) StripeOf(item string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(item); i++ {
+		h ^= uint32(item[i])
+		h *= 16777619
+	}
+	return int(h & t.mask)
+}
+
+// Lock acquires the latches covering items and returns the unlock
+// function. Stripe indices are deduplicated and taken in ascending
+// order, so concurrent multi-item acquisitions can never deadlock; the
+// unlock function releases in descending order. Lock with no items
+// returns a no-op unlock.
+func (t *LatchTable) Lock(items ...string) func() {
+	switch len(items) {
+	case 0:
+		return func() {}
+	case 1:
+		return t.LockStripes([]int{t.StripeOf(items[0])})
+	}
+	idx := make([]int, 0, len(items))
+	for _, x := range items {
+		idx = append(idx, t.StripeOf(x))
+	}
+	sort.Ints(idx)
+	// Deduplicate in place: the same stripe may back several items.
+	uniq := idx[:1]
+	for _, i := range idx[1:] {
+		if i != uniq[len(uniq)-1] {
+			uniq = append(uniq, i)
+		}
+	}
+	return t.LockStripes(uniq)
+}
+
+// LockStripes acquires the given stripe indices, which MUST be sorted
+// ascending and deduplicated (Lock prepares them; exported for callers
+// that cache stripe indices across acquisitions).
+func (t *LatchTable) LockStripes(sorted []int) func() {
+	for _, i := range sorted {
+		t.stripes[i].lock()
+	}
+	return func() {
+		for j := len(sorted) - 1; j >= 0; j-- {
+			t.stripes[sorted[j]].unlock()
+		}
+	}
+}

@@ -1,0 +1,625 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/oplog"
+)
+
+// Striped is the fine-grained-locking implementation of the MT(k)
+// scheduler of Algorithm 1: decision-for-decision equivalent to
+// Scheduler (the differential suite in internal/sched asserts this op
+// by op), but safe for concurrent use, with operations on disjoint
+// items from different transactions proceeding in parallel.
+//
+// The locking scheme follows the paper's own decentralized protocol
+// (Section V), which serializes only per-object vector accesses via
+// ordered locking, and the Section VI remark that vector operations on
+// different items proceed concurrently:
+//
+//  1. a hash-striped per-item LatchTable serializes the two accesses
+//     that conflict on an item — reading/updating RT(x), WT(x) and the
+//     access counts — with multi-item acquisitions (a deferred commit's
+//     validate-and-publish) taking stripes in ascending order;
+//  2. a per-transaction lock guards each timestamp vector and its
+//     pin/done lifecycle bits; every step locks the (at most three)
+//     transactions it touches — RT(x), WT(x) and the operating
+//     transaction — in ascending id order;
+//  3. a counter lock guards the lcount/ucount pair and the per-column
+//     clock, taken last, only while a Set actually assigns elements.
+//
+// The hierarchy is strict (latches, then transaction locks, then the
+// counter lock), so no acquisition order can deadlock. Each Set(j, i)
+// runs entirely under the locks of both vectors it inspects and
+// mutates, so dependency encoding stays atomic and Lemmas 1-2 (defined
+// elements are never overwritten; '<' is a strict partial order) carry
+// over unchanged: any concurrent execution is equivalent to some serial
+// sequence of Set transitions, which is exactly the coarse scheduler's
+// regime.
+type Striped struct {
+	opts    Options
+	k       int
+	latches *LatchTable
+	stripes []itemStripe
+
+	// tmu guards the id -> entry map only; entry contents are guarded
+	// by the per-entry lock. Never held while blocking on an entry lock.
+	tmu  sync.RWMutex
+	txns map[int]*txnEntry
+
+	// cmu guards lcount/ucount and the column clock.
+	cmu    sync.Mutex
+	lcount int64
+	ucount int64
+	clock  []int64
+
+	// OnDecision, when non-nil, observes every Step decision while the
+	// operation's item latches are still held, so for any single item
+	// the observed order is the true decision order. Set it before
+	// traffic flows. Stress tests use it to build serialization graphs.
+	OnDecision func(Decision)
+}
+
+// itemStripe is the per-stripe slice of the scheduler's item-indexed
+// state, guarded by the latch with the same index.
+type itemStripe struct {
+	rt     map[string]int
+	wt     map[string]int
+	access map[string]int
+}
+
+// txnEntry is one transaction's vector plus lifecycle state, guarded by
+// its own lock.
+type txnEntry struct {
+	mu   sync.Mutex
+	vec  *Vector
+	pins int
+	done bool
+	// dead marks an entry reclaimed and removed from the map; a looker
+	// that finds it set re-fetches (a fresh entry may exist by then).
+	dead bool
+}
+
+// DefaultStripes is the latch-table width used by NewStriped.
+const DefaultStripes = 128
+
+// NewStriped returns a concurrent MT(k) scheduler with the default
+// stripe count. Options are interpreted exactly as by NewScheduler.
+func NewStriped(opts Options) *Striped {
+	return NewStripedSize(opts, DefaultStripes)
+}
+
+// NewStripedSize returns a concurrent MT(k) scheduler with at least
+// nStripes latch stripes.
+func NewStripedSize(opts Options, nStripes int) *Striped {
+	if opts.K < 1 {
+		panic("core: Options.K must be >= 1")
+	}
+	s := &Striped{
+		opts:    opts,
+		k:       opts.K,
+		latches: NewLatchTable(nStripes),
+		txns:    make(map[int]*txnEntry),
+		ucount:  1,
+		clock:   make([]int64, opts.K),
+	}
+	s.stripes = make([]itemStripe, s.latches.Stripes())
+	for i := range s.stripes {
+		s.stripes[i] = itemStripe{
+			rt:     make(map[string]int),
+			wt:     make(map[string]int),
+			access: make(map[string]int),
+		}
+	}
+	// TS(0) = <0,*,...,*>: the virtual transaction T_0.
+	t0 := NewVector(opts.K)
+	t0.set(1, 0)
+	s.txns[0] = &txnEntry{vec: t0}
+	return s
+}
+
+// K returns the vector size.
+func (s *Striped) K() int { return s.k }
+
+// Latches exposes the latch table so the runtime adapter can hold an
+// operation's item latches across the protocol step AND the data
+// access it orders (the atomicity the coarse adapter gets from its
+// global mutex).
+func (s *Striped) Latches() *LatchTable { return s.latches }
+
+// entry returns the live entry for id, creating one on demand.
+func (s *Striped) entry(id int) *txnEntry {
+	s.tmu.RLock()
+	e := s.txns[id]
+	s.tmu.RUnlock()
+	if e != nil {
+		return e
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if e = s.txns[id]; e != nil {
+		return e
+	}
+	e = &txnEntry{vec: NewVector(s.k)}
+	s.txns[id] = e
+	return e
+}
+
+// lockTxns locks the entries for the given ids in ascending id order
+// (ids are deduplicated here), retrying from the map if any entry was
+// reclaimed between lookup and lock. Returns the locked entries keyed
+// by id and an unlock function.
+func (s *Striped) lockTxns(ids ...int) (map[int]*txnEntry, func()) {
+	sort.Ints(ids)
+	uniq := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != uniq[len(uniq)-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	for {
+		es := make([]*txnEntry, len(uniq))
+		for i, id := range uniq {
+			es[i] = s.entry(id)
+		}
+		ok := true
+		for i, e := range es {
+			e.mu.Lock()
+			if e.dead {
+				for j := i; j >= 0; j-- {
+					es[j].mu.Unlock()
+				}
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		m := make(map[int]*txnEntry, len(uniq))
+		for i, id := range uniq {
+			m[id] = es[i]
+		}
+		return m, func() {
+			for j := len(es) - 1; j >= 0; j-- {
+				es[j].mu.Unlock()
+			}
+		}
+	}
+}
+
+// Step schedules one atomic operation, acquiring the items' latches
+// itself. Multi-item operations process their items in order; the
+// first rejecting item rejects the whole operation.
+func (s *Striped) Step(op oplog.Op) Decision {
+	unlock := s.latches.Lock(op.Items...)
+	defer unlock()
+	return s.StepLocked(op)
+}
+
+// StepLocked is Step for callers that already hold the latches
+// covering op.Items (the runtime adapter, which keeps them held across
+// the subsequent data access).
+func (s *Striped) StepLocked(op oplog.Op) Decision {
+	var ignored []string
+	d := Decision{Op: op, Verdict: Accept}
+	for _, x := range op.Items {
+		var v Verdict
+		var blocker int
+		if op.Kind == oplog.Read {
+			v, blocker = s.stepItem(op.Txn, x, true)
+		} else {
+			v, blocker = s.stepItem(op.Txn, x, false)
+		}
+		if v == Reject {
+			d = Decision{Op: op, Verdict: Reject, Blocker: blocker, Item: x}
+			if s.OnDecision != nil {
+				s.OnDecision(d)
+			}
+			return d
+		}
+		if v == AcceptIgnored {
+			ignored = append(ignored, x)
+		}
+	}
+	if len(ignored) == len(op.Items) {
+		d.Verdict = AcceptIgnored
+	}
+	d.IgnoredItems = ignored
+	if s.OnDecision != nil {
+		s.OnDecision(d)
+	}
+	return d
+}
+
+// stepItem runs the read or write arm of Algorithm 1 for one item,
+// with the item's latch held by the caller. It locks the (at most
+// three) transactions involved, makes the decision, and updates the
+// RT/WT indexes and pin counts before releasing them.
+func (s *Striped) stepItem(i int, x string, read bool) (Verdict, int) {
+	st := &s.stripes[s.latches.StripeOf(x)]
+	st.access[x]++
+	rt, wt := st.rt[x], st.wt[x]
+	es, unlock := s.lockTxns(rt, wt, i)
+	defer unlock()
+	// A transaction issuing operations is live: a restarted incarnation
+	// after Abort reactivates its (possibly reseeded) vector.
+	es[i].done = false
+	// maxHolder: j := RT(x) or WT(x), whichever timestamp is larger.
+	j, ej := rt, es[rt]
+	if rt != wt && s.vecLess(es[rt].vec, es[wt].vec) {
+		j, ej = wt, es[wt]
+	}
+	if read {
+		if s.setDep(j, i, ej, es[i], x) {
+			s.repin(st, &st.rt, x, i, es)
+			return Accept, 0
+		}
+		// Line 9: the read may slot between the most recent write and
+		// the most recent read without becoming the most recent reader.
+		if j == rt {
+			if s.opts.RelaxedReadCheck {
+				if s.setDep(wt, i, es[wt], es[i], x) {
+					return Accept, 0
+				}
+			} else if wt != i && s.vecLess(es[wt].vec, es[i].vec) {
+				return Accept, 0
+			}
+		}
+		return Reject, j
+	}
+	if s.setDep(j, i, ej, es[i], x) {
+		s.repin(st, &st.wt, x, i, es)
+		return Accept, 0
+	}
+	// Thomas write rule: if TS(RT(x)) < TS(i) < TS(WT(x)), the write is
+	// obsolete and can be ignored.
+	if s.opts.ThomasWriteRule && j == wt && i != wt && s.vecLess(es[i].vec, es[wt].vec) &&
+		s.setDep(rt, i, es[rt], es[i], x) {
+		return AcceptIgnored, 0
+	}
+	return Reject, j
+}
+
+// vecLess reports a < b established, mirroring VectorTable.Less for
+// already-locked vectors.
+func (s *Striped) vecLess(a, b *Vector) bool {
+	if a == b {
+		return false
+	}
+	return a.Less(b)
+}
+
+// hot reports whether x qualifies for right-shifted encoding. The
+// caller holds x's latch (access counts live under it).
+func (s *Striped) hot(st *itemStripe, x string) bool {
+	if s.opts.HotItems[x] {
+		return true
+	}
+	return s.opts.HotThreshold > 0 && st.access[x] >= s.opts.HotThreshold
+}
+
+// setDep is procedure Set(j, i) with both entries locked; x (may be
+// empty) is the item whose access created the dependency.
+func (s *Striped) setDep(j, i int, ej, ei *txnEntry, x string) bool {
+	if j == i {
+		return true
+	}
+	rel, _ := ej.vec.Compare(ei.vec)
+	if rel == Greater {
+		return false
+	}
+	if rel == Less {
+		if s.opts.Trace != nil {
+			s.opts.Trace(Event{Kind: EvEstablished, J: j, I: i})
+		}
+		return true
+	}
+	shift := false
+	if x != "" {
+		shift = s.hot(&s.stripes[s.latches.StripeOf(x)], x)
+	}
+	if !s.encode(j, i, ej, ei, shift) {
+		return false
+	}
+	if s.opts.Trace != nil {
+		s.opts.Trace(Event{Kind: EvEncode, J: j, I: i})
+	}
+	return true
+}
+
+// assign sets element pos of id's (locked) vector and advances the
+// column clock. The caller holds cmu.
+func (s *Striped) assign(id int, e *txnEntry, pos int, val int64) {
+	e.vec.set(pos, val)
+	if val > s.clock[pos-1] {
+		s.clock[pos-1] = val
+	}
+	if s.opts.Trace != nil {
+		s.opts.Trace(Event{Kind: EvAssign, Txn: id, Pos: pos, Val: val})
+	}
+}
+
+// upper returns the value for a fresh "greater" element in column m
+// (cmu held), mirroring VectorTable.upper.
+func (s *Striped) upper(m int, floor int64) int64 {
+	v := floor + 1
+	if s.opts.MonotonicEncoding && s.clock[m-1]+1 > v {
+		v = s.clock[m-1] + 1
+	}
+	return v
+}
+
+// encode mirrors VectorTable.Set: establish or encode TS(j) < TS(i),
+// reporting success. Both entries are locked by the caller; the
+// element assignments and counter allocations run under cmu so the
+// lcount/ucount interaction stays atomic.
+func (s *Striped) encode(j, i int, ej, ei *txnEntry, shift bool) bool {
+	if j == i {
+		return true
+	}
+	vj, vi := ej.vec, ei.vec
+	rel, m := vj.Compare(vi)
+	switch rel {
+	case Less:
+		return true
+	case Greater:
+		return false
+	case Equal:
+		if vj.Elem(m).Defined {
+			panic(fmt.Sprintf("core: Set(%d,%d) on identical fully-defined vectors %v", j, i, vj))
+		}
+		s.cmu.Lock()
+		if m == s.k {
+			s.assign(j, ej, s.k, s.ucount)
+			s.assign(i, ei, s.k, s.ucount+1)
+			s.ucount += 2
+		} else {
+			v := s.upper(m, 0)
+			s.assign(j, ej, m, v)
+			s.assign(i, ei, m, v+1)
+		}
+		s.cmu.Unlock()
+	default: // Unknown: exactly one of the two elements is undefined.
+		if shift && m < s.k && s.shiftEncode(j, i, ej, ei, m) {
+			return true
+		}
+		s.cmu.Lock()
+		if !vi.Elem(m).Defined {
+			if m == s.k {
+				s.assign(i, ei, s.k, s.ucount)
+				s.ucount++
+			} else {
+				s.assign(i, ei, m, s.upper(m, vj.Elem(m).V))
+			}
+		} else {
+			if m == s.k {
+				s.assign(j, ej, s.k, s.lcount)
+				s.lcount--
+			} else {
+				s.assign(j, ej, m, vi.Elem(m).V-1)
+			}
+		}
+		s.cmu.Unlock()
+	}
+	return true
+}
+
+// shiftEncode mirrors VectorTable.shiftEncode: copy the longer vector's
+// defined prefix into the shorter one and encode at the next position
+// where both are undefined.
+func (s *Striped) shiftEncode(j, i int, ej, ei *txnEntry, m int) bool {
+	vj, vi := ej.vec, ei.vec
+	longer, shortID, shortE := vj, i, ei
+	if !vj.Elem(m).Defined {
+		longer, shortID, shortE = vi, j, ej
+	}
+	end := longer.FirstUndefined() - 1
+	if end > s.k-1 {
+		end = s.k - 1
+	}
+	if end < m {
+		return false
+	}
+	s.cmu.Lock()
+	for p := m; p <= end; p++ {
+		s.assign(shortID, shortE, p, longer.Elem(p).V)
+	}
+	s.cmu.Unlock()
+	return s.encode(j, i, ej, ei, false)
+}
+
+// repin moves the RT or WT index for x to txn, maintaining pin counts.
+// The old holder is always among the locked entries (it was rt[x] or
+// wt[x] when the step locked them).
+func (s *Striped) repin(st *itemStripe, table *map[string]int, x string, txn int, es map[int]*txnEntry) {
+	old := (*table)[x]
+	if old == txn {
+		return
+	}
+	(*table)[x] = txn
+	es[txn].pins++
+	if old == 0 {
+		return
+	}
+	eo := es[old]
+	eo.pins--
+	s.maybeReclaim(old, eo)
+}
+
+// maybeReclaim frees the entry once the transaction is finished and no
+// longer a most-recent read/write timestamp. The caller holds e.mu.
+func (s *Striped) maybeReclaim(id int, e *txnEntry) {
+	if id == 0 {
+		return
+	}
+	if e.done && e.pins <= 0 && !e.dead {
+		e.dead = true
+		s.tmu.Lock()
+		delete(s.txns, id)
+		s.tmu.Unlock()
+	}
+}
+
+// Commit marks transaction i finished; its vector storage is reclaimed
+// as soon as it stops being a most-recent read/write timestamp.
+func (s *Striped) Commit(i int) {
+	es, unlock := s.lockTxns(i)
+	defer unlock()
+	e := es[i]
+	e.done = true
+	s.maybeReclaim(i, e)
+}
+
+// Abort discards transaction i; blocker is the Blocker of the
+// rejecting Decision (0 for other causes). With StarvationAvoidance
+// the vector is flushed and reseeded past the blocker, exactly as in
+// Scheduler.Abort.
+func (s *Striped) Abort(i, blocker int) {
+	if i == 0 {
+		return
+	}
+	if s.opts.StarvationAvoidance && blocker != 0 {
+		es, unlock := s.lockTxns(i, blocker)
+		b := es[blocker].vec.Elem(1)
+		if b.Defined {
+			seed := s.reseedFirst(i, es[i], b.V)
+			unlock()
+			if s.opts.Trace != nil {
+				s.opts.Trace(Event{Kind: EvFlush, Txn: i, Val: seed})
+			}
+			return
+		}
+		e := es[i]
+		e.done = true
+		s.maybeReclaim(i, e)
+		unlock()
+		return
+	}
+	es, unlock := s.lockTxns(i)
+	defer unlock()
+	e := es[i]
+	e.done = true
+	s.maybeReclaim(i, e)
+}
+
+// reseedFirst mirrors VectorTable.ReseedFirst under the entry lock.
+func (s *Striped) reseedFirst(i int, e *txnEntry, floor int64) int64 {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	seed := floor + 1
+	if c := s.clock[0] + 1; c > seed {
+		seed = c
+	}
+	if s.k == 1 {
+		if seed < s.ucount {
+			seed = s.ucount
+		}
+		s.ucount = seed + 1
+	}
+	e.vec.Reset()
+	s.assign(i, e, 1, seed)
+	return seed
+}
+
+// ReadPendingWriter supports the runtime adapter's immediate-mode
+// check ("read ordered after uncommitted writer"): with x's latch HELD
+// by the caller, it reports whether x's most recent writer w (≠ i) is
+// live per the callback and TS(i) < TS(w) is NOT established — the
+// lost-update window the adapter must abort. The callback must not
+// call back into this scheduler.
+func (s *Striped) ReadPendingWriter(i int, x string, live func(int) bool) (blocker int, conflict bool) {
+	st := &s.stripes[s.latches.StripeOf(x)]
+	w := st.wt[x]
+	if w == i || !live(w) {
+		return 0, false
+	}
+	es, unlock := s.lockTxns(i, w)
+	defer unlock()
+	if !s.vecLess(es[i].vec, es[w].vec) {
+		return w, true
+	}
+	return 0, false
+}
+
+// Vector returns a copy of TS(i). Unknown transactions have the
+// all-undefined vector.
+func (s *Striped) Vector(i int) *Vector {
+	es, unlock := s.lockTxns(i)
+	defer unlock()
+	return es[i].vec.Clone()
+}
+
+// RT returns RT(x) (0 if none), taking x's latch. Diagnostics only —
+// callers already holding the latch must not use it.
+func (s *Striped) RT(x string) int {
+	unlock := s.latches.Lock(x)
+	defer unlock()
+	return s.stripes[s.latches.StripeOf(x)].rt[x]
+}
+
+// WT returns WT(x) (0 if none), taking x's latch. Diagnostics only.
+func (s *Striped) WT(x string) int {
+	unlock := s.latches.Lock(x)
+	defer unlock()
+	return s.stripes[s.latches.StripeOf(x)].wt[x]
+}
+
+// Counters returns the current (lcount, ucount) pair.
+func (s *Striped) Counters() (lo, hi int64) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.lcount, s.ucount
+}
+
+// SeedCounters raises the counters to at least the given consumption
+// watermarks (lo for the descending lower counter negated, hi for the
+// ascending upper counter) in one atomic clamp — the striped analogue
+// of the coarse adapter's read-modify-write under its global mutex.
+func (s *Striped) SeedCounters(lo, hi int64) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if -lo < s.lcount {
+		s.lcount = -lo
+	}
+	if hi > s.ucount {
+		s.ucount = hi
+	}
+}
+
+// LiveVectors returns the number of vectors currently held (including
+// T_0), for storage-reclamation tests.
+func (s *Striped) LiveVectors() int {
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	return len(s.txns)
+}
+
+// Snapshot returns copies of all live timestamp vectors keyed by
+// transaction id. Entries are locked one at a time, so the result is
+// per-vector consistent; quiesce the scheduler for a global snapshot.
+func (s *Striped) Snapshot() map[int]*Vector {
+	s.tmu.RLock()
+	ids := make([]int, 0, len(s.txns))
+	for id := range s.txns {
+		ids = append(ids, id)
+	}
+	s.tmu.RUnlock()
+	out := make(map[int]*Vector, len(ids))
+	for _, id := range ids {
+		s.tmu.RLock()
+		e := s.txns[id]
+		s.tmu.RUnlock()
+		if e == nil {
+			continue
+		}
+		e.mu.Lock()
+		if !e.dead {
+			out[id] = e.vec.Clone()
+		}
+		e.mu.Unlock()
+	}
+	return out
+}

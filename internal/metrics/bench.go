@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BenchRow is one cell of a scheduler benchmark sweep: a (scheduler,
+// workers, workload, store latency) point with its measured outcome.
+// cmd/mtbench emits these; the CSV and JSON writers below render them
+// so a sweep is reproducible and diffable.
+type BenchRow struct {
+	Sched      string  `json:"sched"`
+	Workload   string  `json:"workload"`
+	Workers    int     `json:"workers"`
+	Items      int     `json:"items"`
+	Txns       int     `json:"txns"`
+	OpsPerTxn  int     `json:"ops_per_txn"`
+	ReadFrac   float64 `json:"read_frac"`
+	ZipfS      float64 `json:"zipf_s,omitempty"`
+	StoreLatUS int64   `json:"store_latency_us"`
+	Seed       int64   `json:"seed"`
+	Committed  int64   `json:"committed"`
+	GaveUp     int64   `json:"gave_up"`
+	Restarts   int64   `json:"restarts"`
+	AbortRate  float64 `json:"abort_rate"`
+	Throughput float64 `json:"throughput_tps"`
+	WallMS     float64 `json:"wall_ms"`
+	MeanLatUS  float64 `json:"mean_latency_us"`
+	P99US      int64   `json:"p99_latency_us"`
+}
+
+// benchHeader is the CSV column order (kept in sync with csvRecord).
+var benchHeader = []string{
+	"sched", "workload", "workers", "items", "txns", "ops_per_txn",
+	"read_frac", "zipf_s", "store_latency_us", "seed",
+	"committed", "gave_up", "restarts", "abort_rate",
+	"throughput_tps", "wall_ms", "mean_latency_us", "p99_latency_us",
+}
+
+func (r BenchRow) csvRecord() []string {
+	return []string{
+		r.Sched, r.Workload,
+		fmt.Sprint(r.Workers), fmt.Sprint(r.Items), fmt.Sprint(r.Txns), fmt.Sprint(r.OpsPerTxn),
+		fmt.Sprintf("%.2f", r.ReadFrac), fmt.Sprintf("%.2f", r.ZipfS), fmt.Sprint(r.StoreLatUS), fmt.Sprint(r.Seed),
+		fmt.Sprint(r.Committed), fmt.Sprint(r.GaveUp), fmt.Sprint(r.Restarts),
+		fmt.Sprintf("%.4f", r.AbortRate),
+		fmt.Sprintf("%.1f", r.Throughput), fmt.Sprintf("%.2f", r.WallMS),
+		fmt.Sprintf("%.1f", r.MeanLatUS), fmt.Sprint(r.P99US),
+	}
+}
+
+// WriteBenchCSV renders the rows as CSV with a header line.
+func WriteBenchCSV(w io.Writer, rows []BenchRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(benchHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r.csvRecord()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// BenchSpeedup compares one scheduler against a baseline at the same
+// (workload, workers, store latency) point.
+type BenchSpeedup struct {
+	Workload   string  `json:"workload"`
+	Workers    int     `json:"workers"`
+	StoreLatUS int64   `json:"store_latency_us"`
+	Baseline   string  `json:"baseline"`
+	Subject    string  `json:"subject"`
+	BaseTPS    float64 `json:"baseline_tps"`
+	SubjTPS    float64 `json:"subject_tps"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// BenchSummary is the JSON artifact a sweep produces (BENCH_N.json):
+// the raw rows plus derived subject-vs-baseline speedups.
+type BenchSummary struct {
+	Name       string         `json:"name"`
+	Generated  string         `json:"generated,omitempty"`
+	Host       string         `json:"host,omitempty"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Notes      string         `json:"notes,omitempty"`
+	Rows       []BenchRow     `json:"rows"`
+	Speedups   []BenchSpeedup `json:"speedups,omitempty"`
+}
+
+// ComputeSpeedups derives subject/baseline throughput ratios for every
+// (workload, workers, store latency) point where both appear.
+func ComputeSpeedups(rows []BenchRow, baseline, subject string) []BenchSpeedup {
+	type key struct {
+		workload string
+		workers  int
+		lat      int64
+	}
+	base := make(map[key]BenchRow)
+	subj := make(map[key]BenchRow)
+	for _, r := range rows {
+		k := key{r.Workload, r.Workers, r.StoreLatUS}
+		switch r.Sched {
+		case baseline:
+			base[k] = r
+		case subject:
+			subj[k] = r
+		}
+	}
+	var out []BenchSpeedup
+	for k, b := range base {
+		s, ok := subj[k]
+		if !ok || b.Throughput <= 0 {
+			continue
+		}
+		out = append(out, BenchSpeedup{
+			Workload: k.workload, Workers: k.workers, StoreLatUS: k.lat,
+			Baseline: baseline, Subject: subject,
+			BaseTPS: b.Throughput, SubjTPS: s.Throughput,
+			Speedup: s.Throughput / b.Throughput,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.StoreLatUS != b.StoreLatUS {
+			return a.StoreLatUS < b.StoreLatUS
+		}
+		return a.Workers < b.Workers
+	})
+	return out
+}
+
+// WriteBenchJSON renders the summary as indented JSON.
+func WriteBenchJSON(w io.Writer, s BenchSummary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

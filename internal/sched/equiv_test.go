@@ -1,0 +1,276 @@
+package sched_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/oplog"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// refPair is the pair under differential test: the retained coarse
+// global-mutex MT adapter as the reference, the striped adapter as the
+// subject, over separate but identically seeded stores.
+type refPair struct {
+	coarse  *sched.MT
+	striped *sched.MTStriped
+	cstore  *storage.Store
+	sstore  *storage.Store
+}
+
+func newRefPair(opts sched.MTOptions) *refPair {
+	cs, ss := storage.New(), storage.New()
+	return &refPair{
+		coarse:  sched.NewMT(cs, opts),
+		striped: sched.NewMTStriped(ss, opts),
+		cstore:  cs,
+		sstore:  ss,
+	}
+}
+
+// runEquivWorkload interleaves the workload's transactions operation by
+// operation (seeded round-robin, fully deterministic) through BOTH
+// adapters, asserting identical outcomes event by event: read values,
+// accept/reject verdicts, abort blockers, commit results. Aborted
+// transactions are retried once with the same id (exercising the
+// starvation-fix reseed on both sides). Returns the accepted op log
+// (identical for both by construction) restricted to committed
+// transactions, plus the committed set.
+func runEquivWorkload(t *testing.T, pair *refPair, specs []txn.Spec, seed int64, deferred bool) *oplog.Log {
+	t.Helper()
+	type state struct {
+		spec    txn.Spec
+		next    int // next op index
+		retries int // incarnations used
+		ops     []oplog.Op
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Admission window: like the runtime's worker pool, only a handful of
+	// transactions are live at once; the rest queue behind them.
+	const window = 4
+	pending := specs
+	var livea []*state
+	admit := func() {
+		for len(livea) < window && len(pending) > 0 {
+			sp := pending[0]
+			pending = pending[1:]
+			livea = append(livea, &state{spec: sp})
+			pair.coarse.Begin(sp.ID)
+			pair.striped.Begin(sp.ID)
+		}
+	}
+	admit()
+	committed := map[int]bool{}
+	var committedOps []oplog.Op
+	abortBoth := func(st *state) bool {
+		// Returns true if the transaction got a retry incarnation.
+		pair.coarse.Abort(st.spec.ID)
+		pair.striped.Abort(st.spec.ID)
+		st.ops = nil
+		if st.retries >= 3 {
+			return false
+		}
+		st.retries++
+		st.next = 0
+		pair.coarse.Begin(st.spec.ID)
+		pair.striped.Begin(st.spec.ID)
+		return true
+	}
+	for len(livea) > 0 {
+		i := rng.Intn(len(livea))
+		st := livea[i]
+		id := st.spec.ID
+		drop := false
+		if st.next < len(st.spec.Ops) {
+			op := st.spec.Ops[st.next]
+			if op.Kind == oplog.Read {
+				cv, cerr := pair.coarse.Read(id, op.Item)
+				sv, serr := pair.striped.Read(id, op.Item)
+				assertSameOutcome(t, id, st.next, "read "+op.Item, cv, cerr, sv, serr)
+				if cerr != nil {
+					drop = !abortBoth(st)
+				} else {
+					st.ops = append(st.ops, oplog.R(id, op.Item))
+					st.next++
+				}
+			} else {
+				v := int64(id)*1000 + int64(st.next)
+				cerr := pair.coarse.Write(id, op.Item, v)
+				serr := pair.striped.Write(id, op.Item, v)
+				assertSameOutcome(t, id, st.next, "write "+op.Item, 0, cerr, 0, serr)
+				if cerr != nil {
+					drop = !abortBoth(st)
+				} else {
+					if !deferred {
+						st.ops = append(st.ops, oplog.W(id, op.Item))
+					}
+					st.next++
+				}
+			}
+		} else {
+			cerr := pair.coarse.Commit(id)
+			serr := pair.striped.Commit(id)
+			assertSameOutcome(t, id, st.next, "commit", 0, cerr, 0, serr)
+			if cerr != nil {
+				drop = !abortBoth(st)
+			} else {
+				if deferred {
+					// Commit-time validation replays the buffered writes in
+					// first-write order — reconstruct that order here.
+					seen := map[string]bool{}
+					for _, op := range st.spec.Ops {
+						if op.Kind == oplog.Write && !seen[op.Item] {
+							seen[op.Item] = true
+							st.ops = append(st.ops, oplog.W(id, op.Item))
+						}
+					}
+				}
+				committed[id] = true
+				committedOps = append(committedOps, st.ops...)
+				drop = true
+			}
+		}
+		if drop {
+			livea[i] = livea[len(livea)-1]
+			livea = livea[:len(livea)-1]
+			admit()
+		}
+	}
+	if len(committed) == 0 {
+		t.Fatal("no transaction committed")
+	}
+	return oplog.NewLog(committedOps...)
+}
+
+func assertSameOutcome(t *testing.T, id, opIdx int, what string, cv int64, cerr error, sv int64, serr error) {
+	t.Helper()
+	if (cerr == nil) != (serr == nil) {
+		t.Fatalf("t%d.op%d %s: coarse err=%v striped err=%v", id, opIdx, what, cerr, serr)
+	}
+	if cerr == nil {
+		if cv != sv {
+			t.Fatalf("t%d.op%d %s: coarse value %d striped value %d", id, opIdx, what, cv, sv)
+		}
+		return
+	}
+	var ca, sa *sched.AbortError
+	if !errors.As(cerr, &ca) || !errors.As(serr, &sa) {
+		t.Fatalf("t%d.op%d %s: non-abort errors coarse=%v striped=%v", id, opIdx, what, cerr, serr)
+	}
+	if ca.Blocker != sa.Blocker || ca.Reason != sa.Reason {
+		t.Fatalf("t%d.op%d %s: coarse abort (%s, blocker %d) striped abort (%s, blocker %d)",
+			id, opIdx, what, ca.Reason, ca.Blocker, sa.Reason, sa.Blocker)
+	}
+}
+
+func equivWorkloads() map[string]workload.Config {
+	return map[string]workload.Config{
+		"uniform":   {Txns: 24, OpsPerTxn: 4, Items: 64, ReadFraction: 0.6},
+		"contended": {Txns: 24, OpsPerTxn: 4, Items: 4, ReadFraction: 0.5},
+		"zipf":      {Txns: 24, OpsPerTxn: 3, Items: 32, ReadFraction: 0.5, ZipfS: 1.4},
+		"hotspot":   {Txns: 20, OpsPerTxn: 4, Items: 32, ReadFraction: 0.5, HotItems: 2, HotFraction: 0.6},
+		"twostep":   {Txns: 30, Items: 16, TwoStep: true},
+	}
+}
+
+// TestStripedEquivalence is the differential suite: for every protocol
+// variant × workload × seed, the striped adapter must produce exactly
+// the reference adapter's behaviour, the two stores must end
+// identical, and the committed log must be DSR.
+func TestStripedEquivalence(t *testing.T) {
+	variants := map[string]sched.MTOptions{
+		"k2-immediate":    {Core: core.Options{K: 2}},
+		"k2-deferred":     {Core: core.Options{K: 2}, DeferWrites: true},
+		"k3-immediate":    {Core: core.Options{K: 3, StarvationAvoidance: true}},
+		"k3-deferred":     {Core: core.Options{K: 3, ThomasWriteRule: true, StarvationAvoidance: true}, DeferWrites: true},
+		"k1-deferred":     {Core: core.Options{K: 1}, DeferWrites: true},
+		"k2-hot-deferred": {Core: core.Options{K: 2, HotThreshold: 4}, DeferWrites: true},
+	}
+	for vname, opts := range variants {
+		for wname, wcfg := range equivWorkloads() {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/%s/seed%d", vname, wname, seed)
+				t.Run(name, func(t *testing.T) {
+					wcfg.Seed = seed
+					pair := newRefPair(opts)
+					log := runEquivWorkload(t, pair, wcfg.Generate(), seed*977, opts.DeferWrites)
+					cs, ss := pair.cstore.State(), pair.sstore.State()
+					if !reflect.DeepEqual(cs.Data, ss.Data) {
+						t.Fatalf("final stores differ:\ncoarse  %v\nstriped %v", cs.Data, ss.Data)
+					}
+					if !reflect.DeepEqual(cs.ItemVers, ss.ItemVers) || cs.Version != ss.Version {
+						t.Fatalf("store versions differ: coarse v%d %v, striped v%d %v",
+							cs.Version, cs.ItemVers, ss.Version, ss.ItemVers)
+					}
+					// Protocol-level parity: counters and live vectors.
+					cl, cu := pair.coarse.Core().Counters()
+					sl, su := pair.striped.Striped().Counters()
+					if cl != sl || cu != su {
+						t.Fatalf("counters: coarse (%d,%d) striped (%d,%d)", cl, cu, sl, su)
+					}
+					// Every committed log must be DSR (serializable in the
+					// paper's D-serializability sense, checked via the
+					// internal/graph dependency machinery).
+					if !classify.DSR(log) {
+						t.Fatalf("committed log is not DSR: %v", log)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStripedPartialRestartParity drives the Section VI-C-1 partial
+// rollback through both adapters and asserts the same outcome.
+func TestStripedPartialRestartParity(t *testing.T) {
+	opts := sched.MTOptions{Core: core.Options{K: 2, StarvationAvoidance: true}}
+	pair := newRefPair(opts)
+	run := func(m sched.Scheduler, pr interface {
+		TryPartialRestart(int, []string) bool
+	}) (bool, error) {
+		m.Begin(1)
+		m.Write(1, "x", 1)
+		if err := m.Commit(1); err != nil {
+			return false, err
+		}
+		m.Begin(2)
+		m.Write(2, "x", 2)
+		if err := m.Commit(2); err != nil {
+			return false, err
+		}
+		m.Begin(3)
+		if _, err := m.Read(3, "y"); err != nil {
+			return false, err
+		}
+		if err := m.Write(3, "x", 3); !errors.Is(err, sched.ErrAbort) {
+			return false, fmt.Errorf("setup: want write reject, got %v", err)
+		}
+		ok := pr.TryPartialRestart(3, []string{"y"})
+		if !ok {
+			return false, nil
+		}
+		if err := m.Write(3, "x", 3); err != nil {
+			return false, fmt.Errorf("retried write after partial restart: %v", err)
+		}
+		return true, m.Commit(3)
+	}
+	cok, cerr := run(pair.coarse, pair.coarse)
+	sok, serr := run(pair.striped, pair.striped)
+	if cok != sok || (cerr == nil) != (serr == nil) {
+		t.Fatalf("partial restart diverges: coarse (%v,%v) striped (%v,%v)", cok, cerr, sok, serr)
+	}
+	if !cok {
+		t.Fatal("partial restart failed on both (want success)")
+	}
+	if cv, sv := pair.cstore.Get("x"), pair.sstore.Get("x"); cv != sv {
+		t.Fatalf("x: coarse %d striped %d", cv, sv)
+	}
+}

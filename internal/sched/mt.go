@@ -218,24 +218,34 @@ func (m *MT) TryPartialRestart(txn int, readItems []string) bool {
 // Composite adapts MT(k⁺) to the runtime. When every subprotocol has
 // stopped, Algorithm 2 step 4 applies: all active transactions abort and
 // the composite machinery restarts fresh (a new epoch).
+//
+// The protocol state (composite.Scheduler, epoch, transaction map) stays
+// under one mutex — an epoch restart swaps the whole scheduler, which no
+// per-item scheme survives — but DATA access is striped: an operation
+// holds its items' latches (acquired before mu, released after the store
+// access) so storage reads and commit publishes on disjoint items
+// overlap, while the latch still pins each decision to the store state
+// it was made against.
 type Composite struct {
-	mu    sync.Mutex
-	k     int
-	sub   core.Options
-	sched *composite.Scheduler
-	store *storage.Store
-	txns  map[int]*mtTxn
-	epoch uint64
+	mu      sync.Mutex
+	k       int
+	sub     core.Options
+	sched   *composite.Scheduler
+	store   *storage.Store
+	latches *core.LatchTable
+	txns    map[int]*mtTxn
+	epoch   uint64
 }
 
 // NewComposite returns an MT(k⁺) runtime scheduler (deferred writes).
 func NewComposite(store *storage.Store, k int, sub core.Options) *Composite {
 	return &Composite{
-		k:     k,
-		sub:   sub,
-		sched: composite.NewScheduler(composite.Options{K: k, Sub: sub}),
-		store: store,
-		txns:  make(map[int]*mtTxn),
+		k:       k,
+		sub:     sub,
+		sched:   composite.NewScheduler(composite.Options{K: k, Sub: sub}),
+		store:   store,
+		latches: core.NewLatchTable(core.DefaultStripes),
+		txns:    make(map[int]*mtTxn),
 	}
 }
 
@@ -265,15 +275,21 @@ func (c *Composite) step(st *mtTxn, txn int, op oplog.Op) error {
 	return nil
 }
 
-// Read implements Scheduler.
+// Read implements Scheduler. The item's latch is held across the
+// protocol step and the store read; the store access itself happens
+// outside the protocol mutex, so reads of disjoint items overlap.
 func (c *Composite) Read(txn int, item string) (int64, error) {
+	unlock := c.latches.Lock(item)
+	defer unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	st := c.state(txn)
 	if v, ok := st.writes[item]; ok {
+		c.mu.Unlock()
 		return v, nil
 	}
-	if err := c.step(st, txn, oplog.R(txn, item)); err != nil {
+	err := c.step(st, txn, oplog.R(txn, item))
+	c.mu.Unlock()
+	if err != nil {
 		return 0, err
 	}
 	return c.store.Get(item), nil
@@ -291,21 +307,42 @@ func (c *Composite) Write(txn int, item string, v int64) error {
 	return nil
 }
 
-// Commit implements Scheduler.
+// Commit implements Scheduler. The write set's latches are held from
+// commit-time validation through ApplyTxn, so a concurrent reader of a
+// written item sees either the pre-commit state with the pre-commit
+// ordering or the post-commit state with the post-commit ordering; the
+// publish itself runs outside the protocol mutex, so commits on
+// disjoint items overlap in the store.
 func (c *Composite) Commit(txn int) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	st := c.state(txn)
-	for _, x := range st.order {
+	order := append([]string(nil), st.order...)
+	c.mu.Unlock()
+	unlock := c.latches.Lock(order...)
+	defer unlock()
+	c.mu.Lock()
+	// Re-check under the latches: a stray incarnation (abandoned timeout
+	// goroutine) may have aborted or replaced this id meanwhile.
+	if c.txns[txn] != st {
+		c.mu.Unlock()
+		return Abort(txn, 0, "transaction state lost before commit")
+	}
+	for _, x := range order {
 		if err := c.step(st, txn, oplog.W(txn, x)); err != nil {
 			c.sched.Abort(txn, 0)
 			delete(c.txns, txn)
+			c.mu.Unlock()
 			return err
 		}
 	}
-	c.store.ApplyTxn(txn, st.writes)
+	writes := make(map[string]int64, len(st.writes))
+	for x, v := range st.writes {
+		writes[x] = v
+	}
 	c.sched.Commit(txn)
 	delete(c.txns, txn)
+	c.mu.Unlock()
+	c.store.ApplyTxn(txn, writes)
 	return nil
 }
 
@@ -317,6 +354,14 @@ func (c *Composite) Abort(txn int) {
 		c.sched.Abort(txn, 0)
 		delete(c.txns, txn)
 	}
+}
+
+// Protocol exposes the current composite scheduler (tests and
+// diagnostics; epoch restarts swap it, so quiesce before inspecting).
+func (c *Composite) Protocol() *composite.Scheduler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sched
 }
 
 func (c *Composite) state(txn int) *mtTxn {

@@ -1,0 +1,274 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/oplog"
+	"repro/internal/storage"
+)
+
+// MTStriped adapts the fine-grained-locking core.Striped scheduler to
+// the runtime Scheduler interface. It is decision-for-decision
+// equivalent to MT (the coarse global-mutex adapter, retained as the
+// differential reference) but operations on disjoint items from
+// different transactions run concurrently.
+//
+// Lock order, outermost first:
+//
+//  1. the transaction's own state lock (write buffer, blocker) — one
+//     lock per live transaction, so two incarnations of the same id (a
+//     live retry plus a stray abandoned-timeout goroutine) serialize
+//     while unrelated transactions never meet;
+//  2. the core latch table's item stripes (ascending stripe order),
+//     held across the protocol step AND the data access it orders —
+//     the atomicity the coarse adapter gets from its global mutex: a
+//     read's store.Get happens under the same latch as its accept, and
+//     a commit holds its write set's latches from (deferred-mode)
+//     validation through ApplyTxn, so no operation can slot between a
+//     decision and the data state it was decided against;
+//  3. the striped core's transaction-entry and counter locks;
+//  4. the store's shard locks and commit mutex (the WAL group-commit
+//     path stays the only global ordering point).
+//
+// The adapter's transaction map lock (tmu) is a leaf: it is never held
+// while acquiring any of the above.
+type MTStriped struct {
+	opts  MTOptions
+	sched *core.Striped
+	store *storage.Store
+
+	tmu  sync.RWMutex
+	txns map[int]*stripedTxnState
+}
+
+// stripedTxnState is the runtime state of one live transaction,
+// guarded by its own lock.
+type stripedTxnState struct {
+	mu      sync.Mutex
+	writes  map[string]int64
+	order   []string // write order, for deterministic commit validation
+	blocker int      // last rejecting transaction (starvation fix seed)
+}
+
+// NewMTStriped returns a striped MT(k)-family runtime scheduler over
+// the store.
+func NewMTStriped(store *storage.Store, opts MTOptions) *MTStriped {
+	return &MTStriped{
+		opts:  opts,
+		sched: core.NewStriped(opts.Core),
+		store: store,
+		txns:  make(map[int]*stripedTxnState),
+	}
+}
+
+// Name implements Scheduler.
+func (m *MTStriped) Name() string {
+	name := fmt.Sprintf("MT(%d)/striped", m.opts.Core.K)
+	if m.opts.Core.MonotonicEncoding {
+		name += "/mono"
+	}
+	if m.opts.DeferWrites {
+		name += "/deferred"
+	}
+	return name
+}
+
+// Begin implements Scheduler.
+func (m *MTStriped) Begin(txn int) {
+	m.tmu.Lock()
+	m.txns[txn] = &stripedTxnState{writes: make(map[string]int64)}
+	m.tmu.Unlock()
+}
+
+func (m *MTStriped) state(txn int) *stripedTxnState {
+	m.tmu.RLock()
+	st := m.txns[txn]
+	m.tmu.RUnlock()
+	if st == nil {
+		panic(fmt.Sprintf("sched: operation on transaction %d without Begin", txn))
+	}
+	return st
+}
+
+// live reports whether txn has runtime state (used as the liveness
+// callback for the immediate-mode pending-writer check; takes only the
+// leaf map lock).
+func (m *MTStriped) live(txn int) bool {
+	m.tmu.RLock()
+	_, ok := m.txns[txn]
+	m.tmu.RUnlock()
+	return ok
+}
+
+// Read implements Scheduler: the read is validated immediately
+// (Algorithm 1) under the item's latch, and the value is fetched under
+// the same latch, so the value read is exactly the committed state the
+// decision was made against. The immediate-mode "read ordered after
+// uncommitted writer" abort mirrors MT.Read.
+func (m *MTStriped) Read(txn int, item string) (int64, error) {
+	st := m.state(txn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if v, ok := st.writes[item]; ok {
+		return v, nil
+	}
+	unlock := m.sched.Latches().Lock(item)
+	defer unlock()
+	d := m.sched.StepLocked(oplog.R(txn, item))
+	if d.Verdict == core.Reject {
+		st.blocker = d.Blocker
+		return 0, Abort(txn, d.Blocker, "read rejected")
+	}
+	if !m.opts.DeferWrites {
+		if w, conflict := m.sched.ReadPendingWriter(txn, item, m.live); conflict {
+			st.blocker = w
+			return 0, Abort(txn, w, "read ordered after uncommitted writer")
+		}
+	}
+	return m.store.Get(item), nil
+}
+
+// Write implements Scheduler.
+func (m *MTStriped) Write(txn int, item string, v int64) error {
+	st := m.state(txn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !m.opts.DeferWrites {
+		unlock := m.sched.Latches().Lock(item)
+		d := m.sched.StepLocked(oplog.W(txn, item))
+		unlock()
+		switch d.Verdict {
+		case core.Reject:
+			st.blocker = d.Blocker
+			return Abort(txn, d.Blocker, "write rejected")
+		case core.AcceptIgnored:
+			// Thomas write rule: the write is obsolete; drop it.
+			delete(st.writes, item)
+			return nil
+		}
+	}
+	if _, ok := st.writes[item]; !ok {
+		st.order = append(st.order, item)
+	}
+	st.writes[item] = v
+	return nil
+}
+
+// Commit implements Scheduler: with DeferWrites the buffered writes
+// are validated now. The whole write set's latches are held from
+// validation through ApplyTxn and the protocol commit, so concurrent
+// readers of those items see either the pre-commit state with the
+// pre-commit ordering or the post-commit state with the post-commit
+// ordering — never a mix. The commit record itself is sequenced by the
+// store's commit mutex inside ApplyTxn (the group-commit boundary),
+// not at latch-acquire time.
+func (m *MTStriped) Commit(txn int) error {
+	st := m.state(txn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	apply := make(map[string]int64, len(st.writes))
+	for x, v := range st.writes {
+		apply[x] = v
+	}
+	unlock := m.sched.Latches().Lock(st.order...)
+	if m.opts.DeferWrites {
+		for _, x := range st.order {
+			if _, ok := st.writes[x]; !ok {
+				continue
+			}
+			d := m.sched.StepLocked(oplog.W(txn, x))
+			switch d.Verdict {
+			case core.Reject:
+				st.blocker = d.Blocker
+				m.sched.Abort(txn, d.Blocker)
+				unlock()
+				m.drop(txn)
+				return Abort(txn, d.Blocker, "commit-time write validation failed")
+			case core.AcceptIgnored:
+				delete(apply, x)
+			}
+		}
+	}
+	m.store.ApplyTxn(txn, apply)
+	m.sched.Commit(txn)
+	unlock()
+	m.drop(txn)
+	return nil
+}
+
+// drop removes txn's runtime state.
+func (m *MTStriped) drop(txn int) {
+	m.tmu.Lock()
+	delete(m.txns, txn)
+	m.tmu.Unlock()
+}
+
+// Abort implements Scheduler.
+func (m *MTStriped) Abort(txn int) {
+	m.tmu.RLock()
+	st := m.txns[txn]
+	m.tmu.RUnlock()
+	blocker := 0
+	if st != nil {
+		st.mu.Lock()
+		blocker = st.blocker
+		st.mu.Unlock()
+	}
+	m.sched.Abort(txn, blocker)
+	m.drop(txn)
+}
+
+// Striped exposes the underlying protocol scheduler (tests,
+// diagnostics).
+func (m *MTStriped) Striped() *core.Striped { return m.sched }
+
+// K returns the protocol's vector size (crash-harness restart
+// discovery; MT exposes the same via Core().K()).
+func (m *MTStriped) K() int { return m.opts.Core.K }
+
+// WALCounters implements DurableCounters. Like MT, lcount runs
+// downward so its watermark is the negation. The striped core's
+// counter lock is safe to take here: the journal hook runs under the
+// store's commit mutex while the committing goroutine holds item
+// latches and transaction-entry locks, all of which order BEFORE the
+// counter lock.
+func (m *MTStriped) WALCounters() (lo, hi int64) {
+	l, u := m.sched.Counters()
+	return -l, u
+}
+
+// SeedWALCounters implements DurableCounters (atomic raise-only clamp).
+func (m *MTStriped) SeedWALCounters(lo, hi int64) { m.sched.SeedCounters(lo, hi) }
+
+// TryPartialRestart implements the Section VI-C-1 partial rollback,
+// mirroring MT.TryPartialRestart: flush-and-reseed past the blocker,
+// then re-validate the kept reads under the new vector.
+func (m *MTStriped) TryPartialRestart(txn int, readItems []string) bool {
+	m.tmu.RLock()
+	st := m.txns[txn]
+	m.tmu.RUnlock()
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.blocker == 0 || !m.opts.Core.StarvationAvoidance {
+		return false
+	}
+	// Flush and reseed (keeps the transaction live: the write buffer and
+	// state survive).
+	m.sched.Abort(txn, st.blocker)
+	st.blocker = 0
+	for _, x := range readItems {
+		unlock := m.sched.Latches().Lock(x)
+		d := m.sched.StepLocked(oplog.R(txn, x))
+		unlock()
+		if d.Verdict == core.Reject {
+			st.blocker = d.Blocker
+			return false
+		}
+	}
+	return true
+}

@@ -255,6 +255,9 @@ func RunCrashPoint(cfg CrashPointConfig) *CrashPointReport {
 		}
 		if mt, ok := traced.(interface{ Core() *core.Scheduler }); ok {
 			k = mt.Core().K()
+		} else if kk, ok := traced.(interface{ K() int }); ok {
+			// Striped schedulers have no coarse core; they expose K directly.
+			k = kk.K()
 		} else {
 			rep.violate("restart scheduler does not expose its core (need K)")
 		}

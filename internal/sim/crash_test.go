@@ -201,3 +201,101 @@ func TestDurableRunOSFS(t *testing.T) {
 			got, recSum, rep2.Committed)
 	}
 }
+
+// stripedCrashConfig is the striped-path racing-commit crash matrix:
+// MT(1)/striped with more workers and more items than crashBase, so
+// several commits are typically in flight concurrently — their commit
+// records must be sequenced at the group-commit boundary (the store's
+// commit mutex inside ApplyTxn), never at latch-acquire time, or
+// replay equality (invariant 2) and watermark dominance (invariant 4)
+// break. The restart phase reuses the striped scheduler, exercising
+// the crash harness's K-discovery fallback and the atomic
+// SeedWALCounters clamp.
+func stripedCrashConfig(crashAt, seed int64) CrashPointConfig {
+	base := crashBase()
+	base.Workers = 6
+	base.NewScheduler = func(s *storage.Store) sched.Scheduler {
+		return sched.NewMTStriped(s, sched.MTOptions{
+			Core:        core.Options{K: 1, StarvationAvoidance: true},
+			DeferWrites: true,
+		})
+	}
+	specs := make([]txn.Spec, 6)
+	for i := range specs {
+		x := crashItems[i%len(crashItems)]
+		specs[i] = txn.Spec{ID: 1000 + i, Ops: []txn.Op{txn.R(x), txn.W(x)}}
+	}
+	build := func(s *storage.Store, trace func(core.Event)) sched.Scheduler {
+		return sched.NewMTStriped(s, sched.MTOptions{
+			Core:        core.Options{K: 1, StarvationAvoidance: true, Trace: trace},
+			DeferWrites: true,
+		})
+	}
+	return CrashPointConfig{
+		Config:             base,
+		Seed:               seed,
+		CrashAt:            crashAt,
+		Sync:               wal.SyncGroup,
+		BatchDelay:         50 * time.Microsecond,
+		CheckpointEvery:    5,
+		RestartSpecs:       specs,
+		NewTracedScheduler: build,
+	}
+}
+
+// TestCrashPointStripedRacingCommits sweeps crash points across a run
+// whose commits race on the striped scheduler and verifies all five
+// durability invariants at every point.
+func TestCrashPointStripedRacingCommits(t *testing.T) {
+	clean := RunCrashPoint(stripedCrashConfig(0, 21))
+	if err := clean.Err(); err != nil {
+		t.Fatalf("clean run: %v\n%s", err, clean)
+	}
+	if clean.AckedDurable == 0 || clean.RestartAssigns == 0 {
+		t.Fatalf("clean run exercised nothing: %s", clean)
+	}
+	n := clean.CleanOps
+	if testing.Short() && n > 40 {
+		n = 40
+	}
+	crashes := 0
+	for crashAt := int64(1); crashAt <= n; crashAt++ {
+		rep := RunCrashPoint(stripedCrashConfig(crashAt, 21+crashAt))
+		if err := rep.Err(); err != nil {
+			t.Errorf("crashAt=%d: %v\n%s", crashAt, err, rep)
+		}
+		if rep.Crashed {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no crash point actually fired")
+	}
+	t.Logf("striped matrix: %d crash points, %d fired", n, crashes)
+}
+
+// TestStoreLatencyConfig checks Config.StoreLatency reaches the store:
+// a run with latency takes measurably longer than the same run without.
+func TestStoreLatencyConfig(t *testing.T) {
+	build := func() Config {
+		cfg := crashBase()
+		cfg.NewScheduler = func(s *storage.Store) sched.Scheduler {
+			return sched.NewMTStriped(s, sched.MTOptions{
+				Core:        core.Options{K: 2, StarvationAvoidance: true},
+				DeferWrites: true,
+			})
+		}
+		cfg.Workers = 2
+		return cfg
+	}
+	fast := Run(build())
+	slowCfg := build()
+	slowCfg.StoreLatency = 2 * time.Millisecond
+	slow := Run(slowCfg)
+	if fast.Committed == 0 || slow.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if slow.Wall < 10*fast.Wall && slow.Wall < 20*time.Millisecond {
+		t.Fatalf("store latency had no effect: fast=%v slow=%v", fast.Wall, slow.Wall)
+	}
+}

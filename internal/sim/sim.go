@@ -66,6 +66,11 @@ type Config struct {
 	// KeepResults attaches every per-transaction txn.Result to the
 	// Report (crash harnesses need the durable-ack per transaction).
 	KeepResults bool
+	// StoreLatency, when non-zero, models a paged/remote storage backend:
+	// every store access sleeps this long under the affected shard locks
+	// (see storage.SetSimLatency). Benchmarks use it to expose what a
+	// scheduler's lock granularity costs when data access is not free.
+	StoreLatency time.Duration
 }
 
 // Report aggregates one run's results.
@@ -82,9 +87,9 @@ type Report struct {
 	Wall        time.Duration
 	Latency     *metrics.Histogram
 	Store       *storage.Store
-	Fault       *fault.Stats  // injector counters (nil without faults)
-	WAL         *wal.Stats    // log writer counters (nil without a WAL)
-	Results     []txn.Result  // per-transaction results (KeepResults only)
+	Fault       *fault.Stats        // injector counters (nil without faults)
+	WAL         *wal.Stats          // log writer counters (nil without a WAL)
+	Results     []txn.Result        // per-transaction results (KeepResults only)
 	Recovered   *wal.RecoveredState // state the run started from (WAL only)
 }
 
@@ -148,6 +153,9 @@ func Run(cfg Config) *Report {
 		if cfg.OnWALOpen != nil {
 			cfg.OnWALOpen(w, recovered)
 		}
+	}
+	if cfg.StoreLatency > 0 {
+		store.SetSimLatency(cfg.StoreLatency)
 	}
 	if cfg.Observe != nil {
 		journal := cfg.Observe

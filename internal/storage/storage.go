@@ -4,12 +4,28 @@
 // committed data: schedulers buffer writes and Apply them atomically at
 // commit (the paper's Section VI-C-2 "two-phase commit for each write
 // operation" — temporary copies stay invisible to other transactions).
+//
+// The map is hash-sharded with a per-shard RWMutex so reads and commits
+// on disjoint items proceed concurrently; the only global serialization
+// point is the commit mutex that sequences the batch version counter
+// and the journal hook. A committing batch holds its items' shard locks
+// ACROSS the journal call, so for any single item the journal order, the
+// per-item version order and the in-memory apply order always agree —
+// the property WAL replay correctness rests on.
 package storage
 
-import "sync"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardCount is the number of map shards (power of two).
+const shardCount = 64
 
 // ApplyEvent describes one committed batch, delivered to the journal
-// hook in apply order (the hook runs under the store mutex, so event
+// hook in apply order (the hook runs under the commit mutex, so event
 // order is the true commit order). Writes and Vers are owned by the
 // store only for the duration of the call: a hook that retains them
 // must copy.
@@ -27,7 +43,8 @@ type ApplyEvent struct {
 }
 
 // Journal observes committed batches. It is called synchronously under
-// the store mutex and must be fast (enqueue, don't fsync).
+// the commit mutex (with the batch's shard locks still held) and must
+// be fast (enqueue, don't fsync).
 type Journal func(ApplyEvent)
 
 // State is a consistent copy of the committed state — data, per-item
@@ -39,23 +56,40 @@ type State struct {
 	Version  int64
 }
 
-// Store is a concurrency-safe committed-state KV store.
-type Store struct {
-	mu   sync.RWMutex
-	data map[string]int64
-	// version counts committed Apply batches, handy for validation
-	// schemes that need a cheap global commit counter.
-	version int64
-	// itemVer counts commits per item; partial rollback uses it to decide
-	// whether a kept read value is still current.
+// shard is one slice of the keyspace with its own lock.
+type shard struct {
+	mu      sync.RWMutex
+	data    map[string]int64
 	itemVer map[string]int64
-	// journal, when set, observes every committed batch under the lock.
+}
+
+// Store is a concurrency-safe committed-state KV store, sharded by item
+// hash.
+type Store struct {
+	shards [shardCount]shard
+	// commitMu is the global ordering point: it sequences the batch
+	// version counter and the journal hook. It nests strictly inside the
+	// shard locks (ApplyTxn holds the batch's shards, then commitMu).
+	commitMu sync.Mutex
+	// version counts committed Apply batches, handy for validation
+	// schemes that need a cheap global commit counter. Guarded by
+	// commitMu.
+	version int64
+	// journal, when set, observes every committed batch under commitMu.
 	journal Journal
+	// simLatency, when non-zero, is a per-access sleep (ns) modeling a
+	// paged or remote storage backend; see SetSimLatency.
+	simLatency atomic.Int64
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{data: make(map[string]int64), itemVer: make(map[string]int64)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string]int64)
+		s.shards[i].itemVer = make(map[string]int64)
+	}
+	return s
 }
 
 // Restore builds a store from a recovered state. The maps are copied;
@@ -63,37 +97,99 @@ func New() *Store {
 func Restore(st State) *Store {
 	s := New()
 	for x, v := range st.Data {
-		s.data[x] = v
+		sh := s.shardOf(x)
+		sh.data[x] = v
 	}
 	for x, v := range st.ItemVers {
-		s.itemVer[x] = v
+		sh := s.shardOf(x)
+		sh.itemVer[x] = v
 	}
 	s.version = st.Version
 	return s
 }
 
+// fnv1a hashes an item name (inlined FNV-1a, avoiding an allocation per
+// access).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (s *Store) shardOf(item string) *shard {
+	return &s.shards[fnv1a(item)&(shardCount-1)]
+}
+
+// SetSimLatency installs a simulated per-access latency: every Get and
+// every ApplyTxn sleeps d while holding the affected items' shard
+// locks, modeling a store whose items live on a paged buffer pool or a
+// remote backend rather than in local RAM. Benchmarks use it to expose
+// what a scheduler's lock granularity costs when data access is not
+// free: a scheduler that holds a global mutex across storage access
+// serializes these sleeps, one that holds per-item latches overlaps
+// them. Zero (the default) disables the sleep.
+func (s *Store) SetSimLatency(d time.Duration) { s.simLatency.Store(int64(d)) }
+
+func (s *Store) simSleep() {
+	if d := s.simLatency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
 // SetJournal installs (or clears, with nil) the journaling hook. Set it
 // before traffic flows: batches applied earlier are not re-delivered.
 func (s *Store) SetJournal(j Journal) {
-	s.mu.Lock()
+	s.commitMu.Lock()
 	s.journal = j
-	s.mu.Unlock()
+	s.commitMu.Unlock()
 }
 
 // Get returns the committed value of item (0 if never written).
 func (s *Store) Get(item string) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.data[item]
+	sh := s.shardOf(item)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s.simSleep()
+	return sh.data[item]
+}
+
+// lockAll acquires every shard lock in index order (write mode) and
+// returns an unlock function. Whole-store snapshots use it; the index
+// order matches lockShards, so snapshots and commits cannot deadlock.
+func (s *Store) lockAll() func() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	return func() {
+		for i := shardCount - 1; i >= 0; i-- {
+			s.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// rlockAll acquires every shard lock in index order (read mode).
+func (s *Store) rlockAll() func() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	return func() {
+		for i := shardCount - 1; i >= 0; i-- {
+			s.shards[i].mu.RUnlock()
+		}
+	}
 }
 
 // GetMany returns the committed values of several items atomically.
 func (s *Store) GetMany(items []string) map[string]int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.rlockAll()
+	defer unlock()
+	s.simSleep()
 	out := make(map[string]int64, len(items))
 	for _, x := range items {
-		out[x] = s.data[x]
+		out[x] = s.shardOf(x).data[x]
 	}
 	return out
 }
@@ -103,18 +199,47 @@ func (s *Store) Apply(writes map[string]int64) int64 {
 	return s.ApplyTxn(0, writes)
 }
 
+// lockShards acquires the (deduplicated) shard locks covering the batch
+// in ascending index order and returns an unlock function.
+func (s *Store) lockShards(writes map[string]int64) func() {
+	var idx []int
+	seen := [shardCount]bool{}
+	for x := range writes {
+		i := int(fnv1a(x) & (shardCount - 1))
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		s.shards[i].mu.Lock()
+	}
+	return func() {
+		for j := len(idx) - 1; j >= 0; j-- {
+			s.shards[idx[j]].mu.Unlock()
+		}
+	}
+}
+
 // ApplyTxn commits a write batch atomically on behalf of txn and
-// returns the new version. The journal hook (if any) observes the
-// batch under the lock, so journal order is commit order.
+// returns the new version. The batch's shard locks are held across the
+// journal call, and the version bump plus the journal hook run under
+// the commit mutex: journal order is commit order globally, and agrees
+// with the per-item version order item by item.
 func (s *Store) ApplyTxn(txn int, writes map[string]int64) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	unlock := s.lockShards(writes)
+	defer unlock()
+	s.simSleep()
 	vers := make(map[string]int64, len(writes))
 	for x, v := range writes {
-		s.data[x] = v
-		s.itemVer[x]++
-		vers[x] = s.itemVer[x]
+		sh := s.shardOf(x)
+		sh.data[x] = v
+		sh.itemVer[x]++
+		vers[x] = sh.itemVer[x]
 	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	s.version++
 	if s.journal != nil {
 		s.journal(ApplyEvent{Txn: txn, Writes: writes, Vers: vers, Version: s.version})
@@ -130,45 +255,53 @@ func (s *Store) Set(item string, v int64) {
 // ItemVersion returns the number of commits that wrote item (0 if never
 // written).
 func (s *Store) ItemVersion(item string) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.itemVer[item]
+	sh := s.shardOf(item)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.itemVer[item]
 }
 
 // Version returns the number of committed batches so far.
 func (s *Store) Version() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	return s.version
 }
 
 // Snapshot returns a copy of the committed state.
 func (s *Store) Snapshot() map[string]int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]int64, len(s.data))
-	for x, v := range s.data {
-		out[x] = v
+	unlock := s.rlockAll()
+	defer unlock()
+	out := make(map[string]int64)
+	for i := range s.shards {
+		for x, v := range s.shards[i].data {
+			out[x] = v
+		}
 	}
 	return out
 }
 
 // State returns a consistent copy of the full committed state: data,
 // per-item versions and the batch counter — what a checkpoint persists
-// and what verification harnesses diff against a shadow store.
+// and what verification harnesses diff against a shadow copy. It locks
+// every shard plus the commit mutex, so no batch is half-visible.
 func (s *Store) State() State {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.rlockAll()
+	defer unlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	st := State{
-		Data:     make(map[string]int64, len(s.data)),
-		ItemVers: make(map[string]int64, len(s.itemVer)),
+		Data:     make(map[string]int64),
+		ItemVers: make(map[string]int64),
 		Version:  s.version,
 	}
-	for x, v := range s.data {
-		st.Data[x] = v
-	}
-	for x, v := range s.itemVer {
-		st.ItemVers[x] = v
+	for i := range s.shards {
+		for x, v := range s.shards[i].data {
+			st.Data[x] = v
+		}
+		for x, v := range s.shards[i].itemVer {
+			st.ItemVers[x] = v
+		}
 	}
 	return st
 }
@@ -176,11 +309,11 @@ func (s *Store) State() State {
 // Sum returns the sum of the committed values of the given items
 // (atomically), used by invariant checks such as the banking example.
 func (s *Store) Sum(items []string) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.rlockAll()
+	defer unlock()
 	var sum int64
 	for _, x := range items {
-		sum += s.data[x]
+		sum += s.shardOf(x).data[x]
 	}
 	return sum
 }

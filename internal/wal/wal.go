@@ -129,16 +129,16 @@ type Writer struct {
 
 	// mu protects the queue and bookkeeping. Never held across I/O.
 	mu       sync.Mutex
-	queue    []byte        // encoded frames awaiting flush
-	qRecords int64         // records in queue
-	qTxns    []int64       // txns with tickets in queue
+	queue    []byte          // encoded frames awaiting flush
+	qRecords int64           // records in queue
+	qTxns    []int64         // txns with tickets in queue
 	txnVer   map[int64]int64 // txn -> version awaiting durability
-	queueVer int64         // version of the newest enqueued record
-	durable  int64         // newest version known flushed (+synced)
-	lastLo   int64         // monotone counter watermarks of the
-	lastHi   int64         //   newest enqueued record
-	since    int64         // records logged since the last checkpoint
-	err      error         // sticky I/O error; everything fails after
+	queueVer int64           // version of the newest enqueued record
+	durable  int64           // newest version known flushed (+synced)
+	lastLo   int64           // monotone counter watermarks of the
+	lastHi   int64           //   newest enqueued record
+	since    int64           // records logged since the last checkpoint
+	err      error           // sticky I/O error; everything fails after
 
 	// flushMu serializes flush leaders and checkpoints. Held across
 	// I/O; waiters parked on it form the next group.

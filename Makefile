@@ -1,19 +1,28 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race bench bench-smoke bench-sweep chaos fuzz-smoke crash
+.PHONY: ci vet fmt build test shuffle race bench bench-smoke bench-sweep bench-sweep-4 chaos fuzz-smoke crash
 
 # The full gate: what must pass before merging.
-ci: vet build test race bench-smoke fuzz-smoke crash
+ci: vet fmt build test shuffle race bench-smoke fuzz-smoke crash
 
 vet:
 	$(GO) vet ./...
+
+# gofmt as a gate: fail (and show the files) if anything is unformatted.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The suite again in random test order: catches inter-test state leaks
+# (shared package-level state, test-order-dependent fixtures).
+shuffle:
+	$(GO) test -shuffle=on ./...
 
 # The concurrency-sensitive packages under the race detector: the
 # striped scheduler hot path (latch table, striped adapters, sharded
@@ -39,6 +48,16 @@ bench-sweep:
 	$(GO) run ./cmd/mtbench -scheds mt-coarse,mt-striped,mtdefer-striped,composite \
 		-workers 1,2,4,8,16 -workloads uniform,zipf -iolat 0,20us -txns 1200 \
 		-csv bench/bench_3.csv -json bench/BENCH_3.json
+
+# The engine-unification sweep behind bench/BENCH_4.json (see
+# EXPERIMENTS.md E25): every engine-backed family coarse vs striped,
+# with per-family speedup columns.
+bench-sweep-4:
+	$(GO) run ./cmd/mtbench \
+		-scheds mt-coarse,mt-striped,composite-coarse,composite-striped,dmt-coarse,dmt-striped \
+		-speedups mt-coarse:mt-striped,composite-coarse:composite-striped,dmt-coarse:dmt-striped \
+		-workers 1,2,4,8 -workloads uniform,zipf -iolat 0,20us -txns 1200 \
+		-csv bench/bench_4.csv -json bench/BENCH_4.json
 
 # A quick chaos smoke run: DMT(k) under crash + drift + message loss.
 chaos:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/composite"
 	"repro/internal/core"
 	"repro/internal/dmt"
+	"repro/internal/engine"
 	"repro/internal/enumerate"
 	"repro/internal/interval"
 	"repro/internal/lock"
@@ -102,9 +103,9 @@ func BenchmarkAcceptanceCensus(b *testing.B) {
 		name string
 		fn   func(*oplog.Log) bool
 	}{
-		{"MT1", func(l *oplog.Log) bool { return core.Accepts(1, l) }},
-		{"MT2", func(l *oplog.Log) bool { return core.Accepts(2, l) }},
-		{"MT3", func(l *oplog.Log) bool { return core.Accepts(3, l) }},
+		{"MT1", func(l *oplog.Log) bool { return engine.Accepts(1, l) }},
+		{"MT2", func(l *oplog.Log) bool { return engine.Accepts(2, l) }},
+		{"MT3", func(l *oplog.Log) bool { return engine.Accepts(3, l) }},
 		{"MT3plus", func(l *oplog.Log) bool { return composite.Accepts(3, l) }},
 		{"TO1def4", classify.TO1},
 		{"TwoPL", classify.TwoPL},
@@ -146,7 +147,7 @@ func BenchmarkMTkScaling(b *testing.B) {
 		logs := multiCorpus(8, n, 3, 4, 23)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				s := core.NewScheduler(core.Options{K: 5})
+				s := engine.NewScheduler(engine.Options{K: 5})
 				s.AcceptLog(logs[i%len(logs)])
 			}
 		})
@@ -155,7 +156,7 @@ func BenchmarkMTkScaling(b *testing.B) {
 		logs := multiCorpus(8, 16, q, 4, 29)
 		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				s := core.NewScheduler(core.Options{K: 5})
+				s := engine.NewScheduler(engine.Options{K: 5})
 				s.AcceptLog(logs[i%len(logs)])
 			}
 		})
@@ -164,7 +165,7 @@ func BenchmarkMTkScaling(b *testing.B) {
 	for _, k := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				s := core.NewScheduler(core.Options{K: k})
+				s := engine.NewScheduler(engine.Options{K: k})
 				s.AcceptLog(logsK[i%len(logsK)])
 			}
 		})
@@ -262,7 +263,7 @@ func BenchmarkIntervalVsVector(b *testing.B) {
 	b.Run("vector", func(b *testing.B) {
 		depth := 0
 		for i := 0; i < b.N; i++ {
-			s := core.NewScheduler(core.Options{K: 2})
+			s := engine.NewScheduler(engine.Options{K: 2})
 			d := 0
 			for t := 1; t <= 500; t++ {
 				if s.Step(oplog.R(t, "hot")).Verdict == core.Reject {
@@ -306,7 +307,7 @@ func BenchmarkVectorSizeSweep(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			accepted, total := 0, 0
 			for i := 0; i < b.N; i++ {
-				if core.Accepts(k, logs[i%len(logs)]) {
+				if engine.Accepts(k, logs[i%len(logs)]) {
 					accepted++
 				}
 				total++
@@ -350,10 +351,10 @@ func BenchmarkRuntime(b *testing.B) {
 		mk   func(*storage.Store) sched.Scheduler
 	}{
 		{"MT7", func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 7, StarvationAvoidance: true}})
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 7, StarvationAvoidance: true}})
 		}},
 		{"MT7mono", func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{
 				K: 7, StarvationAvoidance: true, MonotonicEncoding: true}})
 		}},
 		{"2PL", func(st *storage.Store) sched.Scheduler { return lock.NewTwoPL(st) }},
@@ -389,7 +390,7 @@ func BenchmarkRollback(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			runtimeBench(b, func(st *storage.Store) sched.Scheduler {
 				return sched.NewMT(st, sched.MTOptions{
-					Core:        core.Options{K: 7, StarvationAvoidance: true},
+					Core:        engine.Options{K: 7, StarvationAvoidance: true},
 					DeferWrites: deferred,
 				})
 			}, true)
@@ -411,7 +412,7 @@ func BenchmarkPartialRollback(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st := storage.New()
 				m := sched.NewMT(st, sched.MTOptions{
-					Core: core.Options{K: 9, StarvationAvoidance: true}})
+					Core: engine.Options{K: 9, StarvationAvoidance: true}})
 				rt := &txn.Runtime{
 					Sched: m, MaxAttempts: 100,
 					PartialRollback: partial, Store: st,
@@ -434,7 +435,7 @@ func BenchmarkPartialRollback(b *testing.B) {
 // transaction with and without the flush-and-reseed rule.
 func BenchmarkStarvationFix(b *testing.B) {
 	run := func(fix bool) float64 {
-		s := core.NewScheduler(core.Options{K: 2, StarvationAvoidance: fix})
+		s := engine.NewScheduler(engine.Options{K: 2, StarvationAvoidance: fix})
 		s.AcceptLog(oplog.MustParse("W1[x] W2[x] R3[y]"))
 		attempts := 0
 		for ; attempts < 10; attempts++ {
@@ -485,7 +486,7 @@ func BenchmarkThomasWriteRule(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			accepted, total := 0, 0
 			for i := 0; i < b.N; i++ {
-				s := core.NewScheduler(core.Options{K: 3, ThomasWriteRule: thomas})
+				s := engine.NewScheduler(engine.Options{K: 3, ThomasWriteRule: thomas})
 				if ok, _ := s.AcceptLog(logs[i%len(logs)]); ok {
 					accepted++
 				}
@@ -503,7 +504,7 @@ func BenchmarkNestedVsFlat(b *testing.B) {
 	groups := map[int]int{1: 1, 2: 1, 3: 2, 4: 2}
 	b.Run("flat-MT2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			s := core.NewScheduler(core.Options{K: 2})
+			s := engine.NewScheduler(engine.Options{K: 2})
 			s.AcceptLog(logs[i%len(logs)])
 		}
 	})
@@ -531,10 +532,10 @@ func BenchmarkHotItemEncoding(b *testing.B) {
 		rng.Shuffle(len(ops), func(a, c int) { ops[a], ops[c] = ops[c], ops[a] })
 		logs = append(logs, oplog.NewLog(ops...))
 	}
-	measure := func(opts core.Options) float64 {
+	measure := func(opts engine.Options) float64 {
 		incomparable, pairs := 0, 0
 		for _, l := range logs {
-			s := core.NewScheduler(opts)
+			s := engine.NewScheduler(opts)
 			if ok, _ := s.AcceptLog(l); !ok {
 				continue
 			}
@@ -557,14 +558,14 @@ func BenchmarkHotItemEncoding(b *testing.B) {
 	b.Run("normal", func(b *testing.B) {
 		var f float64
 		for i := 0; i < b.N; i++ {
-			f = measure(core.Options{K: 6})
+			f = measure(engine.Options{K: 6})
 		}
 		b.ReportMetric(f, "incomparable/pair")
 	})
 	b.Run("hot-shifted", func(b *testing.B) {
 		var f float64
 		for i := 0; i < b.N; i++ {
-			f = measure(core.Options{K: 6, HotItems: map[string]bool{"hot": true}})
+			f = measure(engine.Options{K: 6, HotItems: map[string]bool{"hot": true}})
 		}
 		b.ReportMetric(f, "incomparable/pair")
 	})
@@ -612,16 +613,16 @@ func BenchmarkRuntimeOverlap(b *testing.B) {
 		{"MT7", func(st *storage.Store) sched.Scheduler {
 			// Same concessions as the TO baseline: Thomas rule on, and the
 			// paper's own line-9 relaxation (Section III-D-2 remark).
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{
 				K: 7, StarvationAvoidance: true, ThomasWriteRule: true, RelaxedReadCheck: true}})
 		}},
 		{"MT7mono", func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{
 				K: 7, StarvationAvoidance: true, MonotonicEncoding: true,
 				ThomasWriteRule: true, RelaxedReadCheck: true}})
 		}},
 		{"MT7defer", func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{
 				K: 7, StarvationAvoidance: true, ThomasWriteRule: true, RelaxedReadCheck: true},
 				DeferWrites: true})
 		}},
@@ -679,7 +680,7 @@ func BenchmarkAdaptive(b *testing.B) {
 					NewScheduler: func(st *storage.Store) sched.Scheduler {
 						a = adaptive.New(st, adaptive.Options{
 							InitialK: 3, MinK: 1, MaxK: 9, Window: 32,
-							Core: core.Options{StarvationAvoidance: true},
+							Core: engine.Options{StarvationAvoidance: true},
 						})
 						return a
 					},
@@ -753,7 +754,7 @@ func BenchmarkDurableCommit(b *testing.B) {
 	}.Generate()
 	newSched := func(st *storage.Store) sched.Scheduler {
 		return sched.NewMT(st, sched.MTOptions{
-			Core:        core.Options{K: 7, StarvationAvoidance: true},
+			Core:        engine.Options{K: 7, StarvationAvoidance: true},
 			DeferWrites: true,
 		})
 	}
@@ -813,10 +814,10 @@ func BenchmarkSharedComposite(b *testing.B) {
 // cmd/mtbench runs the full sweep; this keeps a sample in the suite.
 func BenchmarkStripedScheduler(b *testing.B) {
 	mkCoarse := func(st *storage.Store) sched.Scheduler {
-		return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 7, StarvationAvoidance: true}})
+		return sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 7, StarvationAvoidance: true}})
 	}
 	mkStriped := func(st *storage.Store) sched.Scheduler {
-		return sched.NewMTStriped(st, sched.MTOptions{Core: core.Options{K: 7, StarvationAvoidance: true}})
+		return sched.NewMTStriped(st, sched.MTOptions{Core: engine.Options{K: 7, StarvationAvoidance: true}})
 	}
 	specs := workload.Config{
 		Txns: 200, OpsPerTxn: 4, Items: 1024, ReadFraction: 0.7, Seed: 7,

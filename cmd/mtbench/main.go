@@ -31,7 +31,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/dmt"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -41,7 +42,7 @@ import (
 
 func main() {
 	schedList := flag.String("scheds", "mt-coarse,mt-striped",
-		"comma list: mt-coarse|mt-striped|mtdefer-coarse|mtdefer-striped|composite")
+		"comma list: mt-coarse|mt-striped|mtdefer-coarse|mtdefer-striped|composite-coarse|composite-striped|dmt-coarse|dmt-striped")
 	workerList := flag.String("workers", "1,2,4,8,16", "comma list of goroutine counts")
 	workloadList := flag.String("workloads", "uniform,zipf", "comma list: uniform|zipf|hotspot")
 	iolatList := flag.String("iolat", "0,20us", "comma list of simulated store latencies (Go durations)")
@@ -52,11 +53,14 @@ func main() {
 	readFrac := flag.Float64("readfrac", 0.7, "fraction of reads")
 	zipfS := flag.Float64("zipfs", 1.3, "zipf exponent for the zipf workload")
 	seed := flag.Int64("seed", 1, "workload seed")
+	sites := flag.Int("sites", 4, "site count for the dmt schedulers")
 	maxAttempts := flag.Int("maxattempts", 1000, "per-transaction retry budget")
 	csvPath := flag.String("csv", "", "write the per-cell CSV here (default stdout)")
 	jsonPath := flag.String("json", "", "write the JSON summary (rows + speedups) here")
 	baseline := flag.String("baseline", "mt-coarse", "speedup baseline scheduler")
 	subject := flag.String("subject", "mt-striped", "speedup subject scheduler")
+	speedupPairs := flag.String("speedups", "",
+		"comma list of baseline:subject speedup pairs (overrides -baseline/-subject)")
 	notes := flag.String("notes", "", "free-form note recorded in the JSON summary")
 	flag.Parse()
 
@@ -66,23 +70,34 @@ func main() {
 
 	factories := map[string]func(*storage.Store) sched.Scheduler{
 		"mt-coarse": func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: *k, StarvationAvoidance: true}})
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: *k, StarvationAvoidance: true}})
 		},
 		"mt-striped": func(st *storage.Store) sched.Scheduler {
-			return sched.NewMTStriped(st, sched.MTOptions{Core: core.Options{K: *k, StarvationAvoidance: true}})
+			return sched.NewMTStriped(st, sched.MTOptions{Core: engine.Options{K: *k, StarvationAvoidance: true}})
 		},
 		"mtdefer-coarse": func(st *storage.Store) sched.Scheduler {
 			return sched.NewMT(st, sched.MTOptions{
-				Core: core.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
+				Core: engine.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
 		},
 		"mtdefer-striped": func(st *storage.Store) sched.Scheduler {
 			return sched.NewMTStriped(st, sched.MTOptions{
-				Core: core.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
+				Core: engine.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
 		},
-		"composite": func(st *storage.Store) sched.Scheduler {
-			return sched.NewComposite(st, *k, core.Options{StarvationAvoidance: true})
+		"composite-coarse": func(st *storage.Store) sched.Scheduler {
+			return sched.NewCompositeCoarse(st, *k, engine.Options{StarvationAvoidance: true})
+		},
+		"composite-striped": func(st *storage.Store) sched.Scheduler {
+			return sched.NewComposite(st, *k, engine.Options{StarvationAvoidance: true})
+		},
+		"dmt-coarse": func(st *storage.Store) sched.Scheduler {
+			return sched.NewDMTCoarse(st, dmt.Options{K: *k, Sites: *sites})
+		},
+		"dmt-striped": func(st *storage.Store) sched.Scheduler {
+			return sched.NewDMT(st, dmt.Options{K: *k, Sites: *sites})
 		},
 	}
+	// Back-compat alias: "composite" is the striped variant.
+	factories["composite"] = factories["composite-striped"]
 
 	scheds := splitList(*schedList)
 	for _, s := range scheds {
@@ -197,13 +212,29 @@ func main() {
 	}
 
 	if *jsonPath != "" {
+		pairs := [][2]string{{*baseline, *subject}}
+		if *speedupPairs != "" {
+			pairs = nil
+			for _, p := range splitList(*speedupPairs) {
+				b, s, ok := strings.Cut(p, ":")
+				if !ok || b == "" || s == "" {
+					fmt.Fprintf(os.Stderr, "mtbench: bad speedup pair %q (want baseline:subject)\n", p)
+					os.Exit(2)
+				}
+				pairs = append(pairs, [2]string{b, s})
+			}
+		}
+		var speedups []metrics.BenchSpeedup
+		for _, p := range pairs {
+			speedups = append(speedups, metrics.ComputeSpeedups(rows, p[0], p[1])...)
+		}
 		summary := metrics.BenchSummary{
 			Name:       "mtbench sweep",
 			Generated:  time.Now().UTC().Format(time.RFC3339),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			Notes:      *notes,
 			Rows:       rows,
-			Speedups:   metrics.ComputeSpeedups(rows, *baseline, *subject),
+			Speedups:   speedups,
 		}
 		f, err := os.Create(*jsonPath)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/composite"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/enumerate"
 	"repro/internal/interval"
 	"repro/internal/nested"
@@ -71,7 +72,7 @@ func main() {
 }
 
 // printVectors prints the timestamp table rows in ascending txn order.
-func printVectors(s *core.Scheduler, txns []int) {
+func printVectors(s *engine.Scheduler, txns []int) {
 	for _, t := range txns {
 		fmt.Printf("  TS(%d) = %s\n", t, s.Vector(t))
 	}
@@ -81,10 +82,10 @@ func runE1() {
 	l := oplog.MustParse("W1[x] W1[y] R3[x] R2[y] W3[y]")
 	fmt.Printf("log L = %s\n", l)
 	fmt.Printf("TO(1) per Definition 4: %v (premature order T3 before T2)\n", classify.TO1(l))
-	fmt.Printf("MT(1) accepts: %v\n", core.Accepts(1, l))
-	fmt.Printf("MT(2) accepts: %v\n", core.Accepts(2, l))
+	fmt.Printf("MT(1) accepts: %v\n", engine.Accepts(1, l))
+	fmt.Printf("MT(2) accepts: %v\n", engine.Accepts(2, l))
 
-	s := core.NewScheduler(core.Options{K: 2})
+	s := engine.NewScheduler(engine.Options{K: 2})
 	prefix := oplog.MustParse("W1[x] W1[y] R3[x] R2[y]")
 	s.AcceptLog(prefix)
 	fmt.Println("after the prefix (T2 and T3 share element 1):")
@@ -96,7 +97,7 @@ func runE1() {
 }
 
 func runTable1() {
-	s := core.NewScheduler(core.Options{K: 2})
+	s := engine.NewScheduler(engine.Options{K: 2})
 	steps := []struct {
 		op   oplog.Op
 		edge string
@@ -125,7 +126,7 @@ func runTable1() {
 }
 
 func runTable2() {
-	s := core.NewScheduler(core.Options{K: 2})
+	s := engine.NewScheduler(engine.Options{K: 2})
 	s.SeedVector(4, core.Int(1), core.Int(4))
 	s.SetCounters(0, 5)
 	fmt.Println("vectors just before the middle operations: TS(4) = <1,4>")
@@ -139,7 +140,7 @@ func runTable2() {
 
 	// The optimized (right-shifted) encoding of Section III-D-5.
 	fmt.Println("optimized encoding (hot item, k=4): T1=<1,3,*,*> then encode T1->T2:")
-	h2 := core.NewScheduler(core.Options{K: 4, HotItems: map[string]bool{"x": true}})
+	h2 := engine.NewScheduler(engine.Options{K: 4, HotItems: map[string]bool{"x": true}})
 	h2.SeedVector(1, core.Int(1), core.Int(3), core.Undef, core.Undef)
 	// Route the dependency through the hot item x: T1 writes, T2 reads.
 	h2.Step(oplog.W(1, "x"))
@@ -227,7 +228,7 @@ func runFig4() {
 
 func runFig5() {
 	fmt.Println("log L = W1[x] W2[x] R3[y] W3[x]")
-	plain := core.NewScheduler(core.Options{K: 2})
+	plain := engine.NewScheduler(engine.Options{K: 2})
 	plain.AcceptLog(oplog.MustParse("W1[x] W2[x] R3[y]"))
 	for attempt := 1; attempt <= 3; attempt++ {
 		d := plain.Step(oplog.W(3, "x"))
@@ -238,7 +239,7 @@ func runFig5() {
 		plain.Abort(3, d.Blocker)
 		plain.Step(oplog.R(3, "y"))
 	}
-	fixed := core.NewScheduler(core.Options{K: 2, StarvationAvoidance: true})
+	fixed := engine.NewScheduler(engine.Options{K: 2, StarvationAvoidance: true})
 	fixed.AcceptLog(oplog.MustParse("W1[x] W2[x] R3[y]"))
 	d := fixed.Step(oplog.W(3, "x"))
 	fmt.Printf("  with fix: first W3[x] %s; flushing TS(3)\n", d.Verdict)
@@ -265,10 +266,10 @@ func runFig6() {
 func runThomas() {
 	l := oplog.MustParse("W2[y] R1[y] W1[x] W2[x]")
 	fmt.Printf("log L = %s (W2[x] is obsolete: TS(2) < TS(1) = WT(x))\n", l)
-	plain := core.NewScheduler(core.Options{K: 2})
+	plain := engine.NewScheduler(engine.Options{K: 2})
 	okPlain, atPlain := plain.AcceptLog(l)
 	fmt.Printf("  without Thomas rule: accepted=%v (reject at op %d)\n", okPlain, atPlain)
-	thomas := core.NewScheduler(core.Options{K: 2, ThomasWriteRule: true})
+	thomas := engine.NewScheduler(engine.Options{K: 2, ThomasWriteRule: true})
 	var last core.Decision
 	for _, op := range l.Ops {
 		last = thomas.Step(op)
@@ -288,12 +289,12 @@ func runTheorem3() {
 		l := oplog.MustParse(s)
 		fmt.Printf("%-44s", s)
 		for k := 1; k <= 5; k++ {
-			fmt.Printf(" %-6v", core.Accepts(k, l))
+			fmt.Printf(" %-6v", engine.Accepts(k, l))
 		}
 		fmt.Println()
 	}
 	// The 2q-th column is never set (Lemma 4).
-	sch := core.NewScheduler(core.Options{K: 4})
+	sch := engine.NewScheduler(engine.Options{K: 4})
 	sch.AcceptLog(oplog.MustParse("W1[x] W1[y] R3[x] R2[y] W3[y]"))
 	maxDefined := 0
 	for t, v := range sch.Snapshot() {
@@ -343,7 +344,7 @@ func runInterval() {
 	fmt.Printf("  fragmentation aborts: %d\n", iv.Exhausted())
 
 	fmt.Println("the same chain under MT(2): no fragmentation, any depth:")
-	s := core.NewScheduler(core.Options{K: 2})
+	s := engine.NewScheduler(engine.Options{K: 2})
 	okAll := true
 	for i := 1; i <= 200; i++ {
 		if d := s.Step(oplog.R(i, "hot")); d.Verdict != core.Accept {

@@ -50,6 +50,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/dmt"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/interval"
 	"repro/internal/lock"
@@ -103,18 +104,18 @@ func main() {
 
 	factories := map[string]func(*storage.Store) sched.Scheduler{
 		"mt": func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: *k, StarvationAvoidance: true}})
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: *k, StarvationAvoidance: true}})
 		},
 		"mtmono": func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{
 				K: *k, StarvationAvoidance: true, MonotonicEncoding: true}})
 		},
 		"mtdefer": func(st *storage.Store) sched.Scheduler {
 			return sched.NewMT(st, sched.MTOptions{
-				Core: core.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
+				Core: engine.Options{K: *k, StarvationAvoidance: true}, DeferWrites: true})
 		},
 		"composite": func(st *storage.Store) sched.Scheduler {
-			return sched.NewComposite(st, *k, core.Options{StarvationAvoidance: true})
+			return sched.NewComposite(st, *k, engine.Options{StarvationAvoidance: true})
 		},
 		"2pl": func(st *storage.Store) sched.Scheduler { return lock.NewTwoPL(st) },
 		"to": func(st *storage.Store) sched.Scheduler {
@@ -127,7 +128,7 @@ func main() {
 		"adaptive": func(st *storage.Store) sched.Scheduler {
 			return adaptive.New(st, adaptive.Options{
 				InitialK: 1, MaxK: *k,
-				Core: core.Options{StarvationAvoidance: true},
+				Core: engine.Options{StarvationAvoidance: true},
 			})
 		},
 		"dmt": func(st *storage.Store) sched.Scheduler {
@@ -218,7 +219,7 @@ func runCrashHarness(name string, factory func(*storage.Store) sched.Scheduler,
 		deferW, mono := name == "mtdefer", name == "mtmono"
 		cfg.NewTracedScheduler = func(st *storage.Store, trace func(core.Event)) sched.Scheduler {
 			return sched.NewMT(st, sched.MTOptions{
-				Core: core.Options{K: k, StarvationAvoidance: true,
+				Core: engine.Options{K: k, StarvationAvoidance: true,
 					MonotonicEncoding: mono, Trace: trace},
 				DeferWrites: deferW,
 			})

@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/storage"
 )
@@ -35,7 +35,7 @@ type Options struct {
 	// (default 0.20); ShrinkBelow shrinks k below it (default 0.05).
 	GrowAbove, ShrinkBelow float64
 	// Core carries the protocol options applied at every k (K ignored).
-	Core core.Options
+	Core engine.Options
 	// DeferWrites selects the Section VI-C-2 write discipline.
 	DeferWrites bool
 }

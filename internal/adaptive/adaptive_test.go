@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -45,7 +45,7 @@ func TestGrowsUnderAbortPressure(t *testing.T) {
 	a := New(st, Options{
 		InitialK: 1, MaxK: 7, Window: 10,
 		GrowAbove: 0.2,
-		Core:      core.Options{StarvationAvoidance: true},
+		Core:      engine.Options{StarvationAvoidance: true},
 	})
 	// Manufacture aborts: every transaction begins, then aborts.
 	for i := 1; i <= 40; i++ {
@@ -73,7 +73,7 @@ func TestShrinksWhenQuiet(t *testing.T) {
 	st := storage.New()
 	a := New(st, Options{
 		InitialK: 7, MinK: 1, Window: 10, ShrinkBelow: 0.05,
-		Core: core.Options{StarvationAvoidance: true},
+		Core: engine.Options{StarvationAvoidance: true},
 	})
 	for i := 1; i <= 40; i++ {
 		a.Begin(i)
@@ -93,7 +93,7 @@ func TestSwitchWaitsForQuiescence(t *testing.T) {
 	st := storage.New()
 	a := New(st, Options{
 		InitialK: 1, Window: 2, GrowAbove: 0.1,
-		Core: core.Options{StarvationAvoidance: true},
+		Core: engine.Options{StarvationAvoidance: true},
 	})
 	// T100 stays live across the epoch boundary.
 	a.Begin(100)
@@ -120,7 +120,7 @@ func TestRuntimeIntegration(t *testing.T) {
 		NewScheduler: func(st *storage.Store) sched.Scheduler {
 			return New(st, Options{
 				InitialK: 1, Window: 16,
-				Core: core.Options{StarvationAvoidance: true},
+				Core: engine.Options{StarvationAvoidance: true},
 			})
 		},
 		Specs: workload.Config{
@@ -140,7 +140,7 @@ func TestRuntimeIntegration(t *testing.T) {
 
 func TestAbortErrorPropagation(t *testing.T) {
 	st := storage.New()
-	a := New(st, Options{InitialK: 2, Core: core.Options{StarvationAvoidance: true}})
+	a := New(st, Options{InitialK: 2, Core: engine.Options{StarvationAvoidance: true}})
 	// Fig. 5 shape through the adaptive wrapper.
 	a.Begin(1)
 	a.Write(1, "x", 1)

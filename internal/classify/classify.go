@@ -11,7 +11,7 @@
 package classify
 
 import (
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/oplog"
 )
@@ -26,13 +26,13 @@ func DSR(l *oplog.Log) bool {
 
 // TOk reports whether the log is in TO(k), the class recognized by the
 // protocol MT(k).
-func TOk(k int, l *oplog.Log) bool { return core.Accepts(k, l) }
+func TOk(k int, l *oplog.Log) bool { return engine.Accepts(k, l) }
 
 // TOkPlus reports whether the log is in TO(k⁺) = TO(1) ∪ ... ∪ TO(k), the
 // class recognized by the composite protocol MT(k⁺).
 func TOkPlus(k int, l *oplog.Log) bool {
 	for h := 1; h <= k; h++ {
-		if core.Accepts(h, l) {
+		if engine.Accepts(h, l) {
 			return true
 		}
 	}

@@ -19,6 +19,7 @@ package composite
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 )
 
@@ -29,12 +30,12 @@ type Options struct {
 	K int
 	// Sub carries per-subprotocol options applied to every MT(h)
 	// (ThomasWriteRule, StarvationAvoidance, ...). Sub.K is ignored.
-	Sub core.Options
+	Sub engine.Options
 }
 
 // Scheduler is the MT(k⁺) composite concurrency controller.
 type Scheduler struct {
-	subs  []*core.Scheduler // subs[h-1] runs MT(h)
+	subs  []*engine.Scheduler // subs[h-1] runs MT(h)
 	alive []bool
 }
 
@@ -61,7 +62,7 @@ func NewScheduler(opts Options) *Scheduler {
 	for h := 1; h <= opts.K; h++ {
 		sub := opts.Sub
 		sub.K = h
-		s.subs = append(s.subs, core.NewScheduler(sub))
+		s.subs = append(s.subs, engine.NewScheduler(sub))
 		s.alive[h-1] = true
 	}
 	return s
@@ -82,7 +83,7 @@ func (s *Scheduler) Alive() []int {
 }
 
 // Sub returns the MT(h) subprotocol scheduler (1-based), alive or not.
-func (s *Scheduler) Sub(h int) *core.Scheduler { return s.subs[h-1] }
+func (s *Scheduler) Sub(h int) *engine.Scheduler { return s.subs[h-1] }
 
 // Step schedules one operation through every alive subprotocol.
 func (s *Scheduler) Step(op oplog.Op) Decision {
@@ -138,6 +139,27 @@ func (s *Scheduler) AcceptLog(l *oplog.Log) (bool, int) {
 func Accepts(k int, l *oplog.Log) bool {
 	ok, _ := NewScheduler(Options{K: k}).AcceptLog(l)
 	return ok
+}
+
+// Watermarks returns the composite's monotone counter-consumption
+// watermarks: the max over the subprotocols' engine watermarks. An
+// epoch restart replaces the subprotocols with fresh counters, so the
+// instantaneous max can drop — the WAL writer's monotone clamp keeps
+// the persisted pair valid.
+func (s *Scheduler) Watermarks() (lo, hi int64) {
+	for _, sub := range s.subs {
+		l, u := sub.Watermarks()
+		lo, hi = max(lo, l), max(hi, u)
+	}
+	return lo, hi
+}
+
+// RaiseWatermarks lifts every subprotocol's counters to at least the
+// given watermarks (recovery seeding), raise-only.
+func (s *Scheduler) RaiseWatermarks(lo, hi int64) {
+	for _, sub := range s.subs {
+		sub.RaiseWatermarks(lo, hi)
+	}
 }
 
 // SharedPrefixSize returns, for transaction i and subprotocol pair

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 )
 
@@ -106,7 +107,7 @@ func TestQuickCompositeIsUnion(t *testing.T) {
 		for k := 1; k <= 4; k++ {
 			want := false
 			for h := 1; h <= k; h++ {
-				if core.Accepts(h, l) {
+				if engine.Accepts(h, l) {
 					want = true
 					break
 				}
@@ -152,7 +153,7 @@ func TestCompositeBeatsSingle(t *testing.T) {
 	single, comp := 0, 0
 	for trial := 0; trial < 2000; trial++ {
 		l := randomMultiStep(rng, 3, 3, 3)
-		if core.Accepts(3, l) {
+		if engine.Accepts(3, l) {
 			single++
 		}
 		if Accepts(3, l) {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 )
 
@@ -20,7 +21,7 @@ func TestFuzzCompositeLifecycle(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		k := 1 + rng.Intn(4)
 		thomas := rng.Intn(2) == 0
-		s := NewScheduler(Options{K: k, Sub: core.Options{
+		s := NewScheduler(Options{K: k, Sub: engine.Options{
 			StarvationAvoidance: rng.Intn(2) == 0,
 			ThomasWriteRule:     thomas,
 		}})

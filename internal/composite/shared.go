@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 )
 
@@ -26,10 +27,11 @@ type SharedScheduler struct {
 	prefix map[int]*core.Vector
 	// lastcol[h-1][i] is transaction i's LASTCOL element under MT(h).
 	lastcol []map[int]core.Elem
-	// ucount/lcount per subprotocol for the LASTCOL columns.
-	ucount, lcount []int64
-	stopped        []bool
-	rt, wt         map[string]int
+	// counters[h-1] allocates the distinct LASTCOL values of MT(h); the
+	// values come from the engine's allocator, not a private copy.
+	counters []*engine.LocalCounters
+	stopped  []bool
+	rt, wt   map[string]int
 }
 
 // NewSharedScheduler returns the shared-table MT(k⁺) scheduler.
@@ -38,18 +40,17 @@ func NewSharedScheduler(k int) *SharedScheduler {
 		panic("composite: k must be >= 1")
 	}
 	s := &SharedScheduler{
-		k:       k,
-		prefix:  make(map[int]*core.Vector),
-		lastcol: make([]map[int]core.Elem, k),
-		ucount:  make([]int64, k),
-		lcount:  make([]int64, k),
-		stopped: make([]bool, k),
-		rt:      make(map[string]int),
-		wt:      make(map[string]int),
+		k:        k,
+		prefix:   make(map[int]*core.Vector),
+		lastcol:  make([]map[int]core.Elem, k),
+		counters: make([]*engine.LocalCounters, k),
+		stopped:  make([]bool, k),
+		rt:       make(map[string]int),
+		wt:       make(map[string]int),
 	}
 	for h := 0; h < k; h++ {
 		s.lastcol[h] = make(map[int]core.Elem)
-		s.ucount[h] = 1
+		s.counters[h] = engine.NewLocalCounters()
 	}
 	// The virtual transaction T_0: prefix <0,*,...>, LASTCOL undefined
 	// under every subprotocol except MT(1), whose "prefix" is empty.
@@ -129,50 +130,44 @@ func (s *SharedScheduler) encodeDep(j, i int) bool {
 		return s.anyAlive()
 	}
 	for h := 1; h <= s.k; h++ {
-		// Step 2: the LASTCOL(h) column decides subprotocol MT(h).
+		// Step 2: the LASTCOL(h) column decides subprotocol MT(h). The
+		// engine's counter-column arm allocates any missing elements;
+		// Greater means the column contradicts MT(h)'s encoded order.
 		if !s.stopped[h-1] {
-			ej, okj := s.lastcol[h-1][j]
-			ei, oki := s.lastcol[h-1][i]
-			switch {
-			case okj && ej.Defined && oki && ei.Defined:
-				if ej.V > ei.V {
-					// Conflicts with MT(h)'s encoded order: stop it.
-					s.stopped[h-1] = true
+			ej, ei := s.lastcol[h-1][j], s.lastcol[h-1][i]
+			nj, ni, rel := engine.EncodeCounterColumn(ej, ei, s.counters[h-1])
+			if rel == core.Greater {
+				s.stopped[h-1] = true
+			} else {
+				if !ej.Defined {
+					s.lastcol[h-1][j] = nj
 				}
-				// ej.V < ei.V: already encoded; equal impossible
-				// (distinct counters).
-			case okj && ej.Defined:
-				s.lastcol[h-1][i] = core.Int(s.ucount[h-1])
-				s.ucount[h-1]++
-			case oki && ei.Defined:
-				s.lastcol[h-1][j] = core.Int(s.lcount[h-1])
-				s.lcount[h-1]--
-			default:
-				s.lastcol[h-1][j] = core.Int(s.ucount[h-1])
-				s.lastcol[h-1][i] = core.Int(s.ucount[h-1] + 1)
-				s.ucount[h-1] += 2
+				if !ei.Defined {
+					s.lastcol[h-1][i] = ni
+				}
 			}
 		}
 		// Step 3: the PREFIX(h) column serves MT(h+1), ..., MT(k).
+		// Relative values suffice (upper = floor+1); Equal walks on to
+		// the next column, Greater stops every deeper subprotocol.
 		if h == s.k || s.allStoppedFrom(h+1) {
 			break
 		}
 		pj, pi := s.prefixElem(j, h), s.prefixElem(i, h)
-		switch {
-		case pj.Defined && pi.Defined && pj.V > pi.V:
+		nj, ni, rel := engine.EncodeRelativeColumn(pj, pi, func(floor int64) int64 { return floor + 1 })
+		if rel == core.Equal {
+			continue
+		}
+		if rel == core.Greater {
 			// Conflicts with the shared prefix: MT(h+1..k) all lose.
 			s.stopFrom(h + 1)
-		case pj.Defined && pi.Defined && pj.V < pi.V:
-			// Already encoded for every deeper subprotocol.
-		case pj.Defined && pi.Defined: // equal: walk to the next column
-			continue
-		case pj.Defined:
-			s.setPrefix(i, h, pj.V+1)
-		case pi.Defined:
-			s.setPrefix(j, h, pi.V-1)
-		default:
-			s.setPrefix(j, h, 1)
-			s.setPrefix(i, h, 2)
+		} else {
+			if !pj.Defined {
+				s.setPrefix(j, h, nj.V)
+			}
+			if !pi.Defined {
+				s.setPrefix(i, h, ni.V)
+			}
 		}
 		break
 	}

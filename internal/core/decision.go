@@ -1,0 +1,75 @@
+package core
+
+import "repro/internal/oplog"
+
+// Verdict is the scheduler's decision on a single operation.
+type Verdict int
+
+// Possible verdicts. AcceptIgnored is an accepted write whose effect is
+// dropped under the Thomas write rule (implementation issue (c)).
+// Unavailable is not a protocol decision at all: a distributed scheduler
+// could not reach a site it needed (crash or partition), so the
+// operation failed fast without establishing or violating any ordering.
+const (
+	Accept Verdict = iota
+	AcceptIgnored
+	Reject
+	Unavailable
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Accept:
+		return "accept"
+	case AcceptIgnored:
+		return "accept-ignored"
+	case Unavailable:
+		return "unavailable"
+	default:
+		return "reject"
+	}
+}
+
+// Decision is the outcome of scheduling one operation. On Reject, Blocker
+// is the transaction whose established-greater timestamp forced the abort
+// (the paper's TS(j) > TS(i)).
+type Decision struct {
+	Op      oplog.Op
+	Verdict Verdict
+	Blocker int
+	// Item is the item on which the reject happened (multi-item ops may
+	// pass several items before one rejects).
+	Item string
+	// Site is the unreachable site of an Unavailable verdict (-1
+	// otherwise meaningless).
+	Site int
+	// IgnoredItems lists the items of an accepted write whose effect must
+	// be dropped under the Thomas write rule.
+	IgnoredItems []string
+}
+
+// EventKind tags trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	// EvAssign: element Pos of transaction Txn's vector was set to Val.
+	EvAssign EventKind = iota
+	// EvEncode: the dependency J -> I was newly encoded at position Pos.
+	EvEncode
+	// EvEstablished: the dependency J -> I was already established.
+	EvEstablished
+	// EvFlush: transaction Txn's vector was flushed and reseeded
+	// (starvation fix).
+	EvFlush
+)
+
+// Event is a trace record emitted through Options.Trace.
+type Event struct {
+	Kind EventKind
+	Txn  int   // EvAssign, EvFlush
+	Pos  int   // EvAssign: element index (1-based); EvEncode: deciding position
+	Val  int64 // EvAssign: assigned value
+	J, I int   // EvEncode, EvEstablished: dependency J -> I
+}

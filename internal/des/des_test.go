@@ -3,7 +3,7 @@ package des
 import (
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/occ"
 	"repro/internal/sched"
 	"repro/internal/sgt"
@@ -17,7 +17,7 @@ import (
 // VI-C-2) writes — WT(x) only ever names committed transactions, so no
 // dirty-read window exists.
 func mtSched(st *storage.Store) sched.Scheduler {
-	return sched.NewMT(st, sched.MTOptions{Core: core.Options{
+	return sched.NewMT(st, sched.MTOptions{Core: engine.Options{
 		K: 7, StarvationAvoidance: true, ThomasWriteRule: true, RelaxedReadCheck: true},
 		DeferWrites: true})
 }

@@ -125,10 +125,7 @@ func TestDriftWithoutRevalidationWouldCollide(t *testing.T) {
 	}
 	c.Step(oplog.W(2, "z"))
 	// Simulate the un-recovered drift: reset counters, skip RecoverSite.
-	s := c.sites[1]
-	s.mu.Lock()
-	s.ucnt, s.lcnt = 1, 0
-	s.mu.Unlock()
+	c.counters.Reset(1)
 	c.Step(oplog.W(16, "z"))
 	seen := map[int64]bool{}
 	dup := false

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/oplog"
 )
@@ -79,15 +80,14 @@ type vecEntry struct {
 	vec *core.Vector
 }
 
-// site holds the locally-stored state of one site.
+// site holds the locally-stored state of one site. The site's local
+// ucnt/lcnt counters live in the cluster's engine.SiteCounters slot.
 type site struct {
 	mu    sync.Mutex
 	vecs  map[int]*vecEntry
 	items map[string]*itemEntry
 	locks map[string]*sync.Mutex // item index-entry locks
 	done  map[int]bool           // finished transactions awaiting GC
-	ucnt  int64                  // local upper counter
-	lcnt  int64                  // local lower counter
 	down  bool                   // fail-stopped (degraded mode)
 }
 
@@ -105,6 +105,7 @@ type journalRec struct {
 type Cluster struct {
 	opts      Options
 	sites     []*site
+	counters  *engine.SiteCounters // per-site (counter, site-id) allocation
 	transport fault.Transport
 
 	messages    atomic.Int64 // cross-site request/reply messages
@@ -130,6 +131,7 @@ func NewCluster(opts Options) *Cluster {
 	}
 	c := &Cluster{
 		opts:        opts,
+		counters:    engine.NewSiteCounters(opts.Sites),
 		transport:   opts.Transport,
 		recoveredAt: make(map[int]time.Time),
 		recoveryLat: make(map[int]time.Duration),
@@ -139,7 +141,6 @@ func NewCluster(opts Options) *Cluster {
 			vecs:  make(map[int]*vecEntry),
 			items: make(map[string]*itemEntry),
 			locks: make(map[string]*sync.Mutex),
-			ucnt:  1,
 		})
 	}
 	t0 := core.NewVector(opts.K)
@@ -241,10 +242,10 @@ func (c *Cluster) CrashSite(sidx int, drift bool) {
 	// in-flight operations detach harmlessly — every accepted update is
 	// also in the journal, which recovery replays.
 	s.items = make(map[string]*itemEntry)
-	if drift {
-		s.ucnt, s.lcnt = 1, 0
-	}
 	s.mu.Unlock()
+	if drift {
+		c.counters.Reset(sidx)
+	}
 }
 
 // RecoverSite brings a crashed site back: it rebuilds the item index by
@@ -288,40 +289,16 @@ func (c *Cluster) RecoverSite(sidx int) {
 	s.mu.Unlock()
 	// 2. Re-validate the counters: at least the surviving maxima, and
 	// strictly past every live element this site allocated.
-	hiU, hiL := c.survivingCounters(sidx)
+	hiU, hiL := c.counters.MaxExcept(sidx)
 	aU, aL := c.allocatedBySite(sidx)
+	c.counters.RaiseSite(sidx, max(hiU, aU+1), max(hiL, aL+1))
 	s.mu.Lock()
-	if u := max64(hiU, aU+1); u > s.ucnt {
-		s.ucnt = u
-	}
-	if l := max64(hiL, aL+1); l > s.lcnt {
-		s.lcnt = l
-	}
 	s.down = false
 	s.mu.Unlock()
 	// 3. Stamp the recovery for latency reporting.
 	c.rmu.Lock()
 	c.recoveredAt[sidx] = time.Now()
 	c.rmu.Unlock()
-}
-
-// survivingCounters returns the maximum upper and lower counters across
-// every site except the recovering one.
-func (c *Cluster) survivingCounters(except int) (hiU, hiL int64) {
-	for idx, s := range c.sites {
-		if idx == except {
-			continue
-		}
-		s.mu.Lock()
-		if s.ucnt > hiU {
-			hiU = s.ucnt
-		}
-		if s.lcnt > hiL {
-			hiL = s.lcnt
-		}
-		s.mu.Unlock()
-	}
-	return hiU, hiL
 }
 
 // allocatedBySite scans the k-th column of every live vector and returns
@@ -356,13 +333,6 @@ func (c *Cluster) allocatedBySite(sidx int) (maxU, maxL int64) {
 		}
 	}
 	return maxU, maxL
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // logIndexUpdate appends one accepted rt/wt update to the stable journal.
@@ -450,34 +420,7 @@ func (c *Cluster) Vector(i int) *core.Vector {
 // column. Crashed sites are skipped: their counters are re-validated by
 // RecoverSite instead.
 func (c *Cluster) SyncCounters() {
-	var hiU, hiL int64
-	for _, s := range c.sites {
-		s.mu.Lock()
-		if !s.down {
-			if s.ucnt > hiU {
-				hiU = s.ucnt
-			}
-			if s.lcnt > hiL {
-				hiL = s.lcnt
-			}
-		}
-		s.mu.Unlock()
-	}
-	for _, s := range c.sites {
-		s.mu.Lock()
-		if !s.down {
-			// Raise, never assign: a counter may have advanced past the
-			// collected maximum while this loop ran, and lowering it would
-			// re-issue consumed values.
-			if s.ucnt < hiU {
-				s.ucnt = hiU
-			}
-			if s.lcnt < hiL {
-				s.lcnt = hiL
-			}
-		}
-		s.mu.Unlock()
-	}
+	c.counters.Sync(func(i int) bool { return c.siteDown(i) })
 }
 
 // Counters returns the cluster-wide counter consumption watermarks:
@@ -488,80 +431,20 @@ func (c *Cluster) SyncCounters() {
 // every site at or above them guarantees no consumed k-th-column value
 // is re-issued.
 func (c *Cluster) Counters() (lo, hi int64) {
-	for _, s := range c.sites {
-		s.mu.Lock()
-		if s.lcnt > lo {
-			lo = s.lcnt
-		}
-		if s.ucnt > hi {
-			hi = s.ucnt
-		}
-		s.mu.Unlock()
-	}
-	return lo, hi
+	return c.counters.Watermarks()
 }
 
 // RaiseCounters lifts every site's counters to at least (lo, hi) —
 // the recovery-side half of the Counters watermark contract. Raise,
 // never assign: a site may already be past the watermark.
 func (c *Cluster) RaiseCounters(lo, hi int64) {
-	for _, s := range c.sites {
-		s.mu.Lock()
-		if s.lcnt < lo {
-			s.lcnt = lo
-		}
-		if s.ucnt < hi {
-			s.ucnt = hi
-		}
-		s.mu.Unlock()
-	}
+	c.counters.Raise(lo, hi)
 }
 
 // CounterSkew returns max-min of the sites' upper counters, for the
 // fairness experiments.
 func (c *Cluster) CounterSkew() int64 {
-	var hi, lo int64 = -1 << 62, 1 << 62
-	for _, s := range c.sites {
-		s.mu.Lock()
-		if s.ucnt > hi {
-			hi = s.ucnt
-		}
-		if s.ucnt < lo {
-			lo = s.ucnt
-		}
-		s.mu.Unlock()
-	}
-	return hi - lo
-}
-
-// allocUpper allocates a fresh globally-unique k-th element at the acting
-// site that is strictly greater than bound: value = counter·S + site.
-func (c *Cluster) allocUpper(acting int, bound int64) int64 {
-	s := c.sites[acting]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := int64(c.opts.Sites)
-	cnt := s.ucnt
-	for cnt*n+int64(acting) <= bound {
-		cnt++
-	}
-	s.ucnt = cnt + 1
-	return cnt*n + int64(acting)
-}
-
-// allocLower allocates a fresh globally-unique k-th element strictly less
-// than bound.
-func (c *Cluster) allocLower(acting int, bound int64) int64 {
-	s := c.sites[acting]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := int64(c.opts.Sites)
-	cnt := s.lcnt
-	for -(cnt*n + int64(acting)) >= bound {
-		cnt++
-	}
-	s.lcnt = cnt + 1
-	return -(cnt*n + int64(acting))
+	return c.counters.Skew()
 }
 
 // lockKey gives every lockable object a position in the predefined linear
@@ -617,57 +500,15 @@ func (c *Cluster) acquire(x string, txns []int) *lockedObjects {
 	return lo
 }
 
-// set encodes or validates TS(j) < TS(i) under the already-held locks,
-// mirroring procedure Set of Algorithm 1 with site-tagged counters.
+// set encodes or validates TS(j) < TS(i) under the already-held locks:
+// the engine kernel's Set, with site-tagged counters allocated by the
+// acting site's SiteCounters slot.
 func (c *Cluster) set(acting, j, i int, vj, vi *core.Vector) bool {
-	if j == i {
-		return true
-	}
-	rel, m := vj.Compare(vi)
-	switch rel {
-	case core.Less:
-		return true
-	case core.Greater:
-		return false
-	case core.Equal:
-		if m == c.opts.K {
-			v1 := c.allocUpper(acting, maxDefined(vj, vi))
-			v2 := c.allocUpper(acting, v1)
-			vj.SetElem(m, v1)
-			vi.SetElem(m, v2)
-		} else {
-			vj.SetElem(m, 1)
-			vi.SetElem(m, 2)
-		}
-	default: // Unknown
-		if !vi.Elem(m).Defined {
-			if m == c.opts.K {
-				vi.SetElem(m, c.allocUpper(acting, vj.Elem(m).V))
-			} else {
-				vi.SetElem(m, vj.Elem(m).V+1)
-			}
-		} else {
-			if m == c.opts.K {
-				vj.SetElem(m, c.allocLower(acting, vi.Elem(m).V))
-			} else {
-				vj.SetElem(m, vi.Elem(m).V-1)
-			}
-		}
-	}
-	return true
-}
-
-// maxDefined returns the largest defined k-th-column value among the two
-// vectors, or 0.
-func maxDefined(vs ...*core.Vector) int64 {
-	var m int64
-	for _, v := range vs {
-		last := v.Elem(v.K())
-		if last.Defined && last.V > m {
-			m = last.V
-		}
-	}
-	return m
+	return engine.Dep{
+		J: j, I: i, VJ: vj, VI: vi, K: c.opts.K,
+		Alloc: c.counters.For(acting),
+		Sink:  engine.VectorSink{VJ: vj, VI: vi},
+	}.Encode()
 }
 
 // Step schedules one operation. Safe for concurrent use; each item of a
@@ -800,7 +641,7 @@ func (c *Cluster) Abort(txn, blocker int) {
 		if c.opts.K == 1 {
 			// Column 1 is the distinct counter column: allocate the seed
 			// through the site counters so it stays globally unique.
-			seed = c.allocUpper(c.homeOfTxn(txn), b.V)
+			seed = c.counters.For(c.homeOfTxn(txn)).AllocUpper(b.V)
 		}
 		et.vec.Reset()
 		et.vec.SetElem(1, seed)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 )
 
@@ -56,7 +57,7 @@ func TestSingleSiteMatchesMTk(t *testing.T) {
 	for trial := 0; trial < 800; trial++ {
 		l := randomTwoStep(rng, 4, 3)
 		c := NewCluster(Options{K: 3, Sites: 1})
-		s := core.NewScheduler(core.Options{K: 3})
+		s := engine.NewScheduler(engine.Options{K: 3})
 		for idx, op := range l.Ops {
 			dc := c.Step(op)
 			ds := s.Step(op)
@@ -90,7 +91,7 @@ func TestMultiSiteAcceptsOnlyDSR(t *testing.T) {
 			t.Fatalf("non-DSR prefix accepted: %v", l.Prefix(n))
 		}
 		total++
-		if (n == l.Len()) == core.Accepts(3, l) {
+		if (n == l.Len()) == engine.Accepts(3, l) {
 			agree++
 		}
 	}

@@ -1,0 +1,297 @@
+package engine
+
+import "sync"
+
+// ColumnAllocator hands out the distinct k-th-column ("counter column")
+// values of Algorithm 1. Every protocol variant in the family differs
+// only in WHERE those values come from:
+//
+//   - MT(k) and MT(k1,k2) draw from one LocalCounters pair per table;
+//   - MT(k+) draws from one LocalCounters pair per subprotocol LASTCOL;
+//   - DMT(k) draws globally-unique (counter, site-id) pairs from the
+//     acting site's SiteCounters slot.
+//
+// AllocUpper returns a fresh value strictly greater than bound (and
+// greater than every upper value the allocator handed out before);
+// AllocLower returns a fresh value strictly smaller than bound (and
+// smaller than every previous lower value); AllocPair returns two fresh
+// ascending upper values, both greater than bound, for the case where
+// neither vector has a counter-column element yet. Synchronization is
+// the allocator's own business: LocalCounters relies on the engine's
+// locking discipline, SiteCounters locks per site.
+type ColumnAllocator interface {
+	AllocUpper(bound int64) int64
+	AllocLower(bound int64) int64
+	AllocPair(bound int64) (int64, int64)
+}
+
+// LocalCounters is the centralized lcount/ucount pair of Fig. 2: upper
+// values ascend from 1, lower values descend from 0. It is deliberately
+// unsynchronized — the engine's locking discipline (the coarse owner's
+// serialization or the striped engine's counter lock) guards it, so the
+// same allocator serves both disciplines without double locking.
+type LocalCounters struct {
+	lcount int64
+	ucount int64
+}
+
+// NewLocalCounters returns the initial counter pair (lcount 0, ucount 1).
+func NewLocalCounters() *LocalCounters { return &LocalCounters{ucount: 1} }
+
+// AllocUpper consumes the next ascending upper value. The bound is
+// ignored: centralized counters are already strictly monotonic, so
+// every fresh upper value exceeds every previously assigned one.
+func (c *LocalCounters) AllocUpper(bound int64) int64 {
+	v := c.ucount
+	c.ucount++
+	return v
+}
+
+// AllocLower consumes the next descending lower value (bound ignored,
+// as for AllocUpper).
+func (c *LocalCounters) AllocLower(bound int64) int64 {
+	v := c.lcount
+	c.lcount--
+	return v
+}
+
+// AllocPair consumes two consecutive upper values.
+func (c *LocalCounters) AllocPair(bound int64) (int64, int64) {
+	a := c.ucount
+	c.ucount += 2
+	return a, a + 1
+}
+
+// ReserveAtLeast consumes and returns an upper value that is at least
+// seed (the starvation fix's k = 1 reseed: the seeded element lives in
+// the counter column, so it must come from ucount to stay unique).
+func (c *LocalCounters) ReserveAtLeast(seed int64) int64 {
+	if seed < c.ucount {
+		seed = c.ucount
+	}
+	c.ucount = seed + 1
+	return seed
+}
+
+// Counters returns the raw (lcount, ucount) pair.
+func (c *LocalCounters) Counters() (lo, hi int64) { return c.lcount, c.ucount }
+
+// SetCounters overrides the raw pair (table reproduction and tests).
+func (c *LocalCounters) SetCounters(lo, hi int64) { c.lcount, c.ucount = lo, hi }
+
+// Watermarks returns the monotone consumption watermarks the WAL
+// journals: how far each counter has advanced from its seed (both
+// non-negative and non-decreasing over the allocator's lifetime).
+func (c *LocalCounters) Watermarks() (lo, hi int64) { return -c.lcount, c.ucount }
+
+// Raise lifts the counters to at least the given watermarks in one
+// raise-only clamp; values already past the watermark are preserved
+// (recovery replays may observe stale watermarks).
+func (c *LocalCounters) Raise(lo, hi int64) {
+	if -lo < c.lcount {
+		c.lcount = -lo
+	}
+	if hi > c.ucount {
+		c.ucount = hi
+	}
+}
+
+// SiteCounters is the decentralized counter discipline of DMT(k)
+// (Section V-B): every site s owns an independent (ucnt, lcnt) pair and
+// allocates the globally unique k-th-column values cnt*S + s (negated
+// for lower values), so no coordination is needed for uniqueness. The
+// bound-bumping loops skip past any counter multiples at or inside the
+// bound, mirroring the centralized counters' "strictly past everything
+// seen" guarantee one site at a time.
+type SiteCounters struct {
+	n     int64 // number of sites S
+	sites []siteCounter
+}
+
+type siteCounter struct {
+	mu   sync.Mutex
+	ucnt int64
+	lcnt int64
+}
+
+// NewSiteCounters returns per-site counters for the given cluster size.
+func NewSiteCounters(sites int) *SiteCounters {
+	if sites < 1 {
+		panic("engine: SiteCounters needs at least one site")
+	}
+	c := &SiteCounters{n: int64(sites), sites: make([]siteCounter, sites)}
+	for i := range c.sites {
+		c.sites[i].ucnt = 1
+	}
+	return c
+}
+
+// Sites returns the cluster size S.
+func (c *SiteCounters) Sites() int { return len(c.sites) }
+
+// For returns the acting site's ColumnAllocator view, the object a
+// dependency encoding passes to the engine kernel.
+func (c *SiteCounters) For(site int) ColumnAllocator { return siteAlloc{c: c, site: site} }
+
+// AllocUpper allocates a fresh upper value cnt*S+site strictly greater
+// than bound from the acting site's counter.
+func (c *SiteCounters) AllocUpper(site int, bound int64) int64 {
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cnt := s.ucnt
+	for cnt*c.n+int64(site) <= bound {
+		cnt++
+	}
+	s.ucnt = cnt + 1
+	return cnt*c.n + int64(site)
+}
+
+// AllocLower allocates a fresh lower value -(cnt*S+site) strictly
+// smaller than bound from the acting site's counter.
+func (c *SiteCounters) AllocLower(site int, bound int64) int64 {
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cnt := s.lcnt
+	for -(cnt*c.n + int64(site)) >= bound {
+		cnt++
+	}
+	s.lcnt = cnt + 1
+	return -(cnt*c.n + int64(site))
+}
+
+type siteAlloc struct {
+	c    *SiteCounters
+	site int
+}
+
+func (a siteAlloc) AllocUpper(bound int64) int64 { return a.c.AllocUpper(a.site, bound) }
+func (a siteAlloc) AllocLower(bound int64) int64 { return a.c.AllocLower(a.site, bound) }
+
+// AllocPair chains two upper allocations so the second strictly
+// dominates the first (the decentralized analogue of (ucount, ucount+1)).
+func (a siteAlloc) AllocPair(bound int64) (int64, int64) {
+	v1 := a.c.AllocUpper(a.site, bound)
+	v2 := a.c.AllocUpper(a.site, v1)
+	return v1, v2
+}
+
+// Reset drops one site's counters back to their initial values — the
+// volatile-state loss of a crash, for harnesses that model recovery
+// without a journal.
+func (c *SiteCounters) Reset(site int) {
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ucnt, s.lcnt = 1, 0
+}
+
+// MaxExcept returns the maximum upper and lower counter over every site
+// but the excepted one — the surviving-population bound a recovering
+// site must re-validate its journal-derived counters against.
+func (c *SiteCounters) MaxExcept(except int) (hiU, hiL int64) {
+	for i := range c.sites {
+		if i == except {
+			continue
+		}
+		s := &c.sites[i]
+		s.mu.Lock()
+		if s.ucnt > hiU {
+			hiU = s.ucnt
+		}
+		if s.lcnt > hiL {
+			hiL = s.lcnt
+		}
+		s.mu.Unlock()
+	}
+	return hiU, hiL
+}
+
+// RaiseSite lifts one site's counters to at least (u, l), raise-only.
+func (c *SiteCounters) RaiseSite(site int, u, l int64) {
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u > s.ucnt {
+		s.ucnt = u
+	}
+	if l > s.lcnt {
+		s.lcnt = l
+	}
+}
+
+// Sync raises every reachable site's counters to the cluster-wide
+// maximum (the paper's periodic counter synchronization, which bounds
+// the element-value skew between sites). Sites for which skip reports
+// true (down or partitioned) are neither read nor written.
+func (c *SiteCounters) Sync(skip func(site int) bool) {
+	var maxU, maxL int64
+	for i := range c.sites {
+		if skip != nil && skip(i) {
+			continue
+		}
+		s := &c.sites[i]
+		s.mu.Lock()
+		if s.ucnt > maxU {
+			maxU = s.ucnt
+		}
+		if s.lcnt > maxL {
+			maxL = s.lcnt
+		}
+		s.mu.Unlock()
+	}
+	for i := range c.sites {
+		if skip != nil && skip(i) {
+			continue
+		}
+		c.RaiseSite(i, maxU, maxL)
+	}
+}
+
+// Skew returns the largest upper-counter gap between any two sites
+// (the quantity Sync bounds), for tests and diagnostics.
+func (c *SiteCounters) Skew() int64 {
+	var minU, maxU int64
+	for i := range c.sites {
+		s := &c.sites[i]
+		s.mu.Lock()
+		u := s.ucnt
+		s.mu.Unlock()
+		if i == 0 || u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	return maxU - minU
+}
+
+// Watermarks returns the cluster-wide consumption watermarks: the
+// maximum lower and upper counter over all sites. Per-site counters
+// only grow (Reset models volatile loss and is followed by a
+// journal-driven re-raise), so the maxima are monotone and safe to
+// journal as durable watermarks.
+func (c *SiteCounters) Watermarks() (lo, hi int64) {
+	for i := range c.sites {
+		s := &c.sites[i]
+		s.mu.Lock()
+		if s.lcnt > lo {
+			lo = s.lcnt
+		}
+		if s.ucnt > hi {
+			hi = s.ucnt
+		}
+		s.mu.Unlock()
+	}
+	return lo, hi
+}
+
+// Raise lifts every site's counters to at least the given watermarks
+// (recovery seeding), raise-only per site.
+func (c *SiteCounters) Raise(lo, hi int64) {
+	for i := range c.sites {
+		c.RaiseSite(i, hi, lo)
+	}
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file is the protocol kernel: the one implementation of the
+// dependency-encoding procedure Set(j, i) of Algorithm 1 that every
+// variant in the family shares. A variant differs only in
+//
+//   - where counter-column values come from (its ColumnAllocator),
+//   - where assigned elements land and how relative values are chosen
+//     (its Sink: table clock + trace hook for MT(k), per-subprotocol
+//     maps for MT(k+), bare vectors for DMT(k)),
+//
+// so the four-case switch below — and the two per-column arms it is
+// built from, which the MT(k+) shared tables also call directly —
+// exists exactly once.
+
+// Side names the two transactions of a dependency TS(j) < TS(i).
+type Side int
+
+// The j (lesser) and i (greater) sides of an encoding.
+const (
+	SideJ Side = iota
+	SideI
+)
+
+// Sink receives the kernel's element assignments. Assign must store the
+// value into the side's vector at pos (and may advance clocks or emit
+// trace events); Upper returns the value for a fresh "greater" element
+// in relative column m given a floor — floor+1 in the paper, past the
+// column clock under the monotonic-encoding ablation.
+type Sink interface {
+	Assign(side Side, pos int, val int64)
+	Upper(m int, floor int64) int64
+}
+
+// Dep is one dependency-encoding request: establish or encode
+// TS(j) < TS(i) over the two vectors, drawing counter-column values
+// from Alloc and writing through Sink. Shift requests the Section
+// III-D-5 right-shifted encoding for hot items.
+type Dep struct {
+	J, I   int
+	VJ, VI *core.Vector
+	K      int
+	Alloc  ColumnAllocator
+	Sink   Sink
+	Shift  bool
+}
+
+// Encode implements procedure Set(j, i): it reports whether
+// TS(j) < TS(i) is (now) established, assigning elements through the
+// sink when the order is still open. The caller must hold whatever
+// locks its discipline requires for both vectors and the allocator.
+func (d Dep) Encode() bool {
+	if d.J == d.I {
+		return true
+	}
+	rel, m := d.VJ.Compare(d.VI)
+	switch rel {
+	case core.Less:
+		return true
+	case core.Greater:
+		return false
+	case core.Equal:
+		if d.VJ.Elem(m).Defined {
+			// Compare walked off the end: two DISTINCT ids with identical
+			// fully-defined vectors. Unreachable through the schedulers
+			// (counter-column values are distinct and nothing is ever
+			// ordered before T_0, whose <0,...> can tie the first lcount
+			// value when k = 1); reject API misuse loudly rather than
+			// corrupting the table.
+			panic(fmt.Sprintf("engine: Set(%d,%d) on identical fully-defined vectors %v", d.J, d.I, d.VJ))
+		}
+		d.encodeAt(m, core.Undef, core.Undef)
+	default: // Unknown: exactly one of the two elements is undefined.
+		if d.Shift && m < d.K && d.shiftEncode(m) {
+			return true
+		}
+		d.encodeAt(m, d.VJ.Elem(m), d.VI.Elem(m))
+	}
+	return true
+}
+
+// encodeAt assigns the missing element(s) at the deciding position m so
+// that TS(j) < TS(i) holds there.
+func (d Dep) encodeAt(m int, ej, ei core.Elem) {
+	var nj, ni core.Elem
+	if m == d.K {
+		nj, ni, _ = EncodeCounterColumn(ej, ei, d.Alloc)
+	} else {
+		nj, ni, _ = EncodeRelativeColumn(ej, ei, func(floor int64) int64 { return d.Sink.Upper(m, floor) })
+	}
+	if !ej.Defined {
+		d.Sink.Assign(SideJ, m, nj.V)
+	}
+	if !ei.Defined {
+		d.Sink.Assign(SideI, m, ni.V)
+	}
+}
+
+// shiftEncode copies the longer vector's defined prefix into the
+// shorter one and encodes the dependency at the first position where
+// both are undefined (or with counters at column k). Reports whether it
+// applied.
+func (d Dep) shiftEncode(m int) bool {
+	longer, short := d.VJ, SideI
+	if !d.VJ.Elem(m).Defined {
+		longer, short = d.VI, SideJ
+	}
+	end := longer.FirstUndefined() - 1 // last defined position
+	if end > d.K-1 {
+		end = d.K - 1
+	}
+	if end < m {
+		return false
+	}
+	for p := m; p <= end; p++ {
+		d.Sink.Assign(short, p, longer.Elem(p).V)
+	}
+	// Equal prefixes now extend through end; encode at the next deciding
+	// position without shifting again.
+	d2 := d
+	d2.Shift = false
+	return d2.Encode()
+}
+
+// EncodeCounterColumn is the counter-column (column k) arm of procedure
+// Set for one column: given the two current elements it returns the
+// (possibly freshly allocated) elements and the resulting relation.
+// Greater means the column contradicts TS(j) < TS(i); Equal means both
+// values were already equal — impossible for a distinct counter column,
+// reported so callers over plain maps (the MT(k+) LASTCOL) can treat
+// it as already encoded. The caller stores any element it passed in as
+// undefined.
+func EncodeCounterColumn(ej, ei core.Elem, alloc ColumnAllocator) (core.Elem, core.Elem, core.Rel) {
+	switch {
+	case ej.Defined && ei.Defined:
+		switch {
+		case ej.V < ei.V:
+			return ej, ei, core.Less
+		case ej.V > ei.V:
+			return ej, ei, core.Greater
+		default:
+			return ej, ei, core.Equal
+		}
+	case ej.Defined:
+		return ej, core.Int(alloc.AllocUpper(ej.V)), core.Less
+	case ei.Defined:
+		return core.Int(alloc.AllocLower(ei.V)), ei, core.Less
+	default:
+		a, b := alloc.AllocPair(0)
+		return core.Int(a), core.Int(b), core.Less
+	}
+}
+
+// EncodeRelativeColumn is the relative-column (column m < k) arm:
+// values need not be unique, only ordered, so fresh elements are
+// derived from the neighbour (upper(floor) for the greater side,
+// value-1 for the lesser). Equal means the column cannot decide and the
+// caller walks to the next one.
+func EncodeRelativeColumn(pj, pi core.Elem, upper func(floor int64) int64) (core.Elem, core.Elem, core.Rel) {
+	switch {
+	case pj.Defined && pi.Defined:
+		switch {
+		case pj.V < pi.V:
+			return pj, pi, core.Less
+		case pj.V > pi.V:
+			return pj, pi, core.Greater
+		default:
+			return pj, pi, core.Equal
+		}
+	case pj.Defined:
+		return pj, core.Int(upper(pj.V)), core.Less
+	case pi.Defined:
+		return core.Int(pi.V - 1), pi, core.Less
+	default:
+		v := upper(0)
+		return core.Int(v), core.Int(v + 1), core.Less
+	}
+}
+
+// VectorSink writes straight into the two vectors with the paper's
+// plain relative values (no clock, no trace) — the DMT(k) discipline,
+// whose vectors live outside any table.
+type VectorSink struct {
+	VJ, VI *core.Vector
+}
+
+// Assign stores the value into the addressed vector.
+func (s VectorSink) Assign(side Side, pos int, val int64) {
+	if side == SideJ {
+		s.VJ.SetElem(pos, val)
+	} else {
+		s.VI.SetElem(pos, val)
+	}
+}
+
+// Upper returns the paper's relative value floor+1.
+func (s VectorSink) Upper(m int, floor int64) int64 { return floor + 1 }

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/oplog"
+)
+
+// Discipline selects the locking scheme an engine instantiation uses.
+type Discipline int
+
+const (
+	// Coarse is the single-owner discipline: the caller serializes every
+	// call (typically under one adapter mutex). It is the differential
+	// reference the equivalence suite checks all other instantiations
+	// against.
+	Coarse Discipline = iota
+	// StripedLocks is the fine-grained discipline: hash-striped item
+	// latches, per-transaction entry locks and a counter lock (see
+	// Striped), safe for concurrent use.
+	StripedLocks
+)
+
+// Engine is the scheduler surface both disciplines provide: the
+// Algorithm 1 step/commit/abort protocol plus the durable-counter
+// watermark export every engine instantiation carries, so an adapter
+// built on the engine cannot forget durability (the DurableCounters
+// methods of internal/sched delegate straight to these).
+type Engine interface {
+	Step(op oplog.Op) core.Decision
+	Commit(i int)
+	Abort(i, blocker int)
+	K() int
+	Vector(i int) *core.Vector
+	LiveVectors() int
+	// Watermarks returns the monotone counter-consumption watermarks
+	// (lower count, upper count) the WAL journals with every commit.
+	Watermarks() (lo, hi int64)
+	// RaiseWatermarks lifts the counters to at least the given
+	// watermarks (recovery seeding), raise-only.
+	RaiseWatermarks(lo, hi int64)
+}
+
+// New builds an MT(k) engine under the given locking discipline. Both
+// disciplines implement Engine and are decision-for-decision
+// equivalent; Coarse additionally exposes the coarse-only helpers via
+// *Scheduler and StripedLocks the latch table via *Striped.
+func New(opts Options, d Discipline) Engine {
+	if d == StripedLocks {
+		return NewStriped(opts)
+	}
+	return NewScheduler(opts)
+}
+
+// Both disciplines must satisfy the full engine surface.
+var (
+	_ Engine = (*Scheduler)(nil)
+	_ Engine = (*Striped)(nil)
+)

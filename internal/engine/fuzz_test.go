@@ -1,10 +1,11 @@
-package core
+package engine
 
 import (
 	"fmt"
 	"math/rand"
 	"testing"
 
+	. "repro/internal/core"
 	"repro/internal/oplog"
 )
 

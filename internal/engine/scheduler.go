@@ -1,82 +1,21 @@
-package core
+// Package engine is the protocol kernel shared by every scheduler in
+// the multidimensional-timestamp family: one implementation of
+// Algorithm 1's vector table, the Set(j, i) dependency encoding, the
+// lcount/ucount counter-column management, the starvation fix and the
+// Thomas-write-rule handling — parameterized by a ColumnAllocator
+// (where counter-column values come from) and a locking discipline
+// (the caller-serialized coarse Scheduler vs. the latch-striped
+// Striped). MT(k), MT(k+), MT(k1,k2) and DMT(k) are all thin
+// disciplines over this package; none of them re-implements
+// validation or counter allocation.
+package engine
 
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/oplog"
 )
-
-// Verdict is the scheduler's decision on a single operation.
-type Verdict int
-
-// Possible verdicts. AcceptIgnored is an accepted write whose effect is
-// dropped under the Thomas write rule (implementation issue (c)).
-// Unavailable is not a protocol decision at all: a distributed scheduler
-// could not reach a site it needed (crash or partition), so the
-// operation failed fast without establishing or violating any ordering.
-const (
-	Accept Verdict = iota
-	AcceptIgnored
-	Reject
-	Unavailable
-)
-
-// String names the verdict.
-func (v Verdict) String() string {
-	switch v {
-	case Accept:
-		return "accept"
-	case AcceptIgnored:
-		return "accept-ignored"
-	case Unavailable:
-		return "unavailable"
-	default:
-		return "reject"
-	}
-}
-
-// Decision is the outcome of scheduling one operation. On Reject, Blocker
-// is the transaction whose established-greater timestamp forced the abort
-// (the paper's TS(j) > TS(i)).
-type Decision struct {
-	Op      oplog.Op
-	Verdict Verdict
-	Blocker int
-	// Item is the item on which the reject happened (multi-item ops may
-	// pass several items before one rejects).
-	Item string
-	// Site is the unreachable site of an Unavailable verdict (-1
-	// otherwise meaningless).
-	Site int
-	// IgnoredItems lists the items of an accepted write whose effect must
-	// be dropped under the Thomas write rule.
-	IgnoredItems []string
-}
-
-// EventKind tags trace events.
-type EventKind int
-
-// Trace event kinds.
-const (
-	// EvAssign: element Pos of transaction Txn's vector was set to Val.
-	EvAssign EventKind = iota
-	// EvEncode: the dependency J -> I was newly encoded at position Pos.
-	EvEncode
-	// EvEstablished: the dependency J -> I was already established.
-	EvEstablished
-	// EvFlush: transaction Txn's vector was flushed and reseeded
-	// (starvation fix).
-	EvFlush
-)
-
-// Event is a trace record emitted through Options.Trace.
-type Event struct {
-	Kind EventKind
-	Txn  int   // EvAssign, EvFlush
-	Pos  int   // EvAssign: element index (1-based); EvEncode: deciding position
-	Val  int64 // EvAssign: assigned value
-	J, I int   // EvEncode, EvEstablished: dependency J -> I
-}
 
 // Options configures an MT(k) scheduler.
 type Options struct {
@@ -109,12 +48,14 @@ type Options struct {
 	MonotonicEncoding bool
 	// Trace, when non-nil, receives an Event for every element assignment,
 	// dependency encoding and flush.
-	Trace func(Event)
+	Trace func(core.Event)
 }
 
-// Scheduler is the MT(k) concurrency controller of Algorithm 1. It is not
-// safe for concurrent use; the transaction runtime serializes access to it
-// (the paper's scheduler processes one operation at a time).
+// Scheduler is the MT(k) concurrency controller of Algorithm 1 under
+// the coarse locking discipline: it is not safe for concurrent use, the
+// caller serializes access to it (the paper's scheduler processes one
+// operation at a time). It stays the differential reference every other
+// discipline and variant is checked against.
 type Scheduler struct {
 	opts   Options
 	k      int
@@ -131,7 +72,7 @@ type Scheduler struct {
 // before all others; RT(x) = WT(x) = 0 for every x.
 func NewScheduler(opts Options) *Scheduler {
 	if opts.K < 1 {
-		panic("core: Options.K must be >= 1")
+		panic("engine: Options.K must be >= 1")
 	}
 	s := &Scheduler{
 		opts:   opts,
@@ -146,7 +87,7 @@ func NewScheduler(opts Options) *Scheduler {
 	s.tab.Monotonic = opts.MonotonicEncoding
 	if opts.Trace != nil {
 		s.tab.OnAssign = func(id, pos int, val int64) {
-			opts.Trace(Event{Kind: EvAssign, Txn: id, Pos: pos, Val: val})
+			opts.Trace(core.Event{Kind: core.EvAssign, Txn: id, Pos: pos, Val: val})
 		}
 	}
 	return s
@@ -161,13 +102,23 @@ func (s *Scheduler) K() int { return s.k }
 // Counters returns the current (lcount, ucount) pair, for tests.
 func (s *Scheduler) Counters() (lo, hi int64) { return s.tab.Counters() }
 
+// Watermarks returns the monotone counter-consumption watermarks the
+// WAL journals. It takes no lock: the coarse discipline's owner already
+// serializes access, and the WAL counter source runs under the store
+// journal hook, inside the adapter's critical sections.
+func (s *Scheduler) Watermarks() (lo, hi int64) { return s.tab.Watermarks() }
+
+// RaiseWatermarks lifts the counters to at least the given watermarks
+// (recovery seeding), raise-only.
+func (s *Scheduler) RaiseWatermarks(lo, hi int64) { s.tab.RaiseWatermarks(lo, hi) }
+
 // Vector returns a copy of TS(i). Unknown transactions have the
 // all-undefined vector.
-func (s *Scheduler) Vector(i int) *Vector { return s.tab.Vector(i).Clone() }
+func (s *Scheduler) Vector(i int) *core.Vector { return s.tab.Vector(i).Clone() }
 
 // Snapshot returns copies of all live timestamp vectors keyed by
 // transaction id.
-func (s *Scheduler) Snapshot() map[int]*Vector { return s.tab.Snapshot() }
+func (s *Scheduler) Snapshot() map[int]*core.Vector { return s.tab.Snapshot() }
 
 // RT returns RT(x), the most recent reader of x (0 if none).
 func (s *Scheduler) RT(x string) int { return s.rt[x] }
@@ -198,12 +149,12 @@ func (s *Scheduler) setDep(j, i int, x string) bool {
 		return true
 	}
 	rel, _ := s.tab.Vector(j).Compare(s.tab.Vector(i))
-	if rel == Greater {
+	if rel == core.Greater {
 		return false
 	}
-	if rel == Less {
+	if rel == core.Less {
 		if s.opts.Trace != nil {
-			s.opts.Trace(Event{Kind: EvEstablished, J: j, I: i})
+			s.opts.Trace(core.Event{Kind: core.EvEstablished, J: j, I: i})
 		}
 		return true
 	}
@@ -212,7 +163,7 @@ func (s *Scheduler) setDep(j, i int, x string) bool {
 		return false
 	}
 	if s.opts.Trace != nil {
-		s.opts.Trace(Event{Kind: EvEncode, J: j, I: i})
+		s.opts.Trace(core.Event{Kind: core.EvEncode, J: j, I: i})
 	}
 	return true
 }
@@ -220,14 +171,14 @@ func (s *Scheduler) setDep(j, i int, x string) bool {
 // Step schedules one atomic operation. Multi-item operations (the two-step
 // model's set reads/writes) process their items in order; the first
 // rejecting item rejects the whole operation.
-func (s *Scheduler) Step(op oplog.Op) Decision {
+func (s *Scheduler) Step(op oplog.Op) core.Decision {
 	// A transaction issuing operations is live: a restarted incarnation
 	// after Abort reactivates its (possibly reseeded) vector.
 	delete(s.done, op.Txn)
 	var ignored []string
 	for _, x := range op.Items {
 		s.access[x]++
-		var v Verdict
+		var v core.Verdict
 		var blocker int
 		if op.Kind == oplog.Read {
 			v, blocker = s.stepRead(op.Txn, x)
@@ -235,17 +186,17 @@ func (s *Scheduler) Step(op oplog.Op) Decision {
 			v, blocker = s.stepWrite(op.Txn, x)
 		}
 		switch v {
-		case Reject:
-			return Decision{Op: op, Verdict: Reject, Blocker: blocker, Item: x}
-		case AcceptIgnored:
+		case core.Reject:
+			return core.Decision{Op: op, Verdict: core.Reject, Blocker: blocker, Item: x}
+		case core.AcceptIgnored:
 			ignored = append(ignored, x)
 		}
 	}
-	verdict := Accept
+	verdict := core.Accept
 	if len(ignored) == len(op.Items) {
-		verdict = AcceptIgnored
+		verdict = core.AcceptIgnored
 	}
-	return Decision{Op: op, Verdict: verdict, IgnoredItems: ignored}
+	return core.Decision{Op: op, Verdict: verdict, IgnoredItems: ignored}
 }
 
 // maxHolder returns j := RT(x) or WT(x), whichever has the larger
@@ -259,39 +210,39 @@ func (s *Scheduler) maxHolder(x string) int {
 }
 
 // stepRead implements the read arm of the Scheduler procedure.
-func (s *Scheduler) stepRead(i int, x string) (Verdict, int) {
+func (s *Scheduler) stepRead(i int, x string) (core.Verdict, int) {
 	j := s.maxHolder(x)
 	if s.setDep(j, i, x) {
 		s.repin(x, &s.rt, i)
-		return Accept, 0
+		return core.Accept, 0
 	}
 	// Line 9: the read may slot between the most recent write and the most
 	// recent read without becoming the most recent reader.
 	if j == s.rt[x] {
 		if s.opts.RelaxedReadCheck {
 			if s.setDep(s.wt[x], i, x) {
-				return Accept, 0
+				return core.Accept, 0
 			}
 		} else if s.less(s.wt[x], i) {
-			return Accept, 0
+			return core.Accept, 0
 		}
 	}
-	return Reject, j
+	return core.Reject, j
 }
 
 // stepWrite implements the write arm of the Scheduler procedure.
-func (s *Scheduler) stepWrite(i int, x string) (Verdict, int) {
+func (s *Scheduler) stepWrite(i int, x string) (core.Verdict, int) {
 	j := s.maxHolder(x)
 	if s.setDep(j, i, x) {
 		s.repin(x, &s.wt, i)
-		return Accept, 0
+		return core.Accept, 0
 	}
 	// Thomas write rule: if TS(RT(x)) < TS(i) < TS(WT(x)), the write is
 	// obsolete and can be ignored.
 	if s.opts.ThomasWriteRule && j == s.wt[x] && s.less(i, s.wt[x]) && s.setDep(s.rt[x], i, x) {
-		return AcceptIgnored, 0
+		return core.AcceptIgnored, 0
 	}
-	return Reject, j
+	return core.Reject, j
 }
 
 // repin moves the RT or WT index for x to txn, maintaining pin counts used
@@ -359,7 +310,7 @@ func (s *Scheduler) Abort(i, blocker int) {
 			// consistent when k = 1.
 			seed := s.tab.ReseedFirst(i, b.V)
 			if s.opts.Trace != nil {
-				s.opts.Trace(Event{Kind: EvFlush, Txn: i, Val: seed})
+				s.opts.Trace(core.Event{Kind: core.EvFlush, Txn: i, Val: seed})
 			}
 			// The seeded vector must survive for the restart.
 			return
@@ -376,7 +327,7 @@ func (s *Scheduler) LiveVectors() int { return s.tab.Len() }
 // SeedVector installs an explicit vector for transaction i. It exists to
 // reproduce the paper's worked tables (which start mid-log, e.g. Table II's
 // TS(4) = <1,4>) and for tests; production schedulers never need it.
-func (s *Scheduler) SeedVector(i int, elems ...Elem) { s.tab.Seed(i, elems...) }
+func (s *Scheduler) SeedVector(i int, elems ...core.Elem) { s.tab.Seed(i, elems...) }
 
 // SetCounters overrides the k-th-column counters, for table reproduction
 // and tests.
@@ -388,7 +339,7 @@ func (s *Scheduler) SetCounters(lo, hi int64) { s.tab.SetCounters(lo, hi) }
 // Thomas-rule ignored writes count as accepted.
 func (s *Scheduler) AcceptLog(l *oplog.Log) (bool, int) {
 	for idx, op := range l.Ops {
-		if d := s.Step(op); d.Verdict == Reject {
+		if d := s.Step(op); d.Verdict == core.Reject {
 			return false, idx
 		}
 	}
@@ -412,7 +363,7 @@ func (s *Scheduler) SerialOrder(txns []int) []int {
 	idx := make(map[int]int, len(txns))
 	for p, t := range txns {
 		if t == 0 {
-			panic("core: SerialOrder over the virtual transaction")
+			panic("engine: SerialOrder over the virtual transaction")
 		}
 		idx[t] = p
 	}
@@ -443,7 +394,7 @@ func (s *Scheduler) SerialOrder(txns []int) []int {
 			}
 		}
 		if pick == -1 {
-			panic(fmt.Sprintf("core: established relations are cyclic over %v", txns))
+			panic(fmt.Sprintf("engine: established relations are cyclic over %v", txns))
 		}
 		used[pick] = true
 		order = append(order, txns[pick])

@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"math/rand"
@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	. "repro/internal/core"
 	"repro/internal/oplog"
 )
 

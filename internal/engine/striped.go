@@ -1,10 +1,10 @@
-package core
+package engine
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/oplog"
 )
 
@@ -28,7 +28,7 @@ import (
 //     transactions it touches — RT(x), WT(x) and the operating
 //     transaction — in ascending id order;
 //  3. a counter lock guards the lcount/ucount pair and the per-column
-//     clock, taken last, only while a Set actually assigns elements.
+//     clock, taken last, for the duration of a kernel encode.
 //
 // The hierarchy is strict (latches, then transaction locks, then the
 // counter lock), so no acquisition order can deadlock. Each Set(j, i)
@@ -41,7 +41,7 @@ import (
 type Striped struct {
 	opts    Options
 	k       int
-	latches *LatchTable
+	latches *core.LatchTable
 	stripes []itemStripe
 
 	// tmu guards the id -> entry map only; entry contents are guarded
@@ -49,17 +49,16 @@ type Striped struct {
 	tmu  sync.RWMutex
 	txns map[int]*txnEntry
 
-	// cmu guards lcount/ucount and the column clock.
-	cmu    sync.Mutex
-	lcount int64
-	ucount int64
-	clock  []int64
+	// cmu guards the counters and the column clock.
+	cmu      sync.Mutex
+	counters *LocalCounters
+	clock    []int64
 
 	// OnDecision, when non-nil, observes every Step decision while the
 	// operation's item latches are still held, so for any single item
 	// the observed order is the true decision order. Set it before
 	// traffic flows. Stress tests use it to build serialization graphs.
-	OnDecision func(Decision)
+	OnDecision func(core.Decision)
 }
 
 // itemStripe is the per-stripe slice of the scheduler's item-indexed
@@ -74,7 +73,7 @@ type itemStripe struct {
 // its own lock.
 type txnEntry struct {
 	mu   sync.Mutex
-	vec  *Vector
+	vec  *core.Vector
 	pins int
 	done bool
 	// dead marks an entry reclaimed and removed from the map; a looker
@@ -95,15 +94,15 @@ func NewStriped(opts Options) *Striped {
 // nStripes latch stripes.
 func NewStripedSize(opts Options, nStripes int) *Striped {
 	if opts.K < 1 {
-		panic("core: Options.K must be >= 1")
+		panic("engine: Options.K must be >= 1")
 	}
 	s := &Striped{
-		opts:    opts,
-		k:       opts.K,
-		latches: NewLatchTable(nStripes),
-		txns:    make(map[int]*txnEntry),
-		ucount:  1,
-		clock:   make([]int64, opts.K),
+		opts:     opts,
+		k:        opts.K,
+		latches:  core.NewLatchTable(nStripes),
+		txns:     make(map[int]*txnEntry),
+		counters: NewLocalCounters(),
+		clock:    make([]int64, opts.K),
 	}
 	s.stripes = make([]itemStripe, s.latches.Stripes())
 	for i := range s.stripes {
@@ -114,8 +113,8 @@ func NewStripedSize(opts Options, nStripes int) *Striped {
 		}
 	}
 	// TS(0) = <0,*,...,*>: the virtual transaction T_0.
-	t0 := NewVector(opts.K)
-	t0.set(1, 0)
+	t0 := core.NewVector(opts.K)
+	t0.SetElem(1, 0)
 	s.txns[0] = &txnEntry{vec: t0}
 	return s
 }
@@ -127,7 +126,7 @@ func (s *Striped) K() int { return s.k }
 // operation's item latches across the protocol step AND the data
 // access it orders (the atomicity the coarse adapter gets from its
 // global mutex).
-func (s *Striped) Latches() *LatchTable { return s.latches }
+func (s *Striped) Latches() *core.LatchTable { return s.latches }
 
 // entry returns the live entry for id, creating one on demand.
 func (s *Striped) entry(id int) *txnEntry {
@@ -142,7 +141,7 @@ func (s *Striped) entry(id int) *txnEntry {
 	if e = s.txns[id]; e != nil {
 		return e
 	}
-	e = &txnEntry{vec: NewVector(s.k)}
+	e = &txnEntry{vec: core.NewVector(s.k)}
 	s.txns[id] = e
 	return e
 }
@@ -193,7 +192,7 @@ func (s *Striped) lockTxns(ids ...int) (map[int]*txnEntry, func()) {
 // Step schedules one atomic operation, acquiring the items' latches
 // itself. Multi-item operations process their items in order; the
 // first rejecting item rejects the whole operation.
-func (s *Striped) Step(op oplog.Op) Decision {
+func (s *Striped) Step(op oplog.Op) core.Decision {
 	unlock := s.latches.Lock(op.Items...)
 	defer unlock()
 	return s.StepLocked(op)
@@ -202,30 +201,30 @@ func (s *Striped) Step(op oplog.Op) Decision {
 // StepLocked is Step for callers that already hold the latches
 // covering op.Items (the runtime adapter, which keeps them held across
 // the subsequent data access).
-func (s *Striped) StepLocked(op oplog.Op) Decision {
+func (s *Striped) StepLocked(op oplog.Op) core.Decision {
 	var ignored []string
-	d := Decision{Op: op, Verdict: Accept}
+	d := core.Decision{Op: op, Verdict: core.Accept}
 	for _, x := range op.Items {
-		var v Verdict
+		var v core.Verdict
 		var blocker int
 		if op.Kind == oplog.Read {
 			v, blocker = s.stepItem(op.Txn, x, true)
 		} else {
 			v, blocker = s.stepItem(op.Txn, x, false)
 		}
-		if v == Reject {
-			d = Decision{Op: op, Verdict: Reject, Blocker: blocker, Item: x}
+		if v == core.Reject {
+			d = core.Decision{Op: op, Verdict: core.Reject, Blocker: blocker, Item: x}
 			if s.OnDecision != nil {
 				s.OnDecision(d)
 			}
 			return d
 		}
-		if v == AcceptIgnored {
+		if v == core.AcceptIgnored {
 			ignored = append(ignored, x)
 		}
 	}
 	if len(ignored) == len(op.Items) {
-		d.Verdict = AcceptIgnored
+		d.Verdict = core.AcceptIgnored
 	}
 	d.IgnoredItems = ignored
 	if s.OnDecision != nil {
@@ -238,7 +237,7 @@ func (s *Striped) StepLocked(op oplog.Op) Decision {
 // with the item's latch held by the caller. It locks the (at most
 // three) transactions involved, makes the decision, and updates the
 // RT/WT indexes and pin counts before releasing them.
-func (s *Striped) stepItem(i int, x string, read bool) (Verdict, int) {
+func (s *Striped) stepItem(i int, x string, read bool) (core.Verdict, int) {
 	st := &s.stripes[s.latches.StripeOf(x)]
 	st.access[x]++
 	rt, wt := st.rt[x], st.wt[x]
@@ -255,37 +254,37 @@ func (s *Striped) stepItem(i int, x string, read bool) (Verdict, int) {
 	if read {
 		if s.setDep(j, i, ej, es[i], x) {
 			s.repin(st, &st.rt, x, i, es)
-			return Accept, 0
+			return core.Accept, 0
 		}
 		// Line 9: the read may slot between the most recent write and
 		// the most recent read without becoming the most recent reader.
 		if j == rt {
 			if s.opts.RelaxedReadCheck {
 				if s.setDep(wt, i, es[wt], es[i], x) {
-					return Accept, 0
+					return core.Accept, 0
 				}
 			} else if wt != i && s.vecLess(es[wt].vec, es[i].vec) {
-				return Accept, 0
+				return core.Accept, 0
 			}
 		}
-		return Reject, j
+		return core.Reject, j
 	}
 	if s.setDep(j, i, ej, es[i], x) {
 		s.repin(st, &st.wt, x, i, es)
-		return Accept, 0
+		return core.Accept, 0
 	}
 	// Thomas write rule: if TS(RT(x)) < TS(i) < TS(WT(x)), the write is
 	// obsolete and can be ignored.
 	if s.opts.ThomasWriteRule && j == wt && i != wt && s.vecLess(es[i].vec, es[wt].vec) &&
 		s.setDep(rt, i, es[rt], es[i], x) {
-		return AcceptIgnored, 0
+		return core.AcceptIgnored, 0
 	}
-	return Reject, j
+	return core.Reject, j
 }
 
 // vecLess reports a < b established, mirroring VectorTable.Less for
 // already-locked vectors.
-func (s *Striped) vecLess(a, b *Vector) bool {
+func (s *Striped) vecLess(a, b *core.Vector) bool {
 	if a == b {
 		return false
 	}
@@ -308,12 +307,12 @@ func (s *Striped) setDep(j, i int, ej, ei *txnEntry, x string) bool {
 		return true
 	}
 	rel, _ := ej.vec.Compare(ei.vec)
-	if rel == Greater {
+	if rel == core.Greater {
 		return false
 	}
-	if rel == Less {
+	if rel == core.Less {
 		if s.opts.Trace != nil {
-			s.opts.Trace(Event{Kind: EvEstablished, J: j, I: i})
+			s.opts.Trace(core.Event{Kind: core.EvEstablished, J: j, I: i})
 		}
 		return true
 	}
@@ -325,7 +324,7 @@ func (s *Striped) setDep(j, i int, ej, ei *txnEntry, x string) bool {
 		return false
 	}
 	if s.opts.Trace != nil {
-		s.opts.Trace(Event{Kind: EvEncode, J: j, I: i})
+		s.opts.Trace(core.Event{Kind: core.EvEncode, J: j, I: i})
 	}
 	return true
 }
@@ -333,12 +332,12 @@ func (s *Striped) setDep(j, i int, ej, ei *txnEntry, x string) bool {
 // assign sets element pos of id's (locked) vector and advances the
 // column clock. The caller holds cmu.
 func (s *Striped) assign(id int, e *txnEntry, pos int, val int64) {
-	e.vec.set(pos, val)
+	e.vec.SetElem(pos, val)
 	if val > s.clock[pos-1] {
 		s.clock[pos-1] = val
 	}
 	if s.opts.Trace != nil {
-		s.opts.Trace(Event{Kind: EvAssign, Txn: id, Pos: pos, Val: val})
+		s.opts.Trace(core.Event{Kind: core.EvAssign, Txn: id, Pos: pos, Val: val})
 	}
 }
 
@@ -352,83 +351,38 @@ func (s *Striped) upper(m int, floor int64) int64 {
 	return v
 }
 
-// encode mirrors VectorTable.Set: establish or encode TS(j) < TS(i),
-// reporting success. Both entries are locked by the caller; the
+// stripedSink routes kernel assignments into the locked entries,
+// advancing the clock and the trace hook. The encode holds cmu.
+type stripedSink struct {
+	s      *Striped
+	j, i   int
+	ej, ei *txnEntry
+}
+
+func (k stripedSink) Assign(side Side, pos int, val int64) {
+	if side == SideJ {
+		k.s.assign(k.j, k.ej, pos, val)
+	} else {
+		k.s.assign(k.i, k.ei, pos, val)
+	}
+}
+
+func (k stripedSink) Upper(m int, floor int64) int64 { return k.s.upper(m, floor) }
+
+// encode runs the kernel's Set(j, i) over the two locked entries. The
 // element assignments and counter allocations run under cmu so the
 // lcount/ucount interaction stays atomic.
 func (s *Striped) encode(j, i int, ej, ei *txnEntry, shift bool) bool {
-	if j == i {
-		return true
-	}
-	vj, vi := ej.vec, ei.vec
-	rel, m := vj.Compare(vi)
-	switch rel {
-	case Less:
-		return true
-	case Greater:
-		return false
-	case Equal:
-		if vj.Elem(m).Defined {
-			panic(fmt.Sprintf("core: Set(%d,%d) on identical fully-defined vectors %v", j, i, vj))
-		}
-		s.cmu.Lock()
-		if m == s.k {
-			s.assign(j, ej, s.k, s.ucount)
-			s.assign(i, ei, s.k, s.ucount+1)
-			s.ucount += 2
-		} else {
-			v := s.upper(m, 0)
-			s.assign(j, ej, m, v)
-			s.assign(i, ei, m, v+1)
-		}
-		s.cmu.Unlock()
-	default: // Unknown: exactly one of the two elements is undefined.
-		if shift && m < s.k && s.shiftEncode(j, i, ej, ei, m) {
-			return true
-		}
-		s.cmu.Lock()
-		if !vi.Elem(m).Defined {
-			if m == s.k {
-				s.assign(i, ei, s.k, s.ucount)
-				s.ucount++
-			} else {
-				s.assign(i, ei, m, s.upper(m, vj.Elem(m).V))
-			}
-		} else {
-			if m == s.k {
-				s.assign(j, ej, s.k, s.lcount)
-				s.lcount--
-			} else {
-				s.assign(j, ej, m, vi.Elem(m).V-1)
-			}
-		}
-		s.cmu.Unlock()
-	}
-	return true
-}
-
-// shiftEncode mirrors VectorTable.shiftEncode: copy the longer vector's
-// defined prefix into the shorter one and encode at the next position
-// where both are undefined.
-func (s *Striped) shiftEncode(j, i int, ej, ei *txnEntry, m int) bool {
-	vj, vi := ej.vec, ei.vec
-	longer, shortID, shortE := vj, i, ei
-	if !vj.Elem(m).Defined {
-		longer, shortID, shortE = vi, j, ej
-	}
-	end := longer.FirstUndefined() - 1
-	if end > s.k-1 {
-		end = s.k - 1
-	}
-	if end < m {
-		return false
-	}
 	s.cmu.Lock()
-	for p := m; p <= end; p++ {
-		s.assign(shortID, shortE, p, longer.Elem(p).V)
-	}
-	s.cmu.Unlock()
-	return s.encode(j, i, ej, ei, false)
+	defer s.cmu.Unlock()
+	return Dep{
+		J: j, I: i,
+		VJ: ej.vec, VI: ei.vec,
+		K:     s.k,
+		Alloc: s.counters,
+		Sink:  stripedSink{s: s, j: j, i: i, ej: ej, ei: ei},
+		Shift: shift,
+	}.Encode()
 }
 
 // repin moves the RT or WT index for x to txn, maintaining pin counts.
@@ -488,7 +442,7 @@ func (s *Striped) Abort(i, blocker int) {
 			seed := s.reseedFirst(i, es[i], b.V)
 			unlock()
 			if s.opts.Trace != nil {
-				s.opts.Trace(Event{Kind: EvFlush, Txn: i, Val: seed})
+				s.opts.Trace(core.Event{Kind: core.EvFlush, Txn: i, Val: seed})
 			}
 			return
 		}
@@ -514,10 +468,7 @@ func (s *Striped) reseedFirst(i int, e *txnEntry, floor int64) int64 {
 		seed = c
 	}
 	if s.k == 1 {
-		if seed < s.ucount {
-			seed = s.ucount
-		}
-		s.ucount = seed + 1
+		seed = s.counters.ReserveAtLeast(seed)
 	}
 	e.vec.Reset()
 	s.assign(i, e, 1, seed)
@@ -546,7 +497,7 @@ func (s *Striped) ReadPendingWriter(i int, x string, live func(int) bool) (block
 
 // Vector returns a copy of TS(i). Unknown transactions have the
 // all-undefined vector.
-func (s *Striped) Vector(i int) *Vector {
+func (s *Striped) Vector(i int) *core.Vector {
 	es, unlock := s.lockTxns(i)
 	defer unlock()
 	return es[i].vec.Clone()
@@ -571,22 +522,29 @@ func (s *Striped) WT(x string) int {
 func (s *Striped) Counters() (lo, hi int64) {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
-	return s.lcount, s.ucount
+	return s.counters.Counters()
 }
 
 // SeedCounters raises the counters to at least the given consumption
-// watermarks (lo for the descending lower counter negated, hi for the
-// ascending upper counter) in one atomic clamp — the striped analogue
-// of the coarse adapter's read-modify-write under its global mutex.
-func (s *Striped) SeedCounters(lo, hi int64) {
+// watermarks in one atomic clamp; it is RaiseWatermarks under its
+// historical name (the striped analogue of the coarse adapter's
+// read-modify-write under its global mutex).
+func (s *Striped) SeedCounters(lo, hi int64) { s.RaiseWatermarks(lo, hi) }
+
+// Watermarks returns the monotone counter-consumption watermarks the
+// WAL journals.
+func (s *Striped) Watermarks() (lo, hi int64) {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
-	if -lo < s.lcount {
-		s.lcount = -lo
-	}
-	if hi > s.ucount {
-		s.ucount = hi
-	}
+	return s.counters.Watermarks()
+}
+
+// RaiseWatermarks lifts the counters to at least the given watermarks
+// (recovery seeding) in one atomic raise-only clamp.
+func (s *Striped) RaiseWatermarks(lo, hi int64) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	s.counters.Raise(lo, hi)
 }
 
 // LiveVectors returns the number of vectors currently held (including
@@ -600,14 +558,14 @@ func (s *Striped) LiveVectors() int {
 // Snapshot returns copies of all live timestamp vectors keyed by
 // transaction id. Entries are locked one at a time, so the result is
 // per-vector consistent; quiesce the scheduler for a global snapshot.
-func (s *Striped) Snapshot() map[int]*Vector {
+func (s *Striped) Snapshot() map[int]*core.Vector {
 	s.tmu.RLock()
 	ids := make([]int, 0, len(s.txns))
 	for id := range s.txns {
 		ids = append(ids, id)
 	}
 	s.tmu.RUnlock()
-	out := make(map[int]*Vector, len(ids))
+	out := make(map[int]*core.Vector, len(ids))
 	for _, id := range ids {
 		s.tmu.RLock()
 		e := s.txns[id]

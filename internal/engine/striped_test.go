@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"fmt"
@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	. "repro/internal/core"
 	"repro/internal/oplog"
 )
 

@@ -1,20 +1,24 @@
-package core
+package engine
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // VectorTable is the timestamp table of Fig. 2: a set of k-dimensional
 // timestamp vectors indexed by an integer id (transaction or, in the
 // nested protocol, group), together with the lcount/ucount counters that
 // keep the k-th column distinct. It implements the dependency-encoding
-// procedure Set(j, i) of Algorithm 1; the MT(k) Scheduler and the
-// group-level table of MT(k1,k2) are both built on it.
+// procedure Set(j, i) of Algorithm 1 via the shared kernel (encode.go);
+// the MT(k) Scheduler and the group-level table of MT(k1,k2) are both
+// built on it.
 //
 // Id 0 is the virtual transaction/group T_0 with TS(0) = <0,*,...,*>.
 type VectorTable struct {
-	k      int
-	vec    map[int]*Vector
-	lcount int64
-	ucount int64
+	k        int
+	vec      map[int]*core.Vector
+	counters *LocalCounters
 	// clock[m] tracks the largest value assigned in column m+1, used by
 	// the monotonic-encoding ablation.
 	clock []int64
@@ -33,11 +37,11 @@ type VectorTable struct {
 // NewVectorTable returns a table of k-element vectors with TS(0) installed.
 func NewVectorTable(k int) *VectorTable {
 	if k < 1 {
-		panic("core: vector size must be >= 1")
+		panic("engine: vector size must be >= 1")
 	}
-	t := &VectorTable{k: k, vec: make(map[int]*Vector), lcount: 0, ucount: 1, clock: make([]int64, k)}
-	t0 := NewVector(k)
-	t0.set(1, 0)
+	t := &VectorTable{k: k, vec: make(map[int]*core.Vector), counters: NewLocalCounters(), clock: make([]int64, k)}
+	t0 := core.NewVector(k)
+	t0.SetElem(1, 0)
 	t.vec[0] = t0
 	return t
 }
@@ -46,7 +50,7 @@ func NewVectorTable(k int) *VectorTable {
 func (t *VectorTable) K() int { return t.k }
 
 // Counters returns the current (lcount, ucount).
-func (t *VectorTable) Counters() (lo, hi int64) { return t.lcount, t.ucount }
+func (t *VectorTable) Counters() (lo, hi int64) { return t.counters.Counters() }
 
 // Clock returns the largest value ever assigned in column m (1-based),
 // or 0. The starvation fix reseeds past it so a restarted transaction is
@@ -54,25 +58,33 @@ func (t *VectorTable) Counters() (lo, hi int64) { return t.lcount, t.ucount }
 func (t *VectorTable) Clock(m int) int64 { return t.clock[m-1] }
 
 // SetCounters overrides the counters (table reproduction and tests).
-func (t *VectorTable) SetCounters(lo, hi int64) { t.lcount, t.ucount = lo, hi }
+func (t *VectorTable) SetCounters(lo, hi int64) { t.counters.SetCounters(lo, hi) }
+
+// Watermarks returns the monotone counter-consumption watermarks (see
+// LocalCounters.Watermarks), the pair durable schedulers journal.
+func (t *VectorTable) Watermarks() (lo, hi int64) { return t.counters.Watermarks() }
+
+// RaiseWatermarks lifts the counters to at least the given watermarks
+// (recovery seeding), raise-only.
+func (t *VectorTable) RaiseWatermarks(lo, hi int64) { t.counters.Raise(lo, hi) }
 
 // Vector returns the live vector for id, creating an all-undefined one on
 // demand.
-func (t *VectorTable) Vector(id int) *Vector {
+func (t *VectorTable) Vector(id int) *core.Vector {
 	if v, ok := t.vec[id]; ok {
 		return v
 	}
-	v := NewVector(t.k)
+	v := core.NewVector(t.k)
 	t.vec[id] = v
 	return v
 }
 
 // Seed installs an explicit vector (tests and table reproduction).
-func (t *VectorTable) Seed(id int, elems ...Elem) {
+func (t *VectorTable) Seed(id int, elems ...core.Elem) {
 	if len(elems) != t.k {
-		panic(fmt.Sprintf("core: Seed needs %d elements, got %d", t.k, len(elems)))
+		panic(fmt.Sprintf("engine: Seed needs %d elements, got %d", t.k, len(elems)))
 	}
-	t.vec[id] = VectorOf(elems...)
+	t.vec[id] = core.VectorOf(elems...)
 }
 
 // Drop removes id's vector from the table (storage reclamation).
@@ -82,8 +94,8 @@ func (t *VectorTable) Drop(id int) { delete(t.vec, id) }
 func (t *VectorTable) Len() int { return len(t.vec) }
 
 // Snapshot returns copies of all live vectors.
-func (t *VectorTable) Snapshot() map[int]*Vector {
-	out := make(map[int]*Vector, len(t.vec))
+func (t *VectorTable) Snapshot() map[int]*core.Vector {
+	out := make(map[int]*core.Vector, len(t.vec))
 	for i, v := range t.vec {
 		out[i] = v.Clone()
 	}
@@ -92,7 +104,7 @@ func (t *VectorTable) Snapshot() map[int]*Vector {
 
 // assign sets element pos of id's vector.
 func (t *VectorTable) assign(id, pos int, val int64) {
-	t.Vector(id).set(pos, val)
+	t.Vector(id).SetElem(pos, val)
 	if val > t.clock[pos-1] {
 		t.clock[pos-1] = val
 	}
@@ -124,10 +136,7 @@ func (t *VectorTable) ReseedFirst(id int, floor int64) int64 {
 		seed = c
 	}
 	if t.k == 1 {
-		if seed < t.ucount {
-			seed = t.ucount
-		}
-		t.ucount = seed + 1
+		seed = t.counters.ReserveAtLeast(seed)
 	}
 	v := t.Vector(id)
 	v.Reset()
@@ -143,87 +152,34 @@ func (t *VectorTable) Less(a, b int) bool {
 	return t.Vector(a).Less(t.Vector(b))
 }
 
+// tableSink routes kernel assignments through the table's assign (clock
+// plus OnAssign hook) and its upper rule (monotonic ablation).
+type tableSink struct {
+	t    *VectorTable
+	j, i int
+}
+
+func (s tableSink) Assign(side Side, pos int, val int64) {
+	if side == SideJ {
+		s.t.assign(s.j, pos, val)
+	} else {
+		s.t.assign(s.i, pos, val)
+	}
+}
+
+func (s tableSink) Upper(m int, floor int64) int64 { return s.t.upper(m, floor) }
+
 // Set implements procedure Set(j, i): establish or encode TS(j) < TS(i),
 // reporting success. When shift is true the dependency is pushed toward
 // the right end of the vectors (the Section III-D-5 optimized encoding for
 // hot items) whenever possible.
 func (t *VectorTable) Set(j, i int, shift bool) bool {
-	if j == i {
-		return true
-	}
-	vj, vi := t.Vector(j), t.Vector(i)
-	rel, m := vj.Compare(vi)
-	switch rel {
-	case Less:
-		return true
-	case Greater:
-		return false
-	case Equal:
-		if vj.Elem(m).Defined {
-			// Compare walked off the end: two DISTINCT ids with identical
-			// fully-defined vectors. Unreachable through the Scheduler
-			// (counter-column values are distinct and nothing is ever
-			// ordered before T_0, whose <0,...> can tie the first lcount
-			// value when k = 1); reject API misuse loudly rather than
-			// corrupting the table.
-			panic(fmt.Sprintf("core: Set(%d,%d) on identical fully-defined vectors %v", j, i, vj))
-		}
-		// Both undefined at m with equal defined prefix: j gets the
-		// smaller value; the k-th column stays distinct via the counters.
-		if m == t.k {
-			t.assign(j, t.k, t.ucount)
-			t.assign(i, t.k, t.ucount+1)
-			t.ucount += 2
-		} else {
-			v := t.upper(m, 0)
-			t.assign(j, m, v)
-			t.assign(i, m, v+1)
-		}
-	default: // Unknown: exactly one of the two elements is undefined.
-		if shift && m < t.k && t.shiftEncode(j, i, m) {
-			return true
-		}
-		if !vi.Elem(m).Defined {
-			if m == t.k {
-				t.assign(i, t.k, t.ucount)
-				t.ucount++
-			} else {
-				t.assign(i, m, t.upper(m, vj.Elem(m).V))
-			}
-		} else {
-			if m == t.k {
-				t.assign(j, t.k, t.lcount)
-				t.lcount--
-			} else {
-				t.assign(j, m, vi.Elem(m).V-1)
-			}
-		}
-	}
-	return true
-}
-
-// shiftEncode copies the longer vector's defined prefix into the shorter
-// one and encodes the dependency at the first position where both are
-// undefined (or with counters at column k). Reports whether it applied.
-func (t *VectorTable) shiftEncode(j, i, m int) bool {
-	vj, vi := t.Vector(j), t.Vector(i)
-	longer := vj
-	shortID := i
-	if !vj.Elem(m).Defined {
-		longer = vi
-		shortID = j
-	}
-	end := longer.FirstUndefined() - 1 // last defined position
-	if end > t.k-1 {
-		end = t.k - 1
-	}
-	if end < m {
-		return false
-	}
-	for p := m; p <= end; p++ {
-		t.assign(shortID, p, longer.Elem(p).V)
-	}
-	// Equal prefixes now extend through end; encode at the next deciding
-	// position without shifting again.
-	return t.Set(j, i, false)
+	return Dep{
+		J: j, I: i,
+		VJ: t.Vector(j), VI: t.Vector(i),
+		K:     t.k,
+		Alloc: t.counters,
+		Sink:  tableSink{t: t, j: j, i: i},
+		Shift: shift,
+	}.Encode()
 }

@@ -1,8 +1,10 @@
-package core
+package engine
 
 import (
 	"math/rand"
 	"testing"
+
+	. "repro/internal/core"
 )
 
 func TestTablePanicsOnBadK(t *testing.T) {

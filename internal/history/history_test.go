@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/interval"
 	"repro/internal/occ"
 	"repro/internal/sched"
@@ -20,7 +20,7 @@ import (
 
 func TestRecorderBasics(t *testing.T) {
 	st := storage.New()
-	r := Wrap(sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2}}))
+	r := Wrap(sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 2}}))
 	r.Begin(1)
 	if _, err := r.Read(1, "x"); err != nil {
 		t.Fatal(err)
@@ -41,7 +41,7 @@ func TestRecorderBasics(t *testing.T) {
 
 func TestRecorderDropsAbortedOps(t *testing.T) {
 	st := storage.New()
-	r := Wrap(sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2}}))
+	r := Wrap(sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 2}}))
 	r.Begin(1)
 	r.Read(1, "x")
 	r.Write(1, "y", 1)
@@ -92,14 +92,14 @@ func TestConcurrentHistoriesAreDSR(t *testing.T) {
 		mk   func(*storage.Store) sched.Scheduler
 	}{
 		{"MT3", func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 3, StarvationAvoidance: true}})
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 3, StarvationAvoidance: true}})
 		}},
 		{"MT3defer", func(st *storage.Store) sched.Scheduler {
 			return sched.NewMT(st, sched.MTOptions{
-				Core: core.Options{K: 3, StarvationAvoidance: true}, DeferWrites: true})
+				Core: engine.Options{K: 3, StarvationAvoidance: true}, DeferWrites: true})
 		}},
 		{"MT3mono", func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{
 				K: 3, StarvationAvoidance: true, MonotonicEncoding: true}})
 		}},
 		{"TO1", func(st *storage.Store) sched.Scheduler { return tsto.New(st, tsto.Options{}) }},
@@ -152,7 +152,7 @@ func TestSmallConcurrentHistoriesAreSR(t *testing.T) {
 		sim.Run(sim.Config{
 			NewScheduler: func(st *storage.Store) sched.Scheduler {
 				rec = Wrap(sched.NewMT(st, sched.MTOptions{
-					Core: core.Options{K: 3, StarvationAvoidance: true}}))
+					Core: engine.Options{K: 3, StarvationAvoidance: true}}))
 				return rec
 			},
 			Specs: workload.Config{
@@ -172,7 +172,7 @@ func TestSmallConcurrentHistoriesAreSR(t *testing.T) {
 
 func ExampleRecorder() {
 	st := storage.New()
-	r := Wrap(sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2}}))
+	r := Wrap(sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 2}}))
 	r.Begin(1)
 	r.Read(1, "x")
 	r.Write(1, "x", 42)

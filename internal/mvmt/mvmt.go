@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/storage"
 )
@@ -45,7 +45,7 @@ type version struct {
 type MVMT struct {
 	mu    sync.Mutex
 	opts  Options
-	tab   *core.VectorTable
+	tab   *engine.VectorTable
 	store *storage.Store
 	// versions[x] is ordered oldest..newest; index 0 is the virtual
 	// initial version written by T_0.
@@ -72,7 +72,7 @@ func New(store *storage.Store, opts Options) *MVMT {
 	}
 	return &MVMT{
 		opts:     opts,
-		tab:      core.NewVectorTable(opts.K),
+		tab:      engine.NewVectorTable(opts.K),
 		store:    store,
 		versions: make(map[string][]*version),
 		txns:     make(map[int]*txnState),

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 )
 
@@ -34,7 +35,7 @@ type Options struct {
 // Scheduler is the hierarchical multidimensional timestamp scheduler.
 type Scheduler struct {
 	opts   Options
-	tables []*core.VectorTable // tables[lvl]; lvl 0 = transactions
+	tables []*engine.VectorTable // tables[lvl]; lvl 0 = transactions
 	rt     map[string]int
 	wt     map[string]int
 }
@@ -50,7 +51,7 @@ func NewScheduler(opts Options) *Scheduler {
 		wt:   make(map[string]int),
 	}
 	for _, k := range opts.Ks {
-		s.tables = append(s.tables, core.NewVectorTable(k))
+		s.tables = append(s.tables, engine.NewVectorTable(k))
 	}
 	return s
 }
@@ -114,6 +115,24 @@ func (s *Scheduler) set(a, b int) bool {
 		return true
 	}
 	return s.tables[lvl].Set(s.unit(a, lvl), s.unit(b, lvl), false)
+}
+
+// Watermarks returns the hierarchy's monotone counter-consumption
+// watermarks: the max over the per-level tables' engine watermarks.
+func (s *Scheduler) Watermarks() (lo, hi int64) {
+	for _, t := range s.tables {
+		l, u := t.Watermarks()
+		lo, hi = max(lo, l), max(hi, u)
+	}
+	return lo, hi
+}
+
+// RaiseWatermarks lifts every level's counters to at least the given
+// watermarks (recovery seeding), raise-only.
+func (s *Scheduler) RaiseWatermarks(lo, hi int64) {
+	for _, t := range s.tables {
+		t.RaiseWatermarks(lo, hi)
+	}
 }
 
 // TxnVector returns a copy of the transaction-level vector TS(i).

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 )
 
@@ -106,7 +107,7 @@ func TestReductionToFlatMT(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 500; trial++ {
 		l := randomTwoStep(rng, 3, 3)
-		want2 := core.Accepts(2, l)
+		want2 := engine.Accepts(2, l)
 
 		oneGroup := New2Level(2, 2, map[int]int{})
 		got1, _ := oneGroup.AcceptLog(l)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dmt"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 	"repro/internal/storage"
 )
@@ -15,18 +16,42 @@ import (
 // cluster itself is concurrency-safe (per-object ordered locking), so the
 // adapter only guards its own write buffers; data publishes atomically at
 // commit like every other scheduler in the suite.
+//
+// The default (striped) variant holds the item's latch across a read's
+// protocol step and store fetch, and the write set's latches across
+// commit-time publish, pinning each decision to the data state it was
+// made against while disjoint items proceed concurrently. The coarse
+// variant instead serializes every operation — protocol and store
+// access — under one global mutex; it is the differential reference.
 type DMT struct {
 	cluster *dmt.Cluster
 	store   *storage.Store
 	sites   int
+	latches *core.LatchTable // nil in the coarse reference variant
+	gmu     *sync.Mutex      // non-nil in the coarse reference variant
 
 	mu    sync.Mutex
 	txns  map[int]*mtTxn
 	steps atomic.Int64
 }
 
-// NewDMT returns a DMT(k) runtime scheduler over the store.
+// NewDMT returns a DMT(k) runtime scheduler over the store with the
+// striped data path.
 func NewDMT(store *storage.Store, opts dmt.Options) *DMT {
+	d := newDMT(store, opts)
+	d.latches = core.NewLatchTable(engine.DefaultStripes)
+	return d
+}
+
+// NewDMTCoarse returns the coarse DMT(k) runtime scheduler: one global
+// mutex serializes every operation end to end, store access included.
+func NewDMTCoarse(store *storage.Store, opts dmt.Options) *DMT {
+	d := newDMT(store, opts)
+	d.gmu = &sync.Mutex{}
+	return d
+}
+
+func newDMT(store *storage.Store, opts dmt.Options) *DMT {
 	return &DMT{
 		cluster: dmt.NewCluster(opts),
 		store:   store,
@@ -35,8 +60,32 @@ func NewDMT(store *storage.Store, opts dmt.Options) *DMT {
 	}
 }
 
+// serialize takes the coarse variant's global mutex; a no-op when
+// striped. Returns the unlock.
+func (d *DMT) serialize() func() {
+	if d.gmu == nil {
+		return func() {}
+	}
+	d.gmu.Lock()
+	return d.gmu.Unlock
+}
+
+// latch locks the given items' latches; a no-op when coarse. Returns
+// the unlock.
+func (d *DMT) latch(items ...string) func() {
+	if d.latches == nil {
+		return func() {}
+	}
+	return d.latches.Lock(items...)
+}
+
 // Name implements Scheduler.
-func (d *DMT) Name() string { return fmt.Sprintf("DMT/%dsites", d.sites) }
+func (d *DMT) Name() string {
+	if d.gmu != nil {
+		return fmt.Sprintf("DMT/%dsites/coarse", d.sites)
+	}
+	return fmt.Sprintf("DMT/%dsites", d.sites)
+}
 
 // Cluster exposes the underlying cluster (metrics).
 func (d *DMT) Cluster() *dmt.Cluster { return d.cluster }
@@ -59,8 +108,11 @@ func (d *DMT) state(txn int) *mtTxn {
 	return d.txns[txn]
 }
 
-// Read implements Scheduler.
+// Read implements Scheduler. Striped: the item's latch is held from
+// the protocol step through the store fetch, so the value read is the
+// committed state the decision was made against.
 func (d *DMT) Read(txn int, item string) (int64, error) {
+	defer d.serialize()()
 	st := d.state(txn)
 	if st == nil {
 		return 0, Abort(txn, 0, "no live incarnation")
@@ -71,6 +123,7 @@ func (d *DMT) Read(txn int, item string) (int64, error) {
 		return v, nil
 	}
 	d.mu.Unlock()
+	defer d.latch(item)()
 	dec := d.cluster.Step(oplog.R(txn, item))
 	if dec.Verdict == core.Unavailable {
 		return 0, Unavailable(txn, dec.Site, "read unreachable")
@@ -99,6 +152,7 @@ func (d *DMT) Read(txn int, item string) (int64, error) {
 // Write implements Scheduler: validated immediately at the cluster,
 // buffered for atomic publication at commit.
 func (d *DMT) Write(txn int, item string, v int64) error {
+	defer d.serialize()()
 	st := d.state(txn)
 	if st == nil {
 		return Abort(txn, 0, "no live incarnation")
@@ -124,6 +178,7 @@ func (d *DMT) Write(txn int, item string, v int64) error {
 // is retryable, so the runtime aborts and re-runs the transaction once
 // the site recovers.
 func (d *DMT) Commit(txn int) error {
+	defer d.serialize()()
 	if home := d.cluster.TxnSite(txn); !d.cluster.SiteUp(home) {
 		return Unavailable(txn, home, "commit on crashed home site")
 	}
@@ -132,15 +187,28 @@ func (d *DMT) Commit(txn int) error {
 	delete(d.txns, txn)
 	d.mu.Unlock()
 	if st != nil {
+		// Striped: hold the write set's latches across the publish and
+		// the protocol commit, so a concurrent reader of a written item
+		// sees either the pre-commit state with the pre-commit ordering
+		// or the post-commit state with the post-commit ordering.
+		items := make([]string, 0, len(st.writes))
+		for x := range st.writes {
+			items = append(items, x)
+		}
+		unlock := d.latch(items...)
 		d.store.ApplyTxn(txn, st.writes)
+		d.cluster.Commit(txn)
+		unlock()
+	} else {
+		d.cluster.Commit(txn)
 	}
-	d.cluster.Commit(txn)
 	d.maybeGC()
 	return nil
 }
 
 // Abort implements Scheduler.
 func (d *DMT) Abort(txn int) {
+	defer d.serialize()()
 	d.mu.Lock()
 	st := d.txns[txn]
 	blocker := 0

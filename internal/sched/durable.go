@@ -10,7 +10,10 @@ package sched
 //
 // Both values are consumption watermarks and MUST be monotone
 // non-decreasing over a scheduler's lifetime (schedulers whose raw
-// counters run downward, like MT's lcount, negate them).
+// counters run downward, like MT's lcount, negate them). Every engine
+// instantiation exports the pair via Watermarks/RaiseWatermarks, so
+// the adapters below are pure delegations — there is no per-adapter
+// watermark arithmetic left to get wrong.
 type DurableCounters interface {
 	// WALCounters returns the current (lower, upper) consumption
 	// watermarks. It is called from the store's journal hook — i.e.
@@ -23,67 +26,48 @@ type DurableCounters interface {
 	SeedWALCounters(lo, hi int64)
 }
 
-// WALCounters implements DurableCounters. MT's lcount runs downward
-// from 0 (every allocation decrements it), so its watermark is the
-// negation; ucount runs upward and is its own watermark.
-func (m *MT) WALCounters() (lo, hi int64) {
-	l, u := m.sched.Counters()
-	return -l, u
-}
+// WALCounters implements DurableCounters. The coarse engine's
+// Watermarks takes no lock (the journal hook runs inside the
+// adapter's own critical section).
+func (m *MT) WALCounters() (lo, hi int64) { return m.sched.Watermarks() }
 
 // SeedWALCounters implements DurableCounters.
 func (m *MT) SeedWALCounters(lo, hi int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	l, u := m.sched.Counters()
-	if -lo < l {
-		l = -lo
-	}
-	if hi > u {
-		u = hi
-	}
-	m.sched.SetCounters(l, u)
+	m.sched.RaiseWatermarks(lo, hi)
 }
 
-// WALCounters implements DurableCounters: the max over the live
-// subprotocols' counters. An epoch restart replaces the subprotocols
-// with fresh counters, so the instantaneous max can drop — the log
-// writer's monotone clamp keeps the persisted watermarks valid (they
-// simply stay at the all-time max, which is exactly the safe seed).
-func (c *Composite) WALCounters() (lo, hi int64) {
-	for h := 1; h <= c.sched.K(); h++ {
-		l, u := c.sched.Sub(h).Counters()
-		if -l > lo {
-			lo = -l
-		}
-		if u > hi {
-			hi = u
-		}
-	}
-	return lo, hi
-}
+// WALCounters implements DurableCounters: the max over the
+// subprotocols' engine watermarks. An epoch restart replaces the
+// subprotocols with fresh counters, so the instantaneous max can drop
+// — the log writer's monotone clamp keeps the persisted watermarks
+// valid (they simply stay at the all-time max, which is exactly the
+// safe seed).
+func (c *Composite) WALCounters() (lo, hi int64) { return c.sched.Watermarks() }
 
 // SeedWALCounters implements DurableCounters.
 func (c *Composite) SeedWALCounters(lo, hi int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for h := 1; h <= c.sched.K(); h++ {
-		sub := c.sched.Sub(h)
-		l, u := sub.Counters()
-		if -lo < l {
-			l = -lo
-		}
-		if hi > u {
-			u = hi
-		}
-		sub.SetCounters(l, u)
-	}
+	c.sched.RaiseWatermarks(lo, hi)
 }
 
 // WALCounters implements DurableCounters. The cluster takes its own
-// per-site locks (never the adapter mutex), so the journal-hook
-// no-reentrancy rule is satisfied trivially.
+// per-site counter locks (never the adapter mutex), so the
+// journal-hook no-reentrancy rule is satisfied trivially.
 func (d *DMT) WALCounters() (lo, hi int64) { return d.cluster.Counters() }
 
 // SeedWALCounters implements DurableCounters.
 func (d *DMT) SeedWALCounters(lo, hi int64) { d.cluster.RaiseCounters(lo, hi) }
+
+// WALCounters implements DurableCounters: the max over the hierarchy
+// levels' table watermarks.
+func (n *Nested) WALCounters() (lo, hi int64) { return n.sched.Watermarks() }
+
+// SeedWALCounters implements DurableCounters.
+func (n *Nested) SeedWALCounters(lo, hi int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sched.RaiseWatermarks(lo, hi)
+}

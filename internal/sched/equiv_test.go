@@ -8,7 +8,8 @@ import (
 	"testing"
 
 	"repro/internal/classify"
-	"repro/internal/core"
+	"repro/internal/dmt"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 	"repro/internal/sched"
 	"repro/internal/storage"
@@ -16,23 +17,27 @@ import (
 	"repro/internal/workload"
 )
 
-// refPair is the pair under differential test: the retained coarse
-// global-mutex MT adapter as the reference, the striped adapter as the
-// subject, over separate but identically seeded stores.
-type refPair struct {
-	coarse  *sched.MT
-	striped *sched.MTStriped
-	cstore  *storage.Store
-	sstore  *storage.Store
+// equivPair is a pair under differential test: a coarse reference
+// scheduler and its striped subject, over separate but identically
+// seeded stores. Both sides must implement DurableCounters so the
+// suite can assert watermark parity on top of behavioural parity.
+type equivPair struct {
+	ref, subj     sched.Scheduler
+	rstore, store *storage.Store
+	deferred      bool
 }
 
-func newRefPair(opts sched.MTOptions) *refPair {
-	cs, ss := storage.New(), storage.New()
-	return &refPair{
-		coarse:  sched.NewMT(cs, opts),
-		striped: sched.NewMTStriped(ss, opts),
-		cstore:  cs,
-		sstore:  ss,
+// newMTPair builds the original MT pair: the retained coarse
+// global-mutex adapter as the reference, the striped adapter as the
+// subject.
+func newMTPair(opts sched.MTOptions) *equivPair {
+	rs, ss := storage.New(), storage.New()
+	return &equivPair{
+		ref:      sched.NewMT(rs, opts),
+		subj:     sched.NewMTStriped(ss, opts),
+		rstore:   rs,
+		store:    ss,
+		deferred: opts.DeferWrites,
 	}
 }
 
@@ -44,7 +49,7 @@ func newRefPair(opts sched.MTOptions) *refPair {
 // starvation-fix reseed on both sides). Returns the accepted op log
 // (identical for both by construction) restricted to committed
 // transactions, plus the committed set.
-func runEquivWorkload(t *testing.T, pair *refPair, specs []txn.Spec, seed int64, deferred bool) *oplog.Log {
+func runEquivWorkload(t *testing.T, pair *equivPair, specs []txn.Spec, seed int64) *oplog.Log {
 	t.Helper()
 	type state struct {
 		spec    txn.Spec
@@ -63,8 +68,8 @@ func runEquivWorkload(t *testing.T, pair *refPair, specs []txn.Spec, seed int64,
 			sp := pending[0]
 			pending = pending[1:]
 			livea = append(livea, &state{spec: sp})
-			pair.coarse.Begin(sp.ID)
-			pair.striped.Begin(sp.ID)
+			pair.ref.Begin(sp.ID)
+			pair.subj.Begin(sp.ID)
 		}
 	}
 	admit()
@@ -72,16 +77,16 @@ func runEquivWorkload(t *testing.T, pair *refPair, specs []txn.Spec, seed int64,
 	var committedOps []oplog.Op
 	abortBoth := func(st *state) bool {
 		// Returns true if the transaction got a retry incarnation.
-		pair.coarse.Abort(st.spec.ID)
-		pair.striped.Abort(st.spec.ID)
+		pair.ref.Abort(st.spec.ID)
+		pair.subj.Abort(st.spec.ID)
 		st.ops = nil
 		if st.retries >= 3 {
 			return false
 		}
 		st.retries++
 		st.next = 0
-		pair.coarse.Begin(st.spec.ID)
-		pair.striped.Begin(st.spec.ID)
+		pair.ref.Begin(st.spec.ID)
+		pair.subj.Begin(st.spec.ID)
 		return true
 	}
 	for len(livea) > 0 {
@@ -92,8 +97,8 @@ func runEquivWorkload(t *testing.T, pair *refPair, specs []txn.Spec, seed int64,
 		if st.next < len(st.spec.Ops) {
 			op := st.spec.Ops[st.next]
 			if op.Kind == oplog.Read {
-				cv, cerr := pair.coarse.Read(id, op.Item)
-				sv, serr := pair.striped.Read(id, op.Item)
+				cv, cerr := pair.ref.Read(id, op.Item)
+				sv, serr := pair.subj.Read(id, op.Item)
 				assertSameOutcome(t, id, st.next, "read "+op.Item, cv, cerr, sv, serr)
 				if cerr != nil {
 					drop = !abortBoth(st)
@@ -103,26 +108,26 @@ func runEquivWorkload(t *testing.T, pair *refPair, specs []txn.Spec, seed int64,
 				}
 			} else {
 				v := int64(id)*1000 + int64(st.next)
-				cerr := pair.coarse.Write(id, op.Item, v)
-				serr := pair.striped.Write(id, op.Item, v)
+				cerr := pair.ref.Write(id, op.Item, v)
+				serr := pair.subj.Write(id, op.Item, v)
 				assertSameOutcome(t, id, st.next, "write "+op.Item, 0, cerr, 0, serr)
 				if cerr != nil {
 					drop = !abortBoth(st)
 				} else {
-					if !deferred {
+					if !pair.deferred {
 						st.ops = append(st.ops, oplog.W(id, op.Item))
 					}
 					st.next++
 				}
 			}
 		} else {
-			cerr := pair.coarse.Commit(id)
-			serr := pair.striped.Commit(id)
+			cerr := pair.ref.Commit(id)
+			serr := pair.subj.Commit(id)
 			assertSameOutcome(t, id, st.next, "commit", 0, cerr, 0, serr)
 			if cerr != nil {
 				drop = !abortBoth(st)
 			} else {
-				if deferred {
+				if pair.deferred {
 					// Commit-time validation replays the buffered writes in
 					// first-write order — reconstruct that order here.
 					seen := map[string]bool{}
@@ -153,21 +158,50 @@ func runEquivWorkload(t *testing.T, pair *refPair, specs []txn.Spec, seed int64,
 func assertSameOutcome(t *testing.T, id, opIdx int, what string, cv int64, cerr error, sv int64, serr error) {
 	t.Helper()
 	if (cerr == nil) != (serr == nil) {
-		t.Fatalf("t%d.op%d %s: coarse err=%v striped err=%v", id, opIdx, what, cerr, serr)
+		t.Fatalf("t%d.op%d %s: ref err=%v subj err=%v", id, opIdx, what, cerr, serr)
 	}
 	if cerr == nil {
 		if cv != sv {
-			t.Fatalf("t%d.op%d %s: coarse value %d striped value %d", id, opIdx, what, cv, sv)
+			t.Fatalf("t%d.op%d %s: ref value %d subj value %d", id, opIdx, what, cv, sv)
 		}
 		return
 	}
 	var ca, sa *sched.AbortError
 	if !errors.As(cerr, &ca) || !errors.As(serr, &sa) {
-		t.Fatalf("t%d.op%d %s: non-abort errors coarse=%v striped=%v", id, opIdx, what, cerr, serr)
+		t.Fatalf("t%d.op%d %s: non-abort errors ref=%v subj=%v", id, opIdx, what, cerr, serr)
 	}
 	if ca.Blocker != sa.Blocker || ca.Reason != sa.Reason {
-		t.Fatalf("t%d.op%d %s: coarse abort (%s, blocker %d) striped abort (%s, blocker %d)",
+		t.Fatalf("t%d.op%d %s: ref abort (%s, blocker %d) subj abort (%s, blocker %d)",
 			id, opIdx, what, ca.Reason, ca.Blocker, sa.Reason, sa.Blocker)
+	}
+}
+
+// assertPairEquiv runs the workload through the pair and checks final
+// stores, durable watermarks and D-serializability of the committed log.
+func assertPairEquiv(t *testing.T, pair *equivPair, wcfg workload.Config, seed int64) {
+	t.Helper()
+	wcfg.Seed = seed
+	log := runEquivWorkload(t, pair, wcfg.Generate(), seed*977)
+	cs, ss := pair.rstore.State(), pair.store.State()
+	if !reflect.DeepEqual(cs.Data, ss.Data) {
+		t.Fatalf("final stores differ:\nref  %v\nsubj %v", cs.Data, ss.Data)
+	}
+	if !reflect.DeepEqual(cs.ItemVers, ss.ItemVers) || cs.Version != ss.Version {
+		t.Fatalf("store versions differ: ref v%d %v, subj v%d %v",
+			cs.Version, cs.ItemVers, ss.Version, ss.ItemVers)
+	}
+	// Protocol-level parity: the durable counter watermarks every
+	// engine-backed adapter exports must agree.
+	cl, cu := pair.ref.(sched.DurableCounters).WALCounters()
+	sl, su := pair.subj.(sched.DurableCounters).WALCounters()
+	if cl != sl || cu != su {
+		t.Fatalf("watermarks: ref (%d,%d) subj (%d,%d)", cl, cu, sl, su)
+	}
+	// Every committed log must be DSR (serializable in the paper's
+	// D-serializability sense, checked via the internal/graph
+	// dependency machinery).
+	if !classify.DSR(log) {
+		t.Fatalf("committed log is not DSR: %v", log)
 	}
 }
 
@@ -176,52 +210,79 @@ func equivWorkloads() map[string]workload.Config {
 		"uniform":   {Txns: 24, OpsPerTxn: 4, Items: 64, ReadFraction: 0.6},
 		"contended": {Txns: 24, OpsPerTxn: 4, Items: 4, ReadFraction: 0.5},
 		"zipf":      {Txns: 24, OpsPerTxn: 3, Items: 32, ReadFraction: 0.5, ZipfS: 1.4},
-		"hotspot":   {Txns: 20, OpsPerTxn: 4, Items: 32, ReadFraction: 0.5, HotItems: 2, HotFraction: 0.6},
+		"hotspot":   {Txns: 20, OpsPerTxn: 4, Items: 32, HotItems: 2, HotFraction: 0.6, ReadFraction: 0.5},
 		"twostep":   {Txns: 30, Items: 16, TwoStep: true},
 	}
 }
 
-// TestStripedEquivalence is the differential suite: for every protocol
-// variant × workload × seed, the striped adapter must produce exactly
-// the reference adapter's behaviour, the two stores must end
+// TestStripedEquivalence is the MT(k) differential suite: for every
+// protocol variant × workload × seed, the striped adapter must produce
+// exactly the reference adapter's behaviour, the two stores must end
 // identical, and the committed log must be DSR.
 func TestStripedEquivalence(t *testing.T) {
 	variants := map[string]sched.MTOptions{
-		"k2-immediate":    {Core: core.Options{K: 2}},
-		"k2-deferred":     {Core: core.Options{K: 2}, DeferWrites: true},
-		"k3-immediate":    {Core: core.Options{K: 3, StarvationAvoidance: true}},
-		"k3-deferred":     {Core: core.Options{K: 3, ThomasWriteRule: true, StarvationAvoidance: true}, DeferWrites: true},
-		"k1-deferred":     {Core: core.Options{K: 1}, DeferWrites: true},
-		"k2-hot-deferred": {Core: core.Options{K: 2, HotThreshold: 4}, DeferWrites: true},
+		"k2-immediate":    {Core: engine.Options{K: 2}},
+		"k2-deferred":     {Core: engine.Options{K: 2}, DeferWrites: true},
+		"k3-immediate":    {Core: engine.Options{K: 3, StarvationAvoidance: true}},
+		"k3-deferred":     {Core: engine.Options{K: 3, ThomasWriteRule: true, StarvationAvoidance: true}, DeferWrites: true},
+		"k1-deferred":     {Core: engine.Options{K: 1}, DeferWrites: true},
+		"k2-hot-deferred": {Core: engine.Options{K: 2, HotThreshold: 4}, DeferWrites: true},
 	}
 	for vname, opts := range variants {
 		for wname, wcfg := range equivWorkloads() {
 			for seed := int64(1); seed <= 3; seed++ {
 				name := fmt.Sprintf("%s/%s/seed%d", vname, wname, seed)
 				t.Run(name, func(t *testing.T) {
-					wcfg.Seed = seed
-					pair := newRefPair(opts)
-					log := runEquivWorkload(t, pair, wcfg.Generate(), seed*977, opts.DeferWrites)
-					cs, ss := pair.cstore.State(), pair.sstore.State()
-					if !reflect.DeepEqual(cs.Data, ss.Data) {
-						t.Fatalf("final stores differ:\ncoarse  %v\nstriped %v", cs.Data, ss.Data)
-					}
-					if !reflect.DeepEqual(cs.ItemVers, ss.ItemVers) || cs.Version != ss.Version {
-						t.Fatalf("store versions differ: coarse v%d %v, striped v%d %v",
-							cs.Version, cs.ItemVers, ss.Version, ss.ItemVers)
-					}
-					// Protocol-level parity: counters and live vectors.
-					cl, cu := pair.coarse.Core().Counters()
-					sl, su := pair.striped.Striped().Counters()
-					if cl != sl || cu != su {
-						t.Fatalf("counters: coarse (%d,%d) striped (%d,%d)", cl, cu, sl, su)
-					}
-					// Every committed log must be DSR (serializable in the
-					// paper's D-serializability sense, checked via the
-					// internal/graph dependency machinery).
-					if !classify.DSR(log) {
-						t.Fatalf("committed log is not DSR: %v", log)
-					}
+					assertPairEquiv(t, newMTPair(opts), wcfg, seed)
+				})
+			}
+		}
+	}
+}
+
+// TestEngineVariantEquivalence extends the differential matrix to the
+// other engine-backed families: the MT(k1,k2) nested adapter, the
+// MT(k⁺) composite and the DMT(k) cluster, each coarse-reference vs
+// striped-subject, over the full workload × seed grid.
+func TestEngineVariantEquivalence(t *testing.T) {
+	pairs := map[string]func() *equivPair{
+		"nested-k2k2": func() *equivPair {
+			rs, ss := storage.New(), storage.New()
+			unit := func(txn, lvl int) int { return txn % 3 }
+			return &equivPair{
+				ref:      sched.NewNested(rs, sched.NestedOptions{Ks: []int{2, 2}, UnitOf: unit, Coarse: true}),
+				subj:     sched.NewNested(ss, sched.NestedOptions{Ks: []int{2, 2}, UnitOf: unit}),
+				rstore:   rs,
+				store:    ss,
+				deferred: true,
+			}
+		},
+		"composite-k3": func() *equivPair {
+			rs, ss := storage.New(), storage.New()
+			return &equivPair{
+				ref:      sched.NewCompositeCoarse(rs, 3, engine.Options{}),
+				subj:     sched.NewComposite(ss, 3, engine.Options{}),
+				rstore:   rs,
+				store:    ss,
+				deferred: true,
+			}
+		},
+		"dmt-k2-3sites": func() *equivPair {
+			rs, ss := storage.New(), storage.New()
+			return &equivPair{
+				ref:    sched.NewDMTCoarse(rs, dmt.Options{K: 2, Sites: 3}),
+				subj:   sched.NewDMT(ss, dmt.Options{K: 2, Sites: 3}),
+				rstore: rs,
+				store:  ss,
+			}
+		},
+	}
+	for pname, mk := range pairs {
+		for wname, wcfg := range equivWorkloads() {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/%s/seed%d", pname, wname, seed)
+				t.Run(name, func(t *testing.T) {
+					assertPairEquiv(t, mk(), wcfg, seed)
 				})
 			}
 		}
@@ -231,8 +292,9 @@ func TestStripedEquivalence(t *testing.T) {
 // TestStripedPartialRestartParity drives the Section VI-C-1 partial
 // rollback through both adapters and asserts the same outcome.
 func TestStripedPartialRestartParity(t *testing.T) {
-	opts := sched.MTOptions{Core: core.Options{K: 2, StarvationAvoidance: true}}
-	pair := newRefPair(opts)
+	opts := sched.MTOptions{Core: engine.Options{K: 2, StarvationAvoidance: true}}
+	rs, ss := storage.New(), storage.New()
+	coarse, striped := sched.NewMT(rs, opts), sched.NewMTStriped(ss, opts)
 	run := func(m sched.Scheduler, pr interface {
 		TryPartialRestart(int, []string) bool
 	}) (bool, error) {
@@ -262,15 +324,15 @@ func TestStripedPartialRestartParity(t *testing.T) {
 		}
 		return true, m.Commit(3)
 	}
-	cok, cerr := run(pair.coarse, pair.coarse)
-	sok, serr := run(pair.striped, pair.striped)
+	cok, cerr := run(coarse, coarse)
+	sok, serr := run(striped, striped)
 	if cok != sok || (cerr == nil) != (serr == nil) {
 		t.Fatalf("partial restart diverges: coarse (%v,%v) striped (%v,%v)", cok, cerr, sok, serr)
 	}
 	if !cok {
 		t.Fatal("partial restart failed on both (want success)")
 	}
-	if cv, sv := pair.cstore.Get("x"), pair.sstore.Get("x"); cv != sv {
+	if cv, sv := rs.Get("x"), ss.Get("x"); cv != sv {
 		t.Fatalf("x: coarse %d striped %d", cv, sv)
 	}
 }

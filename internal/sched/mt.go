@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/composite"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 	"repro/internal/storage"
 )
@@ -14,7 +15,7 @@ import (
 type MTOptions struct {
 	// Core carries the protocol options (K, ThomasWriteRule,
 	// StarvationAvoidance, hot-item encoding, ...).
-	Core core.Options
+	Core engine.Options
 	// DeferWrites enables the Section VI-C-2 scheme: writes are buffered
 	// and validated at commit, so WT(x) only ever names committed
 	// transactions and a committed transaction can never be aborted.
@@ -36,7 +37,7 @@ type mtTxn struct {
 type MT struct {
 	mu    sync.Mutex
 	opts  MTOptions
-	sched *core.Scheduler
+	sched *engine.Scheduler
 	store *storage.Store
 	txns  map[int]*mtTxn
 }
@@ -45,7 +46,7 @@ type MT struct {
 func NewMT(store *storage.Store, opts MTOptions) *MT {
 	return &MT{
 		opts:  opts,
-		sched: core.NewScheduler(opts.Core),
+		sched: engine.NewScheduler(opts.Core),
 		store: store,
 		txns:  make(map[int]*mtTxn),
 	}
@@ -184,7 +185,7 @@ func (m *MT) Abort(txn int) {
 }
 
 // Core exposes the underlying protocol scheduler (tests, diagnostics).
-func (m *MT) Core() *core.Scheduler { return m.sched }
+func (m *MT) Core() *engine.Scheduler { return m.sched }
 
 // TryPartialRestart implements the Section VI-C-1 partial rollback for a
 // transaction whose last operation was rejected: the vector is flushed
@@ -229,28 +230,43 @@ func (m *MT) TryPartialRestart(txn int, readItems []string) bool {
 type Composite struct {
 	mu      sync.Mutex
 	k       int
-	sub     core.Options
+	sub     engine.Options
 	sched   *composite.Scheduler
 	store   *storage.Store
-	latches *core.LatchTable
+	latches *core.LatchTable // nil in the coarse reference variant
 	txns    map[int]*mtTxn
 	epoch   uint64
 }
 
-// NewComposite returns an MT(k⁺) runtime scheduler (deferred writes).
-func NewComposite(store *storage.Store, k int, sub core.Options) *Composite {
+// NewComposite returns an MT(k⁺) runtime scheduler (deferred writes)
+// with the striped data path: item latches let storage accesses on
+// disjoint items overlap.
+func NewComposite(store *storage.Store, k int, sub engine.Options) *Composite {
+	c := NewCompositeCoarse(store, k, sub)
+	c.latches = core.NewLatchTable(engine.DefaultStripes)
+	return c
+}
+
+// NewCompositeCoarse returns the coarse MT(k⁺) runtime scheduler: every
+// store access runs under the protocol mutex, like the seed adapter.
+// It is the differential reference the striped variant benches against.
+func NewCompositeCoarse(store *storage.Store, k int, sub engine.Options) *Composite {
 	return &Composite{
-		k:       k,
-		sub:     sub,
-		sched:   composite.NewScheduler(composite.Options{K: k, Sub: sub}),
-		store:   store,
-		latches: core.NewLatchTable(core.DefaultStripes),
-		txns:    make(map[int]*mtTxn),
+		k:     k,
+		sub:   sub,
+		sched: composite.NewScheduler(composite.Options{K: k, Sub: sub}),
+		store: store,
+		txns:  make(map[int]*mtTxn),
 	}
 }
 
 // Name implements Scheduler.
-func (c *Composite) Name() string { return fmt.Sprintf("MT(%d+)", c.k) }
+func (c *Composite) Name() string {
+	if c.latches == nil {
+		return fmt.Sprintf("MT(%d+)/coarse", c.k)
+	}
+	return fmt.Sprintf("MT(%d+)", c.k)
+}
 
 // Begin implements Scheduler.
 func (c *Composite) Begin(txn int) {
@@ -275,23 +291,30 @@ func (c *Composite) step(st *mtTxn, txn int, op oplog.Op) error {
 	return nil
 }
 
-// Read implements Scheduler. The item's latch is held across the
-// protocol step and the store read; the store access itself happens
-// outside the protocol mutex, so reads of disjoint items overlap.
+// Read implements Scheduler. Striped: the item's latch is held across
+// the protocol step and the store read; the store access itself
+// happens outside the protocol mutex, so reads of disjoint items
+// overlap. Coarse: the store read stays under the protocol mutex.
 func (c *Composite) Read(txn int, item string) (int64, error) {
-	unlock := c.latches.Lock(item)
-	defer unlock()
+	if c.latches != nil {
+		unlock := c.latches.Lock(item)
+		defer unlock()
+	}
 	c.mu.Lock()
 	st := c.state(txn)
 	if v, ok := st.writes[item]; ok {
 		c.mu.Unlock()
 		return v, nil
 	}
-	err := c.step(st, txn, oplog.R(txn, item))
-	c.mu.Unlock()
-	if err != nil {
+	if err := c.step(st, txn, oplog.R(txn, item)); err != nil {
+		c.mu.Unlock()
 		return 0, err
 	}
+	if c.latches == nil {
+		defer c.mu.Unlock()
+		return c.store.Get(item), nil
+	}
+	c.mu.Unlock()
 	return c.store.Get(item), nil
 }
 
@@ -318,8 +341,10 @@ func (c *Composite) Commit(txn int) error {
 	st := c.state(txn)
 	order := append([]string(nil), st.order...)
 	c.mu.Unlock()
-	unlock := c.latches.Lock(order...)
-	defer unlock()
+	if c.latches != nil {
+		unlock := c.latches.Lock(order...)
+		defer unlock()
+	}
 	c.mu.Lock()
 	// Re-check under the latches: a stray incarnation (abandoned timeout
 	// goroutine) may have aborted or replaced this id meanwhile.
@@ -341,6 +366,12 @@ func (c *Composite) Commit(txn int) error {
 	}
 	c.sched.Commit(txn)
 	delete(c.txns, txn)
+	if c.latches == nil {
+		// Coarse reference: publish under the protocol mutex.
+		defer c.mu.Unlock()
+		c.store.ApplyTxn(txn, writes)
+		return nil
+	}
 	c.mu.Unlock()
 	c.store.ApplyTxn(txn, writes)
 	return nil

@@ -5,13 +5,13 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/storage"
 )
 
 func TestMTCommitPublishes(t *testing.T) {
 	st := storage.New()
-	m := NewMT(st, MTOptions{Core: core.Options{K: 2}})
+	m := NewMT(st, MTOptions{Core: engine.Options{K: 2}})
 	m.Begin(1)
 	if _, err := m.Read(1, "x"); err != nil {
 		t.Fatal(err)
@@ -31,7 +31,7 @@ func TestMTCommitPublishes(t *testing.T) {
 }
 
 func TestMTReadYourOwnWrite(t *testing.T) {
-	m := NewMT(storage.New(), MTOptions{Core: core.Options{K: 2}})
+	m := NewMT(storage.New(), MTOptions{Core: engine.Options{K: 2}})
 	m.Begin(1)
 	if err := m.Write(1, "x", 3); err != nil {
 		t.Fatal(err)
@@ -44,19 +44,19 @@ func TestMTReadYourOwnWrite(t *testing.T) {
 
 func TestMTNames(t *testing.T) {
 	st := storage.New()
-	if got := NewMT(st, MTOptions{Core: core.Options{K: 3}}).Name(); got != "MT(3)" {
+	if got := NewMT(st, MTOptions{Core: engine.Options{K: 3}}).Name(); got != "MT(3)" {
 		t.Fatalf("Name = %q", got)
 	}
-	if got := NewMT(st, MTOptions{Core: core.Options{K: 3}, DeferWrites: true}).Name(); got != "MT(3)/deferred" {
+	if got := NewMT(st, MTOptions{Core: engine.Options{K: 3}, DeferWrites: true}).Name(); got != "MT(3)/deferred" {
 		t.Fatalf("Name = %q", got)
 	}
-	if got := NewComposite(st, 2, core.Options{}).Name(); got != "MT(2+)" {
+	if got := NewComposite(st, 2, engine.Options{}).Name(); got != "MT(2+)" {
 		t.Fatalf("Name = %q", got)
 	}
 }
 
 func TestMTImmediateRejectsConflictingWrite(t *testing.T) {
-	m := NewMT(storage.New(), MTOptions{Core: core.Options{K: 2}})
+	m := NewMT(storage.New(), MTOptions{Core: engine.Options{K: 2}})
 	// Fig. 5 shape: W1[x] W2[x] R3[y] then W3[x] must abort.
 	m.Begin(1)
 	if err := m.Write(1, "x", 1); err != nil {
@@ -87,7 +87,7 @@ func TestMTImmediateRejectsConflictingWrite(t *testing.T) {
 }
 
 func TestMTDeferredValidatesAtCommit(t *testing.T) {
-	m := NewMT(storage.New(), MTOptions{Core: core.Options{K: 2}, DeferWrites: true})
+	m := NewMT(storage.New(), MTOptions{Core: engine.Options{K: 2}, DeferWrites: true})
 	m.Begin(3)
 	if _, err := m.Read(3, "y"); err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestMTDeferredValidatesAtCommit(t *testing.T) {
 
 func TestMTStarvationFixAcrossRetries(t *testing.T) {
 	m := NewMT(storage.New(), MTOptions{
-		Core: core.Options{K: 2, StarvationAvoidance: true},
+		Core: engine.Options{K: 2, StarvationAvoidance: true},
 	})
 	m.Begin(1)
 	m.Write(1, "x", 1)
@@ -150,7 +150,7 @@ func TestMTStarvationFixAcrossRetries(t *testing.T) {
 
 func TestMTThomasRuleDropsWrite(t *testing.T) {
 	st := storage.New()
-	m := NewMT(st, MTOptions{Core: core.Options{K: 2, ThomasWriteRule: true}})
+	m := NewMT(st, MTOptions{Core: engine.Options{K: 2, ThomasWriteRule: true}})
 	// Build TS(2) < TS(1) via a read-write conflict on z (T2 reads, T1
 	// writes — no dirty read involved), then T1 writes x and commits;
 	// T2's obsolete write of x is accepted-and-ignored.
@@ -183,7 +183,7 @@ func TestMTThomasRuleDropsWrite(t *testing.T) {
 }
 
 func TestMTBeginWithoutOpPanic(t *testing.T) {
-	m := NewMT(storage.New(), MTOptions{Core: core.Options{K: 2}})
+	m := NewMT(storage.New(), MTOptions{Core: engine.Options{K: 2}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for op without Begin")
@@ -194,7 +194,7 @@ func TestMTBeginWithoutOpPanic(t *testing.T) {
 
 func TestCompositeRuntimeBasic(t *testing.T) {
 	st := storage.New()
-	c := NewComposite(st, 2, core.Options{})
+	c := NewComposite(st, 2, engine.Options{})
 	c.Begin(1)
 	if _, err := c.Read(1, "x"); err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestCompositeRuntimeBasic(t *testing.T) {
 
 func TestCompositeEpochRestart(t *testing.T) {
 	st := storage.New()
-	c := NewComposite(st, 1, core.Options{}) // single subprotocol: easy to stop
+	c := NewComposite(st, 1, engine.Options{}) // single subprotocol: easy to stop
 	// Drive MT(1) into a reject: Fig. 5 shape.
 	c.Begin(1)
 	c.Write(1, "x", 1)
@@ -258,7 +258,7 @@ func TestCompositeEpochRestart(t *testing.T) {
 
 func TestMTConcurrentUse(t *testing.T) {
 	st := storage.New()
-	m := NewMT(st, MTOptions{Core: core.Options{K: 3, StarvationAvoidance: true}})
+	m := NewMT(st, MTOptions{Core: engine.Options{K: 3, StarvationAvoidance: true}})
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	committed := 0

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dmt"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 	"repro/internal/sched"
 	"repro/internal/storage"
@@ -114,7 +115,7 @@ func TestStripedStressRace(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/k%d", mode.name, k), func(t *testing.T) {
 				st := storage.New()
 				m := sched.NewMTStriped(st, sched.MTOptions{
-					Core:        core.Options{K: k, StarvationAvoidance: true},
+					Core:        engine.Options{K: k, StarvationAvoidance: true},
 					DeferWrites: mode.deferred,
 				})
 				runStorm(t, m, 8, 40, 24, int64(k)*31+1)
@@ -134,7 +135,7 @@ func TestStripedStressRace(t *testing.T) {
 func TestStripedStressSerializable(t *testing.T) {
 	st := storage.New()
 	m := sched.NewMTStriped(st, sched.MTOptions{
-		Core:        core.Options{K: 3, StarvationAvoidance: true},
+		Core:        engine.Options{K: 3, StarvationAvoidance: true},
 		DeferWrites: true,
 	})
 	var mu sync.Mutex
@@ -258,13 +259,13 @@ func TestBankInvariantUnderStress(t *testing.T) {
 		build func(st *storage.Store) sched.Scheduler
 	}{
 		{"striped-immediate", func(st *storage.Store) sched.Scheduler {
-			return sched.NewMTStriped(st, sched.MTOptions{Core: core.Options{K: 3, StarvationAvoidance: true}})
+			return sched.NewMTStriped(st, sched.MTOptions{Core: engine.Options{K: 3, StarvationAvoidance: true}})
 		}},
 		{"striped-deferred", func(st *storage.Store) sched.Scheduler {
-			return sched.NewMTStriped(st, sched.MTOptions{Core: core.Options{K: 3, StarvationAvoidance: true}, DeferWrites: true})
+			return sched.NewMTStriped(st, sched.MTOptions{Core: engine.Options{K: 3, StarvationAvoidance: true}, DeferWrites: true})
 		}},
 		{"composite", func(st *storage.Store) sched.Scheduler {
-			return sched.NewComposite(st, 3, core.Options{})
+			return sched.NewComposite(st, 3, engine.Options{})
 		}},
 		{"dmt", func(st *storage.Store) sched.Scheduler {
 			return sched.NewDMT(st, dmt.Options{K: 3, Sites: 4})
@@ -282,7 +283,7 @@ func TestBankInvariantUnderStress(t *testing.T) {
 // then checks each subprotocol's k-th-column uniqueness.
 func TestCompositeStressRace(t *testing.T) {
 	st := storage.New()
-	c := sched.NewComposite(st, 2, core.Options{})
+	c := sched.NewComposite(st, 2, engine.Options{})
 	runStorm(t, c, 8, 30, 16, 11)
 	proto := c.Protocol()
 	for h := 1; h <= proto.K(); h++ {

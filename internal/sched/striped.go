@@ -5,11 +5,12 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/oplog"
 	"repro/internal/storage"
 )
 
-// MTStriped adapts the fine-grained-locking core.Striped scheduler to
+// MTStriped adapts the fine-grained-locking engine.Striped scheduler to
 // the runtime Scheduler interface. It is decision-for-decision
 // equivalent to MT (the coarse global-mutex adapter, retained as the
 // differential reference) but operations on disjoint items from
@@ -36,7 +37,7 @@ import (
 // while acquiring any of the above.
 type MTStriped struct {
 	opts  MTOptions
-	sched *core.Striped
+	sched *engine.Striped
 	store *storage.Store
 
 	tmu  sync.RWMutex
@@ -57,7 +58,7 @@ type stripedTxnState struct {
 func NewMTStriped(store *storage.Store, opts MTOptions) *MTStriped {
 	return &MTStriped{
 		opts:  opts,
-		sched: core.NewStriped(opts.Core),
+		sched: engine.NewStriped(opts.Core),
 		store: store,
 		txns:  make(map[int]*stripedTxnState),
 	}
@@ -222,22 +223,18 @@ func (m *MTStriped) Abort(txn int) {
 
 // Striped exposes the underlying protocol scheduler (tests,
 // diagnostics).
-func (m *MTStriped) Striped() *core.Striped { return m.sched }
+func (m *MTStriped) Striped() *engine.Striped { return m.sched }
 
 // K returns the protocol's vector size (crash-harness restart
 // discovery; MT exposes the same via Core().K()).
 func (m *MTStriped) K() int { return m.opts.Core.K }
 
-// WALCounters implements DurableCounters. Like MT, lcount runs
-// downward so its watermark is the negation. The striped core's
+// WALCounters implements DurableCounters. The striped engine's
 // counter lock is safe to take here: the journal hook runs under the
 // store's commit mutex while the committing goroutine holds item
 // latches and transaction-entry locks, all of which order BEFORE the
 // counter lock.
-func (m *MTStriped) WALCounters() (lo, hi int64) {
-	l, u := m.sched.Counters()
-	return -l, u
-}
+func (m *MTStriped) WALCounters() (lo, hi int64) { return m.sched.Watermarks() }
 
 // SeedWALCounters implements DurableCounters (atomic raise-only clamp).
 func (m *MTStriped) SeedWALCounters(lo, hi int64) { m.sched.SeedCounters(lo, hi) }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -52,7 +53,7 @@ type CrashPointConfig struct {
 	// have consumed durably — the counter re-issue check.
 	RestartSpecs []txn.Spec
 	// NewTracedScheduler builds the post-recovery scheduler with a core
-	// trace attached (MT-family schedulers route core.Options.Trace).
+	// trace attached (MT-family schedulers route engine.Options.Trace).
 	NewTracedScheduler func(*storage.Store, func(core.Event)) sched.Scheduler
 }
 
@@ -253,7 +254,7 @@ func RunCrashPoint(cfg CrashPointConfig) *CrashPointReport {
 		} else {
 			rep.violate("restart scheduler lacks DurableCounters")
 		}
-		if mt, ok := traced.(interface{ Core() *core.Scheduler }); ok {
+		if mt, ok := traced.(interface{ Core() *engine.Scheduler }); ok {
 			k = mt.Core().K()
 		} else if kk, ok := traced.(interface{ K() int }); ok {
 			// Striped schedulers have no coarse core; they expose K directly.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dmt"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -42,7 +43,7 @@ func crashBase() Config {
 	return Config{
 		NewScheduler: func(s *storage.Store) sched.Scheduler {
 			return sched.NewMT(s, sched.MTOptions{
-				Core:        core.Options{K: 1, StarvationAvoidance: true},
+				Core:        engine.Options{K: 1, StarvationAvoidance: true},
 				DeferWrites: true,
 			})
 		},
@@ -64,7 +65,7 @@ func restartPhase() ([]txn.Spec, func(*storage.Store, func(core.Event)) sched.Sc
 	}
 	build := func(s *storage.Store, trace func(core.Event)) sched.Scheduler {
 		return sched.NewMT(s, sched.MTOptions{
-			Core:        core.Options{K: 1, StarvationAvoidance: true, Trace: trace},
+			Core:        engine.Options{K: 1, StarvationAvoidance: true, Trace: trace},
 			DeferWrites: true,
 		})
 	}
@@ -216,7 +217,7 @@ func stripedCrashConfig(crashAt, seed int64) CrashPointConfig {
 	base.Workers = 6
 	base.NewScheduler = func(s *storage.Store) sched.Scheduler {
 		return sched.NewMTStriped(s, sched.MTOptions{
-			Core:        core.Options{K: 1, StarvationAvoidance: true},
+			Core:        engine.Options{K: 1, StarvationAvoidance: true},
 			DeferWrites: true,
 		})
 	}
@@ -227,7 +228,7 @@ func stripedCrashConfig(crashAt, seed int64) CrashPointConfig {
 	}
 	build := func(s *storage.Store, trace func(core.Event)) sched.Scheduler {
 		return sched.NewMTStriped(s, sched.MTOptions{
-			Core:        core.Options{K: 1, StarvationAvoidance: true, Trace: trace},
+			Core:        engine.Options{K: 1, StarvationAvoidance: true, Trace: trace},
 			DeferWrites: true,
 		})
 	}
@@ -281,7 +282,7 @@ func TestStoreLatencyConfig(t *testing.T) {
 		cfg := crashBase()
 		cfg.NewScheduler = func(s *storage.Store) sched.Scheduler {
 			return sched.NewMTStriped(s, sched.MTOptions{
-				Core:        core.Options{K: 2, StarvationAvoidance: true},
+				Core:        engine.Options{K: 2, StarvationAvoidance: true},
 				DeferWrites: true,
 			})
 		}

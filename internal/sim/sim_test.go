@@ -4,7 +4,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/interval"
 	"repro/internal/lock"
 	"repro/internal/occ"
@@ -20,14 +20,14 @@ import (
 func allSchedulers() map[string]func(*storage.Store) sched.Scheduler {
 	return map[string]func(*storage.Store) sched.Scheduler{
 		"MT(3)": func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 3, StarvationAvoidance: true}})
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 3, StarvationAvoidance: true}})
 		},
 		"MT(3)/deferred": func(st *storage.Store) sched.Scheduler {
 			return sched.NewMT(st, sched.MTOptions{
-				Core: core.Options{K: 3, StarvationAvoidance: true}, DeferWrites: true})
+				Core: engine.Options{K: 3, StarvationAvoidance: true}, DeferWrites: true})
 		},
 		"MT(3+)": func(st *storage.Store) sched.Scheduler {
-			return sched.NewComposite(st, 3, core.Options{StarvationAvoidance: true})
+			return sched.NewComposite(st, 3, engine.Options{StarvationAvoidance: true})
 		},
 		"2PL":      func(st *storage.Store) sched.Scheduler { return lock.NewTwoPL(st) },
 		"TO(1)":    func(st *storage.Store) sched.Scheduler { return tsto.New(st, tsto.Options{}) },
@@ -69,7 +69,7 @@ func TestReportMath(t *testing.T) {
 		NewScheduler: func(st *storage.Store) sched.Scheduler {
 			// Note: no starvation fix here, so retries must be bounded —
 			// unbounded retry can loop forever on the Fig. 5 pattern.
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2}})
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 2}})
 		},
 		Specs:       workload.Config{Txns: 20, OpsPerTxn: 2, Items: 50, ReadFraction: 0.5, Seed: 1}.Generate(),
 		Workers:     4,
@@ -117,7 +117,7 @@ func TestMTProgressUnderContention(t *testing.T) {
 	rep := Run(Config{
 		NewScheduler: func(st *storage.Store) sched.Scheduler {
 			return sched.NewMT(st, sched.MTOptions{
-				Core: core.Options{K: 3, StarvationAvoidance: true}})
+				Core: engine.Options{K: 3, StarvationAvoidance: true}})
 		},
 		Specs:       workload.Config{Txns: 80, OpsPerTxn: 3, Items: 4, ReadFraction: 0.6, Seed: 5}.Generate(),
 		Workers:     8,
@@ -163,7 +163,7 @@ func TestSerialExecutionNeverAborts(t *testing.T) {
 func TestMT1SerialNeverAborts(t *testing.T) {
 	rep := Run(Config{
 		NewScheduler: func(st *storage.Store) sched.Scheduler {
-			return sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 1}})
+			return sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 1}})
 		},
 		Specs:   workload.Config{Txns: 50, OpsPerTxn: 4, Items: 5, ReadFraction: 0.5, Seed: 3}.Generate(),
 		Workers: 1,
@@ -175,7 +175,7 @@ func TestMT1SerialNeverAborts(t *testing.T) {
 
 func TestPoolResultOrdering(t *testing.T) {
 	st := storage.New()
-	rt := &txn.Runtime{Sched: sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2}})}
+	rt := &txn.Runtime{Sched: sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 2}})}
 	specs := []txn.Spec{{ID: 5, Ops: []txn.Op{txn.W("x")}}, {ID: 9, Ops: []txn.Op{txn.W("y")}}}
 	res := rt.Pool(specs, 2)
 	if res[0].ID != 5 || res[1].ID != 9 {

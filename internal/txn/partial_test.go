@@ -3,7 +3,7 @@ package txn
 import (
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/storage"
 )
@@ -12,7 +12,7 @@ import (
 // T2 write x, T3 has read y and will be rejected writing x.
 func buildBlockedT3(t *testing.T, st *storage.Store) *sched.MT {
 	t.Helper()
-	m := sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2, StarvationAvoidance: true}})
+	m := sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 2, StarvationAvoidance: true}})
 	for _, w := range []int{1, 2} {
 		m.Begin(w)
 		if err := m.Write(w, "x", int64(w)); err != nil {
@@ -95,7 +95,7 @@ func TestPartialRollbackDisabledWithoutStore(t *testing.T) {
 
 func TestPartialRollbackNeedsStarvationAvoidance(t *testing.T) {
 	st := storage.New()
-	m := sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 2}}) // fix off
+	m := sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 2}}) // fix off
 	for _, w := range []int{1, 2} {
 		m.Begin(w)
 		m.Write(w, "x", int64(w))
@@ -119,7 +119,7 @@ func TestPartialRollbackReducesWastedOps(t *testing.T) {
 	// deterministic single-threaded conflict pattern.
 	run := func(partial bool) int {
 		st := storage.New()
-		m := sched.NewMT(st, sched.MTOptions{Core: core.Options{K: 9, StarvationAvoidance: true}})
+		m := sched.NewMT(st, sched.MTOptions{Core: engine.Options{K: 9, StarvationAvoidance: true}})
 		// Pre-commit writers on the tail item so the victim gets blocked.
 		for _, w := range []int{101, 102} {
 			m.Begin(w)

@@ -3,14 +3,14 @@ package txn
 import (
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
 func mt(st *storage.Store) sched.Scheduler {
 	return sched.NewMT(st, sched.MTOptions{
-		Core: core.Options{K: 3, StarvationAvoidance: true},
+		Core: engine.Options{K: 3, StarvationAvoidance: true},
 	})
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/composite"
 	"repro/internal/core"
 	"repro/internal/dmt"
+	"repro/internal/engine"
 	"repro/internal/nested"
 	"repro/internal/oplog"
 	"repro/internal/vecproc"
@@ -96,10 +97,10 @@ func IntElem(v int64) VectorElem { return core.Int(v) }
 // The protocol MT(k).
 type (
 	// MTScheduler is the MT(k) concurrency controller of Algorithm 1.
-	MTScheduler = core.Scheduler
+	MTScheduler = engine.Scheduler
 	// MTOptions configures MT(k): vector size K, ThomasWriteRule,
 	// StarvationAvoidance, RelaxedReadCheck and hot-item encoding.
-	MTOptions = core.Options
+	MTOptions = engine.Options
 	// SchedulerDecision is the verdict on one scheduled operation.
 	SchedulerDecision = core.Decision
 	// Verdict is Accept, AcceptIgnored or Reject.
@@ -114,11 +115,11 @@ const (
 )
 
 // NewMT returns an MT(k) scheduler (offline recognizer / building block).
-func NewMT(opts MTOptions) *MTScheduler { return core.NewScheduler(opts) }
+func NewMT(opts MTOptions) *MTScheduler { return engine.NewScheduler(opts) }
 
 // Accepts reports whether MT(k) accepts the log, i.e. whether the log is
 // in the class TO(k).
-func Accepts(k int, l *Log) bool { return core.Accepts(k, l) }
+func Accepts(k int, l *Log) bool { return engine.Accepts(k, l) }
 
 // The composite protocol MT(k⁺) of Section IV.
 type (

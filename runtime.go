@@ -2,7 +2,7 @@ package mdts
 
 import (
 	"repro/internal/adaptive"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/interval"
 	"repro/internal/lock"
 	"repro/internal/mvmt"
@@ -69,9 +69,28 @@ func NewMTRuntime(store *Store, opts MTOptions, deferWrites bool) RuntimeSchedul
 	return sched.NewMT(store, sched.MTOptions{Core: opts, DeferWrites: deferWrites})
 }
 
+// NewMTStripedRuntime returns the fine-grained-locking MT(k) runtime
+// scheduler (decision-for-decision equivalent to NewMTRuntime).
+func NewMTStripedRuntime(store *Store, opts MTOptions, deferWrites bool) RuntimeScheduler {
+	return sched.NewMTStriped(store, sched.MTOptions{Core: opts, DeferWrites: deferWrites})
+}
+
 // NewCompositeRuntime returns the MT(k⁺) runtime scheduler.
 func NewCompositeRuntime(store *Store, k int, sub MTOptions) RuntimeScheduler {
 	return sched.NewComposite(store, k, sub)
+}
+
+// NewNestedRuntime returns the hierarchical MT(k1, ..., kl) runtime
+// scheduler (deferred writes, striped data path). A nil unitOf puts
+// every transaction in one group, reducing the protocol to MT(ks[0]).
+func NewNestedRuntime(store *Store, ks []int, unitOf func(txn, lvl int) int) RuntimeScheduler {
+	return sched.NewNested(store, sched.NestedOptions{Ks: ks, UnitOf: unitOf})
+}
+
+// NewDMTRuntime returns the DMT(k) runtime scheduler over a cluster of
+// simulated sites (striped data path).
+func NewDMTRuntime(store *Store, opts DMTOptions) RuntimeScheduler {
+	return sched.NewDMT(store, opts)
 }
 
 // NewTwoPLRuntime returns the strict two-phase-locking baseline.
@@ -152,5 +171,5 @@ func DefaultMTOptions(expectedOps int) MTOptions {
 	if k < 1 {
 		k = 1
 	}
-	return core.Options{K: k, StarvationAvoidance: true}
+	return engine.Options{K: k, StarvationAvoidance: true}
 }

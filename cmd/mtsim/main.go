@@ -35,7 +35,15 @@
 // Chaos runs are reproducible: the fault schedule is a pure function of
 // (-faultseed, plan, -sites) and retry jitter of (-seed), so re-running
 // with identical flags replays the identical schedule — the tool prints
-// the decision list so two runs can be diffed.
+// the decision list and a repro header (effective seeds plus the planned
+// fault schedule) so two runs can be diffed.
+//
+// With -partition <plan>, the tool runs the plan twice on the same
+// seeds — fail-fast vs degraded-mode parked commits — and compares
+// commit availability during the degraded windows. Plans with
+// partitions: partition, partition-asym, partition-crash. Add -sitewal
+// to give every DMT site a durable counter-lease sidecar so a
+// recovering site reseeds its own counters without help from survivors.
 package main
 
 import (
@@ -80,6 +88,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	sites := flag.Int("sites", 4, "DMT(k) site count (dmt scheduler and -chaos)")
 	chaos := flag.String("chaos", "", "fault plan for a DMT(k) chaos run: "+strings.Join(fault.PlanNames(), "|"))
+	partition := flag.String("partition", "", "partition-tolerance A/B: run the named fault plan twice on the same seeds, fail-fast vs degraded parked commits, and compare commit availability")
+	siteWAL := flag.Bool("sitewal", false, "give every DMT site a durable counter-lease sidecar (-chaos/-partition)")
 	faultSeed := flag.Int64("faultseed", 1, "fault-injection seed (-chaos)")
 	unavailBudget := flag.Int("unavailbudget", 64, "per-transaction unavailability retry budget (-chaos)")
 	walDir := flag.String("wal", "", "write-ahead log directory: enables durable commits")
@@ -97,8 +107,12 @@ func main() {
 		Seed: *seed,
 	}.Generate()
 
+	if *partition != "" {
+		os.Exit(runPartition(specs, *partition, *k, *sites, *workers, *maxAttempts,
+			*unavailBudget, *seed, *faultSeed, *siteWAL))
+	}
 	if *chaos != "" {
-		runChaos(specs, *chaos, *k, *sites, *workers, *maxAttempts, *unavailBudget, *seed, *faultSeed)
+		runChaos(specs, *chaos, *k, *sites, *workers, *maxAttempts, *unavailBudget, *seed, *faultSeed, *siteWAL)
 		return
 	}
 
@@ -254,21 +268,56 @@ func runCrashHarness(name string, factory func(*storage.Store) sched.Scheduler,
 	}
 }
 
+// reproLines renders the replay header every chaos/partition report
+// carries: the effective seeds plus the planned fault schedule, so a
+// failing run is reproducible from its log alone.
+func reproLines(flagName, planName string, plan fault.Plan, inj *fault.Injector, k, sites, txns int, seed, faultSeed int64) []string {
+	lines := []string{
+		fmt.Sprintf("repro: mtsim -%s %s -sites %d -k %d -txns %d -seed %d -faultseed %d",
+			flagName, planName, sites, k, txns, seed, faultSeed),
+	}
+	var lastAt int64
+	for _, ev := range plan.Events {
+		if ev.At > lastAt {
+			lastAt = ev.At
+		}
+	}
+	for _, l := range inj.PlannedSchedule(lastAt) {
+		lines = append(lines, "  planned: "+l)
+	}
+	return lines
+}
+
+// durableOpts builds the per-site sidecar options for -sitewal runs:
+// an in-memory disk per invocation (the sites' crashes are logical, the
+// process survives, so MemFS models per-site stable storage exactly).
+func durableOpts(siteWAL bool, dir string, faultSeed int64) *dmt.DurableOptions {
+	if !siteWAL {
+		return nil
+	}
+	return &dmt.DurableOptions{FS: wal.NewMemFS(faultSeed, 0), Dir: dir}
+}
+
 // runChaos executes the workload on DMT(k) under a named fault plan and
 // reports the degraded-mode picture: commit rate, unavailability aborts,
 // gave-up transactions, injector counters and recovery latency.
-func runChaos(specs []txn.Spec, planName string, k, sites, workers, maxAttempts, unavailBudget int, seed, faultSeed int64) {
+func runChaos(specs []txn.Spec, planName string, k, sites, workers, maxAttempts, unavailBudget int, seed, faultSeed int64, siteWAL bool) {
 	plan, err := fault.PlanByName(planName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mtsim: %v\n", err)
 		os.Exit(2)
 	}
+	if err := plan.Validate(sites); err != nil {
+		fmt.Fprintf(os.Stderr, "mtsim: %v\n", err)
+		os.Exit(2)
+	}
 	inj := fault.New(plan, sites, faultSeed)
 	var d *sched.DMT
-	fmt.Printf("chaos: %s sites=%d faultseed=%d\n", plan, sites, faultSeed)
+	fmt.Printf("chaos: %s sites=%d seed=%d faultseed=%d\n", plan, sites, seed, faultSeed)
 	rep := sim.Run(sim.Config{
 		NewScheduler: func(st *storage.Store) sched.Scheduler {
-			d = sched.NewDMT(st, dmt.Options{K: k, Sites: sites, Transport: inj})
+			d = sched.NewDMT(st, dmt.Options{K: k, Sites: sites, Transport: inj,
+				Durable: durableOpts(siteWAL, "sitewal", faultSeed)})
 			return d
 		},
 		Specs:              specs,
@@ -279,8 +328,13 @@ func runChaos(specs []txn.Spec, planName string, k, sites, workers, maxAttempts,
 		UnavailableBudget:  unavailBudget,
 		UnavailableBackoff: 200 * time.Microsecond,
 		FaultStats:         inj.Stats(),
+		Repro:              reproLines("chaos", planName, plan, inj, k, sites, len(specs), seed, faultSeed),
 	})
+	defer d.Cluster().Close()
 	fmt.Println(rep)
+	for _, line := range rep.Repro {
+		fmt.Println(line)
+	}
 	fmt.Printf("commit-rate=%.3f unavailability-aborts=%d timeouts=%d gaveup=%d\n",
 		float64(rep.Committed)/float64(rep.Txns), rep.Unavailable, rep.Timeouts, rep.GaveUp)
 	fmt.Printf("cluster: messages=%d lock-retries=%d unavailable-steps=%d\n",
@@ -309,4 +363,83 @@ func runChaos(specs []txn.Spec, planName string, k, sites, workers, maxAttempts,
 			fmt.Printf("  ... %d more\n", len(sched)-len(shown))
 		}
 	}
+}
+
+// runPartition is the partition-tolerance A/B: the same workload runs
+// twice under the same fault plan and seeds — once fail-fast (a commit
+// whose home site is down aborts immediately) and once with degraded-
+// mode parked commits — and the tool compares commit availability
+// during the degraded windows. Both runs replay the identical fault
+// schedule (it is a pure function of the plan and -faultseed), so the
+// delta isolates the commit-path policy.
+func runPartition(specs []txn.Spec, planName string, k, sites, workers, maxAttempts,
+	unavailBudget int, seed, faultSeed int64, siteWAL bool) int {
+	plan, err := fault.PlanByName(planName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtsim: %v\n", err)
+		return 2
+	}
+	if err := plan.Validate(sites); err != nil {
+		fmt.Fprintf(os.Stderr, "mtsim: %v\n", err)
+		return 2
+	}
+	fmt.Printf("partition A/B: %s sites=%d seed=%d faultseed=%d sitewal=%v\n",
+		plan, sites, seed, faultSeed, siteWAL)
+
+	run := func(mode string, park bool) *sim.Report {
+		inj := fault.New(plan, sites, faultSeed)
+		var d *sched.DMT
+		rep := sim.Run(sim.Config{
+			NewScheduler: func(st *storage.Store) sched.Scheduler {
+				d = sched.NewDMT(st, dmt.Options{K: k, Sites: sites, Transport: inj,
+					Durable: durableOpts(siteWAL, "sitewal-"+mode, faultSeed)})
+				if park {
+					d.SetParking(sched.Parking{
+						Capacity: workers,
+						Deadline: 300 * time.Millisecond,
+						Seed:     seed,
+					})
+				}
+				return d
+			},
+			Specs:       specs,
+			Workers:     workers,
+			MaxAttempts: maxAttempts,
+			Backoff:     20 * time.Microsecond,
+			// Per-op think time gives transactions real duration, so they
+			// straddle fault boundaries the way long-lived clients do: a
+			// transaction that finished its reads before the crash reaches
+			// Commit while its home site is down — the exact window the
+			// fail-fast vs parked-commit policies differ on.
+			Think:              100 * time.Microsecond,
+			RuntimeSeed:        seed,
+			UnavailableBudget:  unavailBudget,
+			UnavailableBackoff: 200 * time.Microsecond,
+			FaultStats:         inj.Stats(),
+			Repro:              reproLines("partition", planName, plan, inj, k, sites, len(specs), seed, faultSeed),
+		})
+		rep.Name = rep.Name + "/" + mode
+		d.Cluster().Close()
+		fmt.Println(rep)
+		return rep
+	}
+
+	failfast := run("failfast", false)
+	degraded := run("degraded", true)
+	for _, line := range degraded.Repro {
+		fmt.Println(line)
+	}
+
+	avail := func(r *sim.Report) float64 {
+		if r.Degraded == nil {
+			return 1
+		}
+		return r.Degraded.Availability()
+	}
+	af, ad := avail(failfast), avail(degraded)
+	fmt.Printf("commit availability during degraded windows: fail-fast=%.3f degraded=%.3f delta=%+.3f\n",
+		af, ad, ad-af)
+	fmt.Printf("committed: fail-fast=%d/%d degraded=%d/%d\n",
+		failfast.Committed, failfast.Txns, degraded.Committed, degraded.Txns)
+	return 0
 }

@@ -38,6 +38,7 @@ package dmt
 import (
 	"fmt"
 	"hash/fnv"
+	"path"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/oplog"
+	"repro/internal/wal"
 )
 
 // Options configures a DMT(k) cluster.
@@ -65,8 +67,42 @@ type Options struct {
 	// the transport also implements SetHooks(fault.Hooks) — as
 	// *fault.Injector does — the cluster wires its crash/recovery
 	// handlers so scheduled site events drive the degraded-mode state
-	// machine. Nil models a perfect network.
+	// machine, and its heal handler re-synchronizes the counters so the
+	// skew a partition built up is bounded again. Nil models a perfect
+	// network.
 	Transport fault.Transport
+	// Durable, when non-nil, gives every site a durable counter-lease
+	// sidecar (wal.CounterLog): allocations are covered by a persisted
+	// write-ahead lease, and a recovering site reseeds its ucnt/lcnt
+	// from its OWN log — no-reissue no longer depends on reaching the
+	// survivors, which is what makes recovery partition-tolerant.
+	Durable *DurableOptions
+	// Health tunes the failure detector; the zero value uses defaults.
+	Health fault.HealthOptions
+}
+
+// DurableOptions configures the per-site counter sidecars.
+type DurableOptions struct {
+	// FS is the sidecar filesystem (wal.OSFS for real disks, wal.MemFS
+	// for crash-model tests and simulations).
+	FS wal.FS
+	// Dir is the root directory; site s logs under Dir/site<s>.
+	Dir string
+	// LeaseBatch is how many allocations one persisted lease covers
+	// (amortizes the fsync; default 64).
+	LeaseBatch int64
+}
+
+// sidecarDir names one site's durable directory.
+func (o *DurableOptions) sidecarDir(sidx int) string {
+	return path.Join(o.Dir, fmt.Sprintf("site%d", sidx))
+}
+
+func (o *DurableOptions) leaseBatch() int64 {
+	if o.LeaseBatch < 1 {
+		return 64
+	}
+	return o.LeaseBatch
 }
 
 // itemEntry is the per-item index record stored at the item's home site.
@@ -89,6 +125,15 @@ type site struct {
 	locks map[string]*sync.Mutex // item index-entry locks
 	done  map[int]bool           // finished transactions awaiting GC
 	down  bool                   // fail-stopped (degraded mode)
+
+	// inc is the incarnation lock: operations acting as this site hold
+	// it shared across their probe-allocate-publish span, and CrashSite
+	// holds it exclusively while it wipes the incarnation. Without it a
+	// step that passed its availability probes could allocate from the
+	// site's counter slot AFTER a drift crash reset it, re-issuing a
+	// consumed counter value — an interleaving a real fail-stop crash
+	// makes impossible (the crash kills in-flight work at the site).
+	inc sync.RWMutex
 }
 
 // journalRec is one accepted item-index update, the cluster's stable
@@ -113,6 +158,11 @@ type Cluster struct {
 	unavailable atomic.Int64 // operations failed fast on a down site
 	t0          *vecEntry
 
+	health *fault.Health // per-site failure detector, fed by access outcomes
+
+	smu      sync.Mutex        // guards sidecars (handles swap on crash/recover)
+	sidecars []*wal.CounterLog // per-site durable counter leases (Durable only)
+
 	jmu     sync.Mutex
 	journal []journalRec
 
@@ -133,6 +183,7 @@ func NewCluster(opts Options) *Cluster {
 		opts:        opts,
 		counters:    engine.NewSiteCounters(opts.Sites),
 		transport:   opts.Transport,
+		health:      fault.NewHealth(opts.Sites, opts.Health),
 		recoveredAt: make(map[int]time.Time),
 		recoveryLat: make(map[int]time.Duration),
 	}
@@ -148,10 +199,44 @@ func NewCluster(opts Options) *Cluster {
 	c.sites[0].vecs[0] = c.t0
 	// TS(0) = <0,*,...,*>: seed via a table trick — element 1 must be 0.
 	c.t0.vec = core.VectorOf(seedT0(opts.K)...)
+	if opts.Durable != nil {
+		c.sidecars = make([]*wal.CounterLog, opts.Sites)
+		for s := 0; s < opts.Sites; s++ {
+			log, err := wal.OpenCounterLog(opts.Durable.FS, opts.Durable.sidecarDir(s))
+			if err != nil {
+				panic(fmt.Sprintf("dmt: opening counter sidecar for site %d: %v", s, err))
+			}
+			c.sidecars[s] = log
+			u, l := log.Watermarks()
+			c.counters.SetDurable(s, u, l, opts.Durable.leaseBatch(), log.Extend)
+		}
+	}
 	if h, ok := opts.Transport.(interface{ SetHooks(fault.Hooks) }); ok {
-		h.SetHooks(fault.Hooks{OnCrash: c.CrashSite, OnRecover: c.RecoverSite})
+		h.SetHooks(fault.Hooks{
+			OnCrash:   c.CrashSite,
+			OnRecover: c.RecoverSite,
+			// A heal re-synchronizes the reachable sites' counters, bounding
+			// the skew the partition built up (the paper's "synchronize the
+			// counters periodically" at the moment it matters most).
+			OnHeal: func(groups [][]int) { c.SyncCounters() },
+		})
 	}
 	return c
+}
+
+// Close releases the durable sidecar handles (no-op without Durable).
+func (c *Cluster) Close() error {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	var first error
+	for _, log := range c.sidecars {
+		if log != nil {
+			if err := log.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 func seedT0(k int) []core.Elem {
@@ -189,15 +274,59 @@ func (c *Cluster) homeOfItem(x string) int {
 func (c *Cluster) access(acting, objHome int) error {
 	if c.transport != nil {
 		if err := c.transport.Send(acting, objHome); err != nil {
+			// Feed the failure detector: the failing site (down or behind a
+			// cut) accrues suspicion, so best-effort maintenance skips it.
+			if s := fault.SiteOf(err); s >= 0 {
+				c.health.Observe(s, false)
+			}
 			return err
 		}
 	} else if c.siteDown(objHome) {
+		c.health.Observe(objHome, false)
 		return &fault.Error{Site: objHome, Err: fault.ErrSiteDown}
 	}
+	c.health.Observe(objHome, true)
 	if acting != objHome {
 		c.messages.Add(2) // request + reply
 	}
 	return nil
+}
+
+// Health exposes the cluster's failure detector (reports, tests).
+func (c *Cluster) Health() *fault.Health { return c.health }
+
+// ProbeSite sends one probe to the site through the transport — it
+// advances the injector's logical clock, so pollers (parked commits,
+// counter sync) drive scheduled heal/recovery events forward even when
+// every worker is waiting. Returns nil if the site answered.
+func (c *Cluster) ProbeSite(sidx int) error {
+	if sidx < 0 || sidx >= len(c.sites) {
+		return &fault.Error{Site: sidx, Err: fault.ErrSiteDown}
+	}
+	if err := c.access(sidx, sidx); err != nil {
+		return err
+	}
+	if c.siteDown(sidx) {
+		c.health.Observe(sidx, false)
+		return &fault.Error{Site: sidx, Err: fault.ErrSiteDown}
+	}
+	return nil
+}
+
+// InDegradedWindow reports whether the cluster is currently degraded:
+// any site down, or any network partition active. Availability
+// experiments measure commit success against attempts made while this
+// holds.
+func (c *Cluster) InDegradedWindow() bool {
+	for i := range c.sites {
+		if !c.SiteUp(i) {
+			return true
+		}
+	}
+	if p, ok := c.transport.(interface{ Partitioned() bool }); ok && p.Partitioned() {
+		return true
+	}
+	return false
 }
 
 // siteDown reads the cluster-local fail-stop flag.
@@ -236,6 +365,12 @@ func (c *Cluster) CrashSite(sidx int, drift bool) {
 		return
 	}
 	s := c.sites[sidx]
+	// The incarnation write lock waits out every in-flight step acting
+	// as this site (each holds the read side across its allocation), so
+	// the counter reset below can never interleave with an allocation
+	// from the dying incarnation — see site.inc.
+	s.inc.Lock()
+	defer s.inc.Unlock()
 	s.mu.Lock()
 	s.down = true
 	// Fail-stop: the in-memory index is gone. Entry pointers held by
@@ -245,7 +380,18 @@ func (c *Cluster) CrashSite(sidx int, drift bool) {
 	s.mu.Unlock()
 	if drift {
 		c.counters.Reset(sidx)
+	} else {
+		// The lease hook's file handle dies with the site; the persisted
+		// lease survives on disk and RecoverSite reopens it.
+		c.counters.DetachDurable(sidx)
 	}
+	c.smu.Lock()
+	if c.sidecars != nil && c.sidecars[sidx] != nil {
+		_ = c.sidecars[sidx].Close()
+		c.sidecars[sidx] = nil
+	}
+	c.smu.Unlock()
+	c.health.Observe(sidx, false)
 }
 
 // RecoverSite brings a crashed site back: it rebuilds the item index by
@@ -287,18 +433,37 @@ func (c *Cluster) RecoverSite(sidx int) {
 		}
 	}
 	s.mu.Unlock()
-	// 2. Re-validate the counters: at least the surviving maxima, and
-	// strictly past every live element this site allocated.
+	// 2. Reseed from the site's OWN durable lease first: every counter the
+	// dead incarnation could have consumed lies below the lease it
+	// persisted before consuming, so this step alone guarantees the site
+	// re-issues nothing — even if every survivor is unreachable (the
+	// partition-tolerant half of recovery).
+	if c.opts.Durable != nil {
+		if log, err := wal.OpenCounterLog(c.opts.Durable.FS, c.opts.Durable.sidecarDir(sidx)); err == nil {
+			c.smu.Lock()
+			c.sidecars[sidx] = log
+			c.smu.Unlock()
+			u, l := log.Watermarks()
+			c.counters.SetDurable(sidx, u, l, c.opts.Durable.leaseBatch(), log.Extend)
+		}
+		// On open failure the site proceeds volatile; the survivor raise
+		// below still applies and DurableErr stays clear (no lease).
+	}
+	// 3. Best-effort re-validation against the population: at least the
+	// surviving maxima, and strictly past every live element this site
+	// allocated. Under a partition this may see a stale picture — safe,
+	// because the lease reseed above already rules out re-issue.
 	hiU, hiL := c.counters.MaxExcept(sidx)
 	aU, aL := c.allocatedBySite(sidx)
 	c.counters.RaiseSite(sidx, max(hiU, aU+1), max(hiL, aL+1))
 	s.mu.Lock()
 	s.down = false
 	s.mu.Unlock()
-	// 3. Stamp the recovery for latency reporting.
+	// 4. Stamp the recovery for latency reporting.
 	c.rmu.Lock()
 	c.recoveredAt[sidx] = time.Now()
 	c.rmu.Unlock()
+	c.health.Observe(sidx, true)
 }
 
 // allocatedBySite scans the k-th column of every live vector and returns
@@ -411,16 +576,28 @@ func (c *Cluster) Vector(i int) *core.Vector {
 	return e.vec.Clone()
 }
 
-// SyncCounters aligns every site's upper and lower counter to the
-// cluster maximum — the paper's periodic synchronization for fairness
+// SyncCounters aligns every reachable site's upper and lower counter to
+// their maximum — the paper's periodic synchronization for fairness
 // under unbalanced load. Both counters only ever advance, so syncing to
 // the maximum can never cause a site to re-issue a counter value it (or
 // any other site) already consumed; syncing the lower counter *down*
 // would do exactly that and break the global uniqueness of the k-th
-// column. Crashed sites are skipped: their counters are re-validated by
-// RecoverSite instead.
+// column.
+//
+// The skip set is the failure detector's: each site is probed through
+// the transport (one message, advancing the injector clock) and the
+// outcome feeds Health; sites that are down, partitioned away, or
+// already suspected are neither read nor written, so synchronization
+// degrades gracefully instead of blocking on unreachable sites. Crashed
+// sites re-validate in RecoverSite; partitioned sites catch up at the
+// heal (the OnHeal hook calls this again).
 func (c *Cluster) SyncCounters() {
-	c.counters.Sync(func(i int) bool { return c.siteDown(i) })
+	skip := make([]bool, len(c.sites))
+	for i := range c.sites {
+		reachable := c.access(0, i) == nil && !c.siteDown(i)
+		skip[i] = !reachable || c.health.Skip(i)
+	}
+	c.counters.Sync(func(i int) bool { return skip[i] })
 }
 
 // Counters returns the cluster-wide counter consumption watermarks:
@@ -579,6 +756,24 @@ func (c *Cluster) stepItem(acting, txn int, kind oplog.Kind, x string) (core.Ver
 				}
 			}
 		}
+		// Incarnation check: hold the acting site's incarnation lock
+		// across the decide-allocate-publish span. CrashSite performs its
+		// whole wipe (down flag, index, counter reset) under the write
+		// side, so either the crash already happened — the down re-check
+		// fails and nothing is decided — or it waits until this step's
+		// allocation is published. Without this a drift crash could reset
+		// the counter slot between the probes above and the allocation
+		// inside set(), re-issuing a consumed counter value. Taken after
+		// the transport probes: a probe may itself fire the scheduled
+		// crash of this site, whose handler takes the write side.
+		inc := &c.sites[acting].inc
+		inc.RLock()
+		if c.siteDown(acting) {
+			inc.RUnlock()
+			locks.release()
+			c.unavailable.Add(1)
+			return core.Unavailable, 0, acting
+		}
 		vi := c.vecOf(txn).vec
 		vrt, vwt := c.vecOf(rt).vec, c.vecOf(wt).vec
 		j, vj := rt, vrt
@@ -600,6 +795,7 @@ func (c *Cluster) stepItem(acting, txn int, kind oplog.Kind, x string) (core.Ver
 		} else {
 			verdict, blocker = core.Reject, j
 		}
+		inc.RUnlock()
 		locks.release()
 		return verdict, blocker, 0
 	}
@@ -640,8 +836,25 @@ func (c *Cluster) Abort(txn, blocker int) {
 		seed := b.V + 1
 		if c.opts.K == 1 {
 			// Column 1 is the distinct counter column: allocate the seed
-			// through the site counters so it stays globally unique.
-			seed = c.counters.For(c.homeOfTxn(txn)).AllocUpper(b.V)
+			// through the site counters so it stays globally unique. Hold
+			// the home site's incarnation read lock across the allocation
+			// so a concurrent drift crash cannot reset the slot mid-alloc
+			// (same discipline as stepItem). If the home site is already
+			// down the reseed is skipped entirely: allocating from a reset
+			// slot could re-issue a consumed value, and the starvation fix
+			// can wait for a post-recovery abort — the retry fails fast at
+			// its first step until then anyway.
+			hidx := c.homeOfTxn(txn)
+			home := c.sites[hidx]
+			home.inc.RLock()
+			if c.siteDown(hidx) {
+				home.inc.RUnlock()
+				second.mu.Unlock()
+				first.mu.Unlock()
+				return
+			}
+			seed = c.counters.For(hidx).AllocUpper(b.V)
+			home.inc.RUnlock()
 		}
 		et.vec.Reset()
 		et.vec.SetElem(1, seed)

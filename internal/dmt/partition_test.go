@@ -1,0 +1,281 @@
+package dmt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/oplog"
+	"repro/internal/wal"
+)
+
+// kthValues collects the defined k-th-column element of every listed
+// transaction (K=1 clusters: column 1 is the distinct counter column).
+func kthValues(t *testing.T, c *Cluster, txns []int) map[int64]int {
+	t.Helper()
+	seen := map[int64]int{}
+	for _, txn := range txns {
+		e := c.Vector(txn).Elem(1)
+		if !e.Defined {
+			continue
+		}
+		if prev, dup := seen[e.V]; dup {
+			t.Fatalf("duplicate k-th element %d for T%d and T%d", e.V, prev, txn)
+		}
+		seen[e.V] = txn
+	}
+	return seen
+}
+
+// The tentpole boundary test: at every partition, heal, crash and
+// recover boundary, the k-th column stays globally unique, counter
+// synchronization skips unreachable sites (their counters are neither
+// read nor written), and a heal followed by a sync re-bounds the skew
+// to zero. Run with -race.
+func TestPartitionBoundaryInvariants(t *testing.T) {
+	const sites = 4
+	inj := fault.New(fault.Plan{Name: "manual"}, sites, 3)
+	c := NewCluster(Options{K: 1, Sites: sites, Transport: inj})
+	var issued []int
+	step := func(txn int, item string) bool {
+		d := c.Step(oplog.W(txn, item))
+		if d.Verdict == core.Accept {
+			issued = append(issued, txn)
+			return true
+		}
+		return false
+	}
+
+	// Baseline load: every site allocates (txn n is homed at n mod sites,
+	// item "l<n>" lands wherever the hash puts it — acceptance is what
+	// matters, uniqueness is checked over whoever got an element).
+	txn := 1
+	for i := 0; i < 40; i++ {
+		step(txn, "a")
+		txn += 3 // walk the home sites
+	}
+	kthValues(t, c, issued)
+
+	// Boundary 1: partition site 1 off. Load continues at the majority
+	// side; SyncCounters must skip the cut site entirely.
+	inj.Partition([][]int{{1}}, false)
+	u1, l1 := c.counters.SiteWatermarks(1)
+	for i := 0; i < 20; i++ {
+		step(txn, "b")
+		txn++
+	}
+	c.SyncCounters()
+	if u, l := c.counters.SiteWatermarks(1); u != u1 || l != l1 {
+		t.Fatalf("sync touched the partitioned site: (%d,%d) -> (%d,%d)", u1, l1, u, l)
+	}
+	kthValues(t, c, issued)
+
+	// Sanity: the sync was not vacuous — reachable sites were aligned.
+	{
+		var minU, maxU int64 = 1 << 62, -1
+		for s := 0; s < sites; s++ {
+			if s == 1 {
+				continue
+			}
+			u, _ := c.counters.SiteWatermarks(s)
+			if u < minU {
+				minU = u
+			}
+			if u > maxU {
+				maxU = u
+			}
+		}
+		if minU != maxU {
+			t.Fatalf("reachable sites not aligned after sync: min=%d max=%d", minU, maxU)
+		}
+	}
+
+	// Boundary 2: heal. A sync over the whole population must re-bound
+	// the skew to zero, raise-only (site 1's counters cannot go back).
+	inj.Heal(nil)
+	c.SyncCounters()
+	if skew := c.counters.Skew(); skew != 0 {
+		t.Fatalf("skew %d after heal+sync, want 0", skew)
+	}
+	if u, _ := c.counters.SiteWatermarks(1); u < u1 {
+		t.Fatalf("heal+sync moved site 1 backwards: %d < %d", u, u1)
+	}
+	kthValues(t, c, issued)
+
+	// Boundary 3: crash+drift of site 2 under a fresh partition of site 1
+	// (the dead-vs-unreachable matrix). Recovery must re-validate site 2's
+	// counters so post-recovery allocations never collide.
+	inj.Partition([][]int{{1}}, false)
+	c.CrashSite(2, true)
+	c.RecoverSite(2)
+	for i := 0; i < 20; i++ {
+		step(txn, "c")
+		txn++
+	}
+	kthValues(t, c, issued)
+
+	// Boundary 4: final heal; the cluster ends converged and unique.
+	inj.Heal(nil)
+	c.SyncCounters()
+	if skew := c.counters.Skew(); skew != 0 {
+		t.Fatalf("final skew %d, want 0", skew)
+	}
+	if got := kthValues(t, c, issued); len(got) == 0 {
+		t.Fatal("no transaction got a k-th element; the uniqueness checks were vacuous")
+	}
+}
+
+// dropSiteJournal discards the journal records of one site, modeling
+// the partitioned-recovery condition the in-memory journal cannot
+// otherwise express: the stable journal copy lives with the survivors,
+// and a site recovering on the wrong side of a partition cannot read
+// it. Whatever the site reseeds from must be its OWN durable state.
+func dropSiteJournal(c *Cluster, sidx int) {
+	c.jmu.Lock()
+	var keep []journalRec
+	for _, r := range c.journal {
+		if r.site != sidx {
+			keep = append(keep, r)
+		}
+	}
+	c.journal = keep
+	c.jmu.Unlock()
+}
+
+// burnAndForget drives the shared amnesia scenario: an early low site-0
+// element lands on item y, site-2 transactions burn through site 2's
+// upper counter on item x, everything commits, the site crashes with
+// drift while partitioned from the survivors holding its journal copy
+// (dropSiteJournal), and a GC sweep runs while it is down — with no
+// journal records left to pin them, the high vectors are swept. After
+// RecoverSite the only record of the burned values is whatever durable
+// state the site kept for itself. Returns the burned k-th-column values
+// and the site's watermarks at the last moment before the crash.
+func burnAndForget(t *testing.T, c *Cluster) (preVals map[int64]bool, preU, preL int64) {
+	t.Helper()
+	// Txn 10000 ≡ 0 (mod 4) is homed at site 0: item y's index keeps one
+	// LOW element alive, so post-recovery allocations on y are bounded
+	// low rather than by x's high history.
+	if d := c.Step(oplog.W(10000, "y")); d.Verdict != core.Accept {
+		t.Fatalf("low write on y rejected: %+v", d)
+	}
+	preVals = map[int64]bool{}
+	var burned []int
+	for txn := 2; txn <= 2+4*30; txn += 4 { // txn ≡ 2 (mod 4): homed at site 2
+		if d := c.Step(oplog.W(txn, "x")); d.Verdict != core.Accept {
+			continue
+		}
+		if e := c.Vector(txn).Elem(1); e.Defined {
+			preVals[e.V] = true
+		}
+		burned = append(burned, txn)
+	}
+	if len(preVals) < 10 {
+		t.Fatalf("only %d site-2 allocations; scenario too thin", len(preVals))
+	}
+	for _, txn := range burned {
+		c.Commit(txn)
+	}
+	c.GC()
+	preU, preL = c.counters.SiteWatermarks(2)
+	c.CrashSite(2, true) // drift: volatile counters zeroed, index lost
+	dropSiteJournal(c, 2)
+	// The down window: survivors GC. With neither index nor journal
+	// records referencing them, the high vectors are forgotten.
+	c.GC()
+	c.RecoverSite(2)
+	return preVals, preU, preL
+}
+
+// Per-site durable counters make no-reissue independent of survivors:
+// after burnAndForget no live vector and no survivor counter remembers
+// site 2's high allocations — only its own sidecar lease rules out
+// re-issuing them. Recovered watermarks must dominate the pre-crash
+// durable watermarks, and fresh allocations must never collide.
+func TestSidecarRecoveryIndependentOfSurvivors(t *testing.T) {
+	const sites = 4
+	fs := wal.NewMemFS(7, 0)
+	c := NewCluster(Options{
+		K: 1, Sites: sites,
+		HomeOfItem: func(item string) int { return 2 },
+		Durable:    &DurableOptions{FS: fs, Dir: "sidecars"},
+	})
+	defer c.Close()
+	vals, preU, preL := burnAndForget(t, c)
+
+	// Recovered watermarks dominate the pre-crash durable picture.
+	if u, l := c.counters.SiteWatermarks(2); u < preU || l < preL {
+		t.Fatalf("recovered watermarks (%d,%d) below pre-crash (%d,%d)", u, l, preU, preL)
+	}
+	// Fresh site-2 allocations on the low-bounded item y cannot collide
+	// with the forgotten ones.
+	for txn := 1002; txn <= 1002+4*5; txn += 4 {
+		if d := c.Step(oplog.W(txn, "y")); d.Verdict != core.Accept {
+			t.Fatalf("post-recovery W%d rejected: %+v", txn, d)
+		}
+		e := c.Vector(txn).Elem(1)
+		if !e.Defined {
+			t.Fatalf("post-recovery T%d got no element", txn)
+		}
+		if vals[e.V] {
+			t.Fatalf("element %d re-issued after drift recovery", e.V)
+		}
+	}
+}
+
+// The same scenario without the sidecar WOULD re-issue: committed,
+// GC'd allocations are invisible to the survivor-based re-validation
+// once the crash wipes the index that pinned them, so the
+// volatile-only cluster collides. This guards
+// TestSidecarRecoveryIndependentOfSurvivors against going vacuous.
+func TestSidecarlessDriftWouldReissue(t *testing.T) {
+	const sites = 4
+	c := NewCluster(Options{
+		K: 1, Sites: sites,
+		HomeOfItem: func(item string) int { return 2 },
+	})
+	preVals, _, _ := burnAndForget(t, c)
+	reissued := false
+	for txn := 1002; txn <= 1002+4*30; txn += 4 {
+		if d := c.Step(oplog.W(txn, "y")); d.Verdict != core.Accept {
+			continue
+		}
+		if e := c.Vector(txn).Elem(1); e.Defined && preVals[e.V] {
+			reissued = true
+			break
+		}
+	}
+	if !reissued {
+		t.Fatal("volatile-only drift recovery did not re-issue; the sidecar test proves nothing")
+	}
+}
+
+// The health detector feeds the sync skip set: a site that stops
+// answering is marked non-Up after enough failed contacts, and
+// SyncCounters leaves it alone even before the transport itself would
+// refuse the probe (Suspect is enough to be skipped).
+func TestHealthFeedsSyncSkipSet(t *testing.T) {
+	const sites = 4
+	inj := fault.New(fault.Plan{Name: "manual"}, sites, 5)
+	c := NewCluster(Options{K: 1, Sites: sites, Transport: inj})
+	inj.Partition([][]int{{3}}, false)
+	// Drive contacts until the detector has seen enough failures.
+	for i := 0; i < 16; i++ {
+		c.SyncCounters()
+	}
+	if st := c.Health().State(3); st == fault.Up {
+		t.Fatal("detector still reports the cut site Up after repeated failed probes")
+	}
+	inj.Heal(nil)
+	// One successful contact snaps the site back to Up.
+	if err := c.ProbeSite(3); err != nil {
+		t.Fatalf("probe after heal: %v", err)
+	}
+	if st := c.Health().State(3); st != fault.Up {
+		t.Fatalf("detector reports %v after a successful post-heal probe", st)
+	}
+	c.SyncCounters()
+	if skew := c.counters.Skew(); skew != 0 {
+		t.Fatalf("skew %d after heal+sync, want 0", skew)
+	}
+}

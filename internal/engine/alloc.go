@@ -112,6 +112,35 @@ type siteCounter struct {
 	mu   sync.Mutex
 	ucnt int64
 	lcnt int64
+
+	// Durable write-ahead lease (SetDurable): the site never consumes a
+	// counter at or past durU/durL without first persisting an extended
+	// lease, so a restart that reseeds from the persisted lease can never
+	// re-issue a consumed value. Invariant while extend != nil and
+	// leaseErr == nil: durU >= ucnt and durL >= lcnt.
+	extend     func(u, l int64) error
+	durU, durL int64
+	leaseBatch int64
+	leaseErr   error // sticky: first failed lease extension
+}
+
+// extendLeaseLocked persists a new lease when the counters have caught
+// up with the durable one. Batching amortizes the fsync: each extension
+// covers the next leaseBatch allocations. Caller holds s.mu.
+func (s *siteCounter) extendLeaseLocked() {
+	if s.extend == nil || s.leaseErr != nil {
+		return
+	}
+	if s.ucnt <= s.durU && s.lcnt <= s.durL {
+		return
+	}
+	u := max(s.ucnt, s.durU) + s.leaseBatch
+	l := max(s.lcnt, s.durL) + s.leaseBatch
+	if err := s.extend(u, l); err != nil {
+		s.leaseErr = err
+		return
+	}
+	s.durU, s.durL = u, l
 }
 
 // NewSiteCounters returns per-site counters for the given cluster size.
@@ -144,6 +173,7 @@ func (c *SiteCounters) AllocUpper(site int, bound int64) int64 {
 		cnt++
 	}
 	s.ucnt = cnt + 1
+	s.extendLeaseLocked()
 	return cnt*c.n + int64(site)
 }
 
@@ -158,6 +188,7 @@ func (c *SiteCounters) AllocLower(site int, bound int64) int64 {
 		cnt++
 	}
 	s.lcnt = cnt + 1
+	s.extendLeaseLocked()
 	return -(cnt*c.n + int64(site))
 }
 
@@ -179,12 +210,17 @@ func (a siteAlloc) AllocPair(bound int64) (int64, int64) {
 
 // Reset drops one site's counters back to their initial values — the
 // volatile-state loss of a crash, for harnesses that model recovery
-// without a journal.
+// without a journal. The durable lease hook is detached too (its file
+// handle died with the process); recovery reinstalls it via SetDurable
+// with the watermarks read back from the site's log.
 func (c *SiteCounters) Reset(site int) {
 	s := &c.sites[site]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ucnt, s.lcnt = 1, 0
+	s.extend = nil
+	s.durU, s.durL = 0, 0
+	s.leaseErr = nil
 }
 
 // MaxExcept returns the maximum upper and lower counter over every site
@@ -219,6 +255,75 @@ func (c *SiteCounters) RaiseSite(site int, u, l int64) {
 	if l > s.lcnt {
 		s.lcnt = l
 	}
+	s.extendLeaseLocked()
+}
+
+// SetDurable installs a write-ahead lease for one site: before any
+// allocation or raise moves the site's counters past the persisted
+// lease (durU, durL), extend is called — under the site's mutex — to
+// persist a lease batch allocations ahead. seed (durU, durL) with the
+// watermarks recovered from the site's own durable log; the counters
+// are raised to them, which is exactly the no-reissue reseed: every
+// counter the previous incarnation could have consumed lies below the
+// lease it persisted first. A failed extension is sticky (DurableErr);
+// allocation continues volatile so a durability fault degrades the
+// guarantee, not availability.
+func (c *SiteCounters) SetDurable(site int, durU, durL, batch int64, extend func(u, l int64) error) {
+	if batch < 1 {
+		batch = 1
+	}
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if durU > s.ucnt {
+		s.ucnt = durU
+	}
+	if durL > s.lcnt {
+		s.lcnt = durL
+	}
+	s.extend = extend
+	s.durU, s.durL = durU, durL
+	s.leaseBatch = batch
+	s.leaseErr = nil
+	s.extendLeaseLocked()
+}
+
+// DetachDurable removes a site's lease hook without touching the
+// counters — the hook's file handle died with the site's process; the
+// persisted lease survives on disk for the recovery reseed.
+func (c *SiteCounters) DetachDurable(site int) {
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extend = nil
+	s.durU, s.durL = 0, 0
+	s.leaseErr = nil
+}
+
+// DurableErr returns the site's sticky lease-extension error, if any.
+func (c *SiteCounters) DurableErr(site int) error {
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaseErr
+}
+
+// DurableLease returns the site's current persisted lease (0, 0 when no
+// durable hook is installed) — tests assert the lease always dominates
+// the volatile counters.
+func (c *SiteCounters) DurableLease(site int) (u, l int64) {
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durU, s.durL
+}
+
+// SiteWatermarks returns one site's raw (ucnt, lcnt) pair.
+func (c *SiteCounters) SiteWatermarks(site int) (u, l int64) {
+	s := &c.sites[site]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ucnt, s.lcnt
 }
 
 // Sync raises every reachable site's counters to the cluster-wide

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSiteCountersStress races AllocUpper/AllocLower against
+// RaiseSite/Sync/Skew/Reset under -race and asserts the two properties
+// concurrency must not break: every allocated upper value is unique
+// cluster-wide (k-th-column uniqueness survives crash/sync churn as
+// long as Reset is immediately followed by a dominating re-raise, the
+// journal-driven recovery contract), and watermarks are monotone
+// outside the reset windows.
+func TestSiteCountersStress(t *testing.T) {
+	const sites = 4
+	const perG = 400
+	sc := NewSiteCounters(sites)
+
+	// resetMu serializes Reset+RaiseSite pairs against a snapshot of the
+	// cluster maximum, modeling recovery: volatile loss is always followed
+	// by a reseed at or above everything any site has consumed.
+	var resetMu sync.Mutex
+
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+
+	var wg sync.WaitGroup
+	for g := 0; g < sites*2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			site := g % sites
+			var vals []int64
+			for i := 0; i < perG; i++ {
+				resetMu.Lock()
+				vals = append(vals, sc.AllocUpper(site, 0))
+				sc.AllocLower(site, 0)
+				resetMu.Unlock()
+				switch i % 97 {
+				case 13:
+					sc.Sync(nil)
+				case 31:
+					sc.Sync(func(s int) bool { return s == (site+1)%sites })
+				case 53:
+					_ = sc.Skew()
+				case 71:
+					// Crash + journal reseed, atomically above the cluster max.
+					resetMu.Lock()
+					_, hi := sc.Watermarks()
+					lo, _ := sc.Watermarks()
+					sc.Reset(site)
+					sc.RaiseSite(site, hi, lo)
+					resetMu.Unlock()
+				}
+			}
+			mu.Lock()
+			for _, v := range vals {
+				seen[v]++
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	for v, n := range seen {
+		if n > 1 {
+			t.Fatalf("upper value %d allocated %d times (re-issue under race)", v, n)
+		}
+	}
+	if len(seen) != sites*2*perG {
+		t.Fatalf("allocated %d unique values, want %d", len(seen), sites*2*perG)
+	}
+}
+
+// TestSiteCountersWatermarkMonotone: without resets, Watermarks is
+// non-decreasing under concurrent allocation and sync.
+func TestSiteCountersWatermarkMonotone(t *testing.T) {
+	sc := NewSiteCounters(3)
+	stop := make(chan struct{})
+	var allocs, watcher sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		allocs.Add(1)
+		go func(s int) {
+			defer allocs.Done()
+			for i := 0; i < 2000; i++ {
+				sc.AllocUpper(s, 0)
+				sc.AllocLower(s, 0)
+				if i%50 == 0 {
+					sc.Sync(nil)
+				}
+			}
+		}(s)
+	}
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		var lastLo, lastHi int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo, hi := sc.Watermarks()
+			if lo < lastLo || hi < lastHi {
+				t.Errorf("watermarks went backwards: (%d,%d) after (%d,%d)", lo, hi, lastLo, lastHi)
+				return
+			}
+			lastLo, lastHi = lo, hi
+		}
+	}()
+	allocs.Wait()
+	close(stop)
+	watcher.Wait()
+}
+
+// TestSyncNeverRaisesSkippedSite is the property test the degraded-mode
+// skip set relies on: whatever the skip set, a skipped site is neither
+// read nor written by Sync — its counters are bit-identical before and
+// after, and the raised sites' maximum ignores the skipped site's
+// counters entirely.
+func TestSyncNeverRaisesSkippedSite(t *testing.T) {
+	const sites = 5
+	for trial := 0; trial < 64; trial++ {
+		sc := NewSiteCounters(sites)
+		// Deterministic pseudo-random counter states and skip sets.
+		rnd := func(i int64) int64 { return int64(uint64(trial)*0x9E3779B9+uint64(i)*0x85EBCA6B) % 1000 }
+		for s := 0; s < sites; s++ {
+			sc.RaiseSite(s, 1+rnd(int64(s))%500, rnd(int64(s)*7)%300)
+		}
+		skipSet := map[int]bool{}
+		for s := 0; s < sites; s++ {
+			if rnd(int64(s)*13)%3 == 0 {
+				skipSet[s] = true
+			}
+		}
+		before := make([][2]int64, sites)
+		var wantU, wantL int64
+		for s := 0; s < sites; s++ {
+			u, l := sc.SiteWatermarks(s)
+			before[s] = [2]int64{u, l}
+			if !skipSet[s] {
+				wantU = max(wantU, u)
+				wantL = max(wantL, l)
+			}
+		}
+		sc.Sync(func(s int) bool { return skipSet[s] })
+		for s := 0; s < sites; s++ {
+			u, l := sc.SiteWatermarks(s)
+			if skipSet[s] {
+				if u != before[s][0] || l != before[s][1] {
+					t.Fatalf("trial %d: skipped site %d moved (%d,%d) -> (%d,%d)",
+						trial, s, before[s][0], before[s][1], u, l)
+				}
+			} else {
+				if u != wantU || l != wantL {
+					t.Fatalf("trial %d: synced site %d at (%d,%d), want reachable max (%d,%d)",
+						trial, s, u, l, wantU, wantL)
+				}
+			}
+		}
+		if len(skipSet) == sites {
+			continue
+		}
+		// Skew over the synced population is zero by construction; the
+		// cluster-wide skew is bounded by the skipped sites' lag.
+		if got := sc.Skew(); got < 0 {
+			t.Fatalf("negative skew %d", got)
+		}
+	}
+}
+
+// TestSkewBoundAfterSync: with no skip set, Sync drives Skew to zero —
+// the bound the paper's periodic synchronization maintains.
+func TestSkewBoundAfterSync(t *testing.T) {
+	sc := NewSiteCounters(4)
+	for s := 0; s < 4; s++ {
+		for i := 0; i < (s+1)*10; i++ {
+			sc.AllocUpper(s, 0)
+		}
+	}
+	if sc.Skew() == 0 {
+		t.Fatal("test is vacuous: no skew built up")
+	}
+	sc.Sync(nil)
+	if got := sc.Skew(); got != 0 {
+		t.Fatalf("Skew after full Sync = %d, want 0", got)
+	}
+}

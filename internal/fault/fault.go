@@ -35,6 +35,12 @@ var ErrSiteDown = errors.New("fault: site down")
 // ErrDropped reports a cross-site message lost in transit.
 var ErrDropped = errors.New("fault: message dropped")
 
+// ErrPartitioned reports a cross-site message refused by an active
+// network partition: both endpoints are alive, but the link between
+// their groups is cut. Distinct from ErrSiteDown so failure detection
+// can tell "site dead" from "site unreachable".
+var ErrPartitioned = errors.New("fault: network partitioned")
+
 // Error carries the failing site and the underlying fault cause so the
 // scheduler layer can name the unavailable site in its error.
 type Error struct {
@@ -82,14 +88,28 @@ const (
 	// Recover brings a crashed site back; the cluster rebuilds its item
 	// index and re-validates its counters against the survivors.
 	Recover
+	// Partition cuts the links between the event's site groups: sends
+	// between sites of different groups fail with ErrPartitioned while
+	// both endpoints stay alive. A single group is cut off from every
+	// unlisted site; Event.OneWay makes the cut asymmetric.
+	Partition
+	// Heal restores the links the matching Partition cut (or every cut,
+	// for a Heal with no groups).
+	Heal
 )
 
 // String names the kind.
 func (k EventKind) String() string {
-	if k == Crash {
+	switch k {
+	case Crash:
 		return "crash"
+	case Recover:
+		return "recover"
+	case Partition:
+		return "partition"
+	default:
+		return "heal"
 	}
-	return "recover"
 }
 
 // Event is one scheduled site transition, fired when the injector's
@@ -99,6 +119,14 @@ type Event struct {
 	Kind  EventKind
 	Site  int
 	Drift bool // with Crash: also reset the site's local counters
+	// Groups, for Partition and Heal, are the site groups whose mutual
+	// links are cut or restored. A single group means "this group versus
+	// every other site". A Heal with no groups clears every active cut.
+	Groups [][]int
+	// OneWay, with Partition, cuts only the Groups[0] -> Groups[1]
+	// direction (or group -> rest, for a single group): an asymmetric
+	// link failure. Symmetric cuts sever both directions.
+	OneWay bool
 }
 
 // Plan is a named, deterministic fault schedule.
@@ -117,19 +145,27 @@ type Plan struct {
 // Hooks let the cluster react to site transitions: the injector calls
 // OnCrash/OnRecover synchronously (outside its own lock) when an event
 // fires, so the cluster can wipe volatile state and run recovery.
+// OnHeal runs asynchronously after a heal restores links (clusters use
+// it to re-synchronize counters and bound the skew the partition built
+// up); OnPartition runs asynchronously when a cut lands.
 type Hooks struct {
-	OnCrash   func(site int, drift bool)
-	OnRecover func(site int)
+	OnCrash     func(site int, drift bool)
+	OnRecover   func(site int)
+	OnPartition func(groups [][]int, oneWay bool)
+	OnHeal      func(groups [][]int)
 }
 
 // Stats are the injector's observable fault counters, built on the
 // metrics toolkit so harnesses can surface them alongside throughput.
 type Stats struct {
-	Sent       metrics.Counter // logical exchanges attempted
-	Dropped    metrics.Counter // cross-site messages lost
-	Rejected   metrics.Counter // accesses refused because a site was down
-	Crashes    metrics.Counter // crash events fired
-	Recoveries metrics.Counter // recovery events fired
+	Sent        metrics.Counter // logical exchanges attempted
+	Dropped     metrics.Counter // cross-site messages lost
+	Rejected    metrics.Counter // accesses refused because a site was down
+	Partitioned metrics.Counter // accesses refused by an active link cut
+	Crashes     metrics.Counter // crash events fired
+	Recoveries  metrics.Counter // recovery events fired
+	Partitions  metrics.Counter // partition events fired
+	Heals       metrics.Counter // heal events fired
 }
 
 // Injector implements Transport for a Plan. Safe for concurrent use.
@@ -143,6 +179,7 @@ type Injector struct {
 	seq   int64
 	next  int // index of the next unfired event
 	down  []bool
+	cut   [][]bool // cut[from][to]: link severed by a partition
 	sched []string // decision log, one line per fault decision
 
 	stats Stats
@@ -150,16 +187,26 @@ type Injector struct {
 
 // New builds the injector for a plan over the given number of sites.
 // The seed fixes every probabilistic decision: same (plan, sites, seed)
-// means the same fault schedule.
+// means the same fault schedule. The plan must be valid for the site
+// count (see Plan.Validate); an invalid plan panics — callers that want
+// the typed error run Validate themselves first.
 func New(plan Plan, sites int, seed int64) *Injector {
 	if sites < 1 {
 		panic("fault: sites must be >= 1")
+	}
+	if err := plan.Validate(sites); err != nil {
+		panic("fault: invalid plan: " + err.Error())
+	}
+	cut := make([][]bool, sites)
+	for i := range cut {
+		cut[i] = make([]bool, sites)
 	}
 	return &Injector{
 		plan:  plan.Normalize(),
 		sites: sites,
 		seed:  seed,
 		down:  make([]bool, sites),
+		cut:   cut,
 	}
 }
 
@@ -203,11 +250,22 @@ func (in *Injector) PlannedSchedule(upTo int64) []string {
 		for next < len(in.plan.Events) && in.plan.Events[next].At <= seq {
 			ev := in.plan.Events[next]
 			next++
-			tag := ev.Kind.String()
-			if ev.Kind == Crash && ev.Drift {
-				tag = "crash+drift"
+			switch ev.Kind {
+			case Partition:
+				tag := "partition"
+				if ev.OneWay {
+					tag = "partition-oneway"
+				}
+				out = append(out, fmt.Sprintf("seq=%d %s %s", seq, tag, FormatGroups(ev.Groups)))
+			case Heal:
+				out = append(out, fmt.Sprintf("seq=%d heal %s", seq, FormatGroups(ev.Groups)))
+			default:
+				tag := ev.Kind.String()
+				if ev.Kind == Crash && ev.Drift {
+					tag = "crash+drift"
+				}
+				out = append(out, fmt.Sprintf("seq=%d %s site=%d", seq, tag, ev.Site))
 			}
-			out = append(out, fmt.Sprintf("seq=%d %s site=%d", seq, tag, ev.Site))
 		}
 		if in.wouldDrop(seq) {
 			out = append(out, fmt.Sprintf("seq=%d would-drop", seq))
@@ -224,6 +282,151 @@ func (in *Injector) SiteUp(site int) bool {
 		return false
 	}
 	return !in.down[site]
+}
+
+// Partitioned reports whether any link cut is currently active — the
+// "inside a partition window" predicate availability experiments
+// measure against.
+func (in *Injector) Partitioned() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, row := range in.cut {
+		for _, c := range row {
+			if c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reachable reports whether a message from -> to would currently pass
+// the partition layer (it may still be dropped or hit a crashed site).
+func (in *Injector) Reachable(from, to int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if from < 0 || from >= in.sites || to < 0 || to >= in.sites {
+		return false
+	}
+	return !in.cut[from][to]
+}
+
+// cutPairs expands an event's groups into the directed group pairs
+// whose links the event severs or restores: every ordered pair of
+// distinct groups, with a single group paired against its complement.
+// OneWay keeps only the first direction.
+func cutPairs(groups [][]int, oneWay bool, sites int) [][2][]int {
+	gs := groups
+	if len(gs) == 1 {
+		listed := map[int]bool{}
+		for _, s := range gs[0] {
+			listed[s] = true
+		}
+		var rest []int
+		for s := 0; s < sites; s++ {
+			if !listed[s] {
+				rest = append(rest, s)
+			}
+		}
+		gs = [][]int{gs[0], rest}
+	}
+	var pairs [][2][]int
+	for i := range gs {
+		for j := range gs {
+			if i == j {
+				continue
+			}
+			if oneWay && !(i == 0 && j == 1) {
+				continue
+			}
+			pairs = append(pairs, [2][]int{gs[i], gs[j]})
+		}
+	}
+	return pairs
+}
+
+// partitionLocked applies a partition event to the cut matrix. Returns
+// true if at least one new link was severed. Caller holds mu.
+func (in *Injector) partitionLocked(ev Event) bool {
+	changed := false
+	for _, p := range cutPairs(ev.Groups, ev.OneWay, in.sites) {
+		for _, a := range p[0] {
+			for _, b := range p[1] {
+				if a != b && !in.cut[a][b] {
+					in.cut[a][b] = true
+					changed = true
+				}
+			}
+		}
+	}
+	if !changed {
+		return false
+	}
+	in.stats.Partitions.Inc()
+	tag := "partition"
+	if ev.OneWay {
+		tag = "partition-oneway"
+	}
+	in.sched = append(in.sched, fmt.Sprintf("seq=%d %s %s", in.seq, tag, FormatGroups(ev.Groups)))
+	return true
+}
+
+// healLocked applies a heal event: with groups, the cuts between those
+// groups clear (both directions); with none, every cut clears. Returns
+// true if at least one link was restored. Caller holds mu.
+func (in *Injector) healLocked(ev Event) bool {
+	changed := false
+	if len(ev.Groups) == 0 {
+		for a := range in.cut {
+			for b := range in.cut[a] {
+				if in.cut[a][b] {
+					in.cut[a][b] = false
+					changed = true
+				}
+			}
+		}
+	} else {
+		for _, p := range cutPairs(ev.Groups, false, in.sites) {
+			for _, a := range p[0] {
+				for _, b := range p[1] {
+					if in.cut[a][b] {
+						in.cut[a][b] = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	if !changed {
+		return false
+	}
+	in.stats.Heals.Inc()
+	in.sched = append(in.sched, fmt.Sprintf("seq=%d heal %s", in.seq, FormatGroups(ev.Groups)))
+	return true
+}
+
+// Partition cuts the links between the given site groups immediately
+// (manual control for tests; scheduled plans use Events).
+func (in *Injector) Partition(groups [][]int, oneWay bool) {
+	in.mu.Lock()
+	fired := in.partitionLocked(Event{At: in.seq, Kind: Partition, Groups: groups, OneWay: oneWay})
+	hooks := in.hooks
+	in.mu.Unlock()
+	if fired && hooks.OnPartition != nil {
+		hooks.OnPartition(groups, oneWay)
+	}
+}
+
+// Heal restores the links between the given site groups (all links with
+// nil groups) immediately.
+func (in *Injector) Heal(groups [][]int) {
+	in.mu.Lock()
+	fired := in.healLocked(Event{At: in.seq, Kind: Heal, Groups: groups})
+	hooks := in.hooks
+	in.mu.Unlock()
+	if fired && hooks.OnHeal != nil {
+		hooks.OnHeal(groups)
+	}
 }
 
 // Crash fail-stops a site immediately (manual control for tests and
@@ -304,7 +507,7 @@ func (in *Injector) Send(from, to int) error {
 	// Fire scheduled events whose time has come; callbacks run after the
 	// injector lock is released (the cluster's handlers take their own
 	// locks).
-	var crashes, recovers []Event
+	var crashes, recovers, partitions, heals []Event
 	for in.next < len(in.plan.Events) && in.plan.Events[in.next].At <= seq {
 		ev := in.plan.Events[in.next]
 		in.next++
@@ -317,6 +520,14 @@ func (in *Injector) Send(from, to int) error {
 			if in.beginRecoverLocked(ev) {
 				recovers = append(recovers, ev)
 			}
+		case Partition:
+			if in.partitionLocked(ev) {
+				partitions = append(partitions, ev)
+			}
+		case Heal:
+			if in.healLocked(ev) {
+				heals = append(heals, ev)
+			}
 		}
 	}
 
@@ -327,6 +538,12 @@ func (in *Injector) Send(from, to int) error {
 		err, site = ErrSiteDown, from
 	case in.down[to]:
 		err, site = ErrSiteDown, to
+	case in.cut[from][to]:
+		// Both endpoints are alive; the link between their groups is cut.
+		// Not logged per-send: a partition window refuses thousands of
+		// exchanges and the decision is fully determined by the cut state
+		// (the partition/heal events ARE the schedule entries).
+		err, site = ErrPartitioned, to
 	case from != to && in.wouldDrop(seq):
 		err, site = ErrDropped, to
 		in.sched = append(in.sched, fmt.Sprintf("seq=%d drop %d->%d", seq, from, to))
@@ -354,12 +571,27 @@ func (in *Injector) Send(from, to int) error {
 			in.markUp(site)
 		}(ev.Site)
 	}
+	// Partition and heal notifications likewise run asynchronously: the
+	// heal handler typically re-synchronizes counters, which itself sends.
+	for _, ev := range partitions {
+		if hooks.OnPartition != nil {
+			go hooks.OnPartition(ev.Groups, ev.OneWay)
+		}
+	}
+	for _, ev := range heals {
+		if hooks.OnHeal != nil {
+			go hooks.OnHeal(ev.Groups)
+		}
+	}
 
 	in.stats.Sent.Inc()
 	if err != nil {
-		if errors.Is(err, ErrDropped) {
+		switch {
+		case errors.Is(err, ErrDropped):
 			in.stats.Dropped.Inc()
-		} else {
+		case errors.Is(err, ErrPartitioned):
+			in.stats.Partitioned.Inc()
+		default:
 			in.stats.Rejected.Inc()
 		}
 		return &Error{Site: site, Err: err}

@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SiteState is a failure detector's opinion of one site.
+type SiteState int32
+
+// Detector states. A site starts Up; consecutive failed contacts move
+// it to Suspect and then Down; a single successful contact moves it
+// back to Up (partitions heal instantly from the detector's view the
+// moment a message gets through).
+const (
+	Up SiteState = iota
+	Suspect
+	Down
+)
+
+// String names the state.
+func (s SiteState) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Suspect:
+		return "suspect"
+	default:
+		return "down"
+	}
+}
+
+// HealthOptions tunes the detector.
+type HealthOptions struct {
+	// SuspectAfter is the consecutive-failure count at which a site
+	// becomes Suspect (default 2).
+	SuspectAfter int
+	// DownAfter is the consecutive-failure count at which a Suspect
+	// site becomes Down (default SuspectAfter + 4).
+	DownAfter int
+	// ProbeEvery is the base probe interval for Watch loops; each sleep
+	// is jittered ±50% by the seeded sequence (default 500µs).
+	ProbeEvery time.Duration
+	// Seed drives the probe jitter (the package's seeded-clock idiom:
+	// the jitter sequence is a pure function of the seed).
+	Seed int64
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 2
+	}
+	if o.DownAfter <= o.SuspectAfter {
+		o.DownAfter = o.SuspectAfter + 4
+	}
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = 500 * time.Microsecond
+	}
+	return o
+}
+
+// Health is a per-site accrual failure detector: every observed contact
+// outcome (workload accesses and explicit probes alike) feeds a
+// suspicion counter, and the counter maps to Up/Suspect/Down states.
+// It distinguishes "site dead" from "site unreachable" only in how the
+// evidence arrives — a crashed site and a partitioned one both stop
+// answering — which is exactly the partial-synchrony limit: the
+// detector is necessarily imperfect, so its consumers (counter
+// synchronization skip sets, degraded-mode commit parking) must stay
+// safe under false suspicion.
+//
+// Lock-free: Observe sits on the cluster's access hot path, so state
+// lives in per-site atomics (no shared mutex to serialize the striped
+// schedulers behind). Racing observers may interleave, but the state a
+// reader sees is always one some sequential interleaving produced.
+type Health struct {
+	opts   HealthOptions
+	fails  []atomic.Int32
+	state  []atomic.Int32
+	flaps  atomic.Int64 // state transitions (diagnostics)
+	probes atomic.Int64 // probe rounds completed by Watch
+}
+
+// NewHealth returns a detector for the given number of sites, all Up.
+func NewHealth(sites int, opts HealthOptions) *Health {
+	if sites < 1 {
+		panic("fault: health tracker needs at least one site")
+	}
+	return &Health{
+		opts:  opts.withDefaults(),
+		fails: make([]atomic.Int32, sites),
+		state: make([]atomic.Int32, sites),
+	}
+}
+
+// Observe feeds one contact outcome with a site: ok resets the site to
+// Up, a failure bumps its suspicion counter and possibly its state.
+func (h *Health) Observe(site int, ok bool) {
+	if site < 0 || site >= len(h.state) {
+		return
+	}
+	if ok {
+		if h.fails[site].Load() != 0 {
+			h.fails[site].Store(0)
+		}
+		if h.state[site].Load() != int32(Up) {
+			if h.state[site].Swap(int32(Up)) != int32(Up) {
+				h.flaps.Add(1)
+			}
+		}
+		return
+	}
+	n := int(h.fails[site].Add(1))
+	next := int32(Up)
+	switch {
+	case n >= h.opts.DownAfter:
+		next = int32(Down)
+	case n >= h.opts.SuspectAfter:
+		next = int32(Suspect)
+	default:
+		return // below every threshold: state unchanged
+	}
+	if h.state[site].Load() != next {
+		if h.state[site].Swap(next) != next {
+			h.flaps.Add(1)
+		}
+	}
+}
+
+// State returns the detector's current opinion of the site.
+func (h *Health) State(site int) SiteState {
+	if site < 0 || site >= len(h.state) {
+		return Down
+	}
+	return SiteState(h.state[site].Load())
+}
+
+// Skip reports whether the site should be skipped by best-effort
+// cluster maintenance (counter synchronization): any non-Up state.
+// This is the skip-set feed of engine.SiteCounters.Sync.
+func (h *Health) Skip(site int) bool { return h.State(site) != Up }
+
+// Snapshot returns every site's state (diagnostics and reports).
+func (h *Health) Snapshot() []SiteState {
+	out := make([]SiteState, len(h.state))
+	for i := range h.state {
+		out[i] = SiteState(h.state[i].Load())
+	}
+	return out
+}
+
+// Transitions returns the number of state changes observed so far.
+func (h *Health) Transitions() int64 { return h.flaps.Load() }
+
+// ProbeRounds returns how many Watch probe rounds have completed.
+func (h *Health) ProbeRounds() int64 { return h.probes.Load() }
+
+// Watch runs the active probing loop until stop closes: each round
+// calls probe(site) for every site and feeds the outcomes, then sleeps
+// a jittered interval (ProbeEvery ±50%, jitter drawn from the seeded
+// sequence so two runs with the same seed probe on the same cadence).
+// probe must return nil for a reachable site. Run it in a goroutine;
+// it keeps Suspect/Down states fresh even when the workload's own
+// traffic avoids the suspected sites.
+func (h *Health) Watch(probe func(site int) error, stop <-chan struct{}) {
+	sites := len(h.state)
+	for tick := int64(1); ; tick++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		for s := 0; s < sites; s++ {
+			h.Observe(s, probe(s) == nil)
+		}
+		h.probes.Add(1)
+		// Jitter: base/2 + uniform[0, base), a pure function of (seed, tick).
+		base := h.opts.ProbeEvery
+		j := time.Duration(Mix(h.opts.Seed, tick) % uint64(base))
+		timer := time.NewTimer(base/2 + j)
+		select {
+		case <-stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+	}
+}

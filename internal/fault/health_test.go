@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHealthTransitions: consecutive failures walk a site through
+// Up -> Suspect -> Down; one success snaps it back to Up.
+func TestHealthTransitions(t *testing.T) {
+	h := NewHealth(3, HealthOptions{SuspectAfter: 2, DownAfter: 4})
+	if got := h.State(1); got != Up {
+		t.Fatalf("initial state = %v, want up", got)
+	}
+	h.Observe(1, false)
+	if got := h.State(1); got != Up {
+		t.Fatalf("after 1 failure = %v, want up (below suspect threshold)", got)
+	}
+	h.Observe(1, false)
+	if got := h.State(1); got != Suspect {
+		t.Fatalf("after 2 failures = %v, want suspect", got)
+	}
+	if !h.Skip(1) {
+		t.Fatal("Skip(suspect site) = false")
+	}
+	h.Observe(1, false)
+	h.Observe(1, false)
+	if got := h.State(1); got != Down {
+		t.Fatalf("after 4 failures = %v, want down", got)
+	}
+	h.Observe(1, true)
+	if got := h.State(1); got != Up {
+		t.Fatalf("after success = %v, want up (recovery is instant)", got)
+	}
+	if h.Skip(1) {
+		t.Fatal("Skip(up site) = true")
+	}
+	// Other sites are untouched by site 1's history.
+	if got := h.State(0); got != Up {
+		t.Fatalf("unrelated site state = %v, want up", got)
+	}
+	if h.Transitions() != 3 { // up->suspect, suspect->down, down->up
+		t.Fatalf("Transitions = %d, want 3", h.Transitions())
+	}
+}
+
+// TestHealthOutOfRange: unknown sites are conservatively Down/skipped
+// and Observe on them is a no-op, not a panic.
+func TestHealthOutOfRange(t *testing.T) {
+	h := NewHealth(2, HealthOptions{})
+	h.Observe(-1, false)
+	h.Observe(9, true)
+	if got := h.State(9); got != Down {
+		t.Fatalf("State(out of range) = %v, want down", got)
+	}
+	if !h.Skip(-1) {
+		t.Fatal("Skip(out of range) = false")
+	}
+}
+
+// TestHealthWatchDetectsPartition: the probe loop drives a site cut off
+// by an injector partition to Down, and back to Up after heal — the
+// detector sees "unreachable" exactly like "dead", which is the
+// partial-synchrony limit the skip set must tolerate.
+func TestHealthWatchDetectsPartition(t *testing.T) {
+	in := New(Plan{Name: "manual"}, 3, 5)
+	h := NewHealth(3, HealthOptions{
+		SuspectAfter: 1, DownAfter: 2,
+		ProbeEvery: 50 * time.Microsecond, Seed: 5,
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.Watch(func(site int) error { return in.Send(0, site) }, stop)
+	}()
+
+	in.Partition([][]int{{2}}, false)
+	waitState(t, h, 2, Down)
+	if got := h.State(1); got != Up {
+		t.Fatalf("connected site state = %v, want up", got)
+	}
+
+	in.Heal(nil)
+	waitState(t, h, 2, Up)
+	close(stop)
+	wg.Wait()
+	if h.ProbeRounds() == 0 {
+		t.Fatal("Watch completed no probe rounds")
+	}
+}
+
+// waitState polls for the detector to converge (the probe loop is
+// asynchronous; convergence, not timing, is the contract).
+func waitState(t *testing.T, h *Health, site int, want SiteState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.State(site) == want {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("site %d never reached %v (stuck at %v)", site, want, h.State(site))
+}
+
+// TestHealthConcurrentObserve: racing observers and readers are safe
+// and the suspicion counter never yields an out-of-bounds state.
+func TestHealthConcurrentObserve(t *testing.T) {
+	h := NewHealth(4, HealthOptions{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(i%4, Mix(int64(g), int64(i))%3 == 0)
+				_ = h.State(i % 4)
+				_ = h.Skip((i + 1) % 4)
+				_ = h.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for s := 0; s < 4; s++ {
+		if st := h.State(s); st != Up && st != Suspect && st != Down {
+			t.Fatalf("site %d in impossible state %d", s, st)
+		}
+	}
+}
+
+// TestHealthDefaultsSane: zero options resolve to usable thresholds.
+func TestHealthDefaultsSane(t *testing.T) {
+	o := HealthOptions{}.withDefaults()
+	if o.SuspectAfter < 1 || o.DownAfter <= o.SuspectAfter || o.ProbeEvery <= 0 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	if errors.Is(nil, ErrPartitioned) {
+		t.Fatal("sanity")
+	}
+}

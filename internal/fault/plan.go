@@ -7,24 +7,38 @@ import (
 	"time"
 )
 
-// Named plans for the -chaos mode of cmd/mtsim and the chaos test
-// suites. Crash/recovery positions are expressed on the logical access
-// clock, so they land at the same point of the workload regardless of
-// machine speed.
+// Named plans for the -chaos/-partition modes of cmd/mtsim and the
+// chaos test suites. Crash/recovery/partition positions are expressed
+// on the logical access clock, so they land at the same point of the
+// workload regardless of machine speed.
 //
-//	none        perfect network (baseline under the transport hook)
-//	lossy       2% cross-site message loss
-//	slow        up to 200µs injected cross-site latency
-//	crash       site 1 crashes at access 400, recovers at access 2400
-//	crash-drift same, and the crash zeroes site 1's local counters
-//	chaos       crash-drift plus 1% message loss
-var planNames = []string{"none", "lossy", "slow", "crash", "crash-drift", "chaos"}
+//	none            perfect network (baseline under the transport hook)
+//	lossy           2% cross-site message loss
+//	slow            up to 200µs injected cross-site latency
+//	crash           site 1 crashes at access 400, recovers at access 2400
+//	crash-drift     same, and the crash zeroes site 1's local counters
+//	chaos           crash-drift plus 1% message loss
+//	partition       site 1 is cut off from the rest at access 400, the
+//	                partition heals at access 2400
+//	partition-asym  same window, but only site 1's outbound links are
+//	                cut (asymmetric failure: it hears, nobody hears it)
+//	partition-crash partition of site 1 (400..2400) overlapping a
+//	                crash+drift of site 2 (600..2000): the full
+//	                dead-vs-unreachable matrix in one run
+//	partition-churn the partition-crash window followed by a flapping
+//	                site 2: ten crash/recover cycles (drift on every
+//	                other crash), the availability A/B's showcase —
+//	                attempts keep arriving at a home site that keeps
+//	                dying
+var planNames = []string{"none", "lossy", "slow", "crash", "crash-drift", "chaos",
+	"partition", "partition-asym", "partition-crash", "partition-churn"}
 
 // PlanNames lists the named plans in presentation order.
 func PlanNames() []string { return append([]string(nil), planNames...) }
 
-// PlanByName resolves a named plan. The crash plans target site 1 (site
-// 0 homes the virtual transaction T0 and stays up).
+// PlanByName resolves a named plan. The crash plans target site 1 and
+// the partition plans cut site 1 off (site 0 homes the virtual
+// transaction T0 and stays up and connected).
 func PlanByName(name string) (Plan, error) {
 	crash := []Event{
 		{At: 400, Kind: Crash, Site: 1},
@@ -34,6 +48,7 @@ func PlanByName(name string) (Plan, error) {
 		{At: 400, Kind: Crash, Site: 1, Drift: true},
 		{At: 2400, Kind: Recover, Site: 1},
 	}
+	isolate1 := [][]int{{1}}
 	switch name {
 	case "none", "":
 		return Plan{Name: "none"}, nil
@@ -47,6 +62,34 @@ func PlanByName(name string) (Plan, error) {
 		return Plan{Name: "crash-drift", Events: crashDrift}, nil
 	case "chaos":
 		return Plan{Name: "chaos", DropRate: 0.01, Events: crashDrift}, nil
+	case "partition":
+		return Plan{Name: "partition", Events: []Event{
+			{At: 400, Kind: Partition, Groups: isolate1},
+			{At: 2400, Kind: Heal, Groups: isolate1},
+		}}, nil
+	case "partition-asym":
+		return Plan{Name: "partition-asym", Events: []Event{
+			{At: 400, Kind: Partition, Groups: isolate1, OneWay: true},
+			{At: 2400, Kind: Heal, Groups: isolate1},
+		}}, nil
+	case "partition-crash":
+		return Plan{Name: "partition-crash", Events: []Event{
+			{At: 400, Kind: Partition, Groups: isolate1},
+			{At: 600, Kind: Crash, Site: 2, Drift: true},
+			{At: 2000, Kind: Recover, Site: 2},
+			{At: 2400, Kind: Heal, Groups: isolate1},
+		}}, nil
+	case "partition-churn":
+		evs := []Event{
+			{At: 400, Kind: Partition, Groups: isolate1},
+			{At: 2400, Kind: Heal, Groups: isolate1},
+		}
+		for i := int64(0); i < 10; i++ {
+			evs = append(evs,
+				Event{At: 600 + 2000*i, Kind: Crash, Site: 2, Drift: i%2 == 0},
+				Event{At: 1600 + 2000*i, Kind: Recover, Site: 2})
+		}
+		return Plan{Name: "partition-churn", Events: evs}.Normalize(), nil
 	}
 	return Plan{}, fmt.Errorf("fault: unknown plan %q (have %s)", name, strings.Join(planNames, ", "))
 }
@@ -60,16 +103,216 @@ func (p Plan) Normalize() Plan {
 	return p
 }
 
+// PlanError reports an invalid event schedule: the offending event (by
+// position in firing order) and why it cannot produce a well-defined
+// injector schedule.
+type PlanError struct {
+	Plan   string
+	Index  int // position in the time-sorted event list
+	Event  Event
+	Reason string
+}
+
+// Error implements error.
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("fault: plan %q: event %d (%s at seq %d): %s",
+		e.Plan, e.Index, e.Event.Kind, e.Event.At, e.Reason)
+}
+
+// Validate checks that the plan's events form a well-defined schedule
+// over the given number of sites by simulating them in firing order:
+// crash/recover must alternate per site (no overlapping crash of a
+// down site, no recovery of an up site), partitions must cut at least
+// one new link, heals must restore at least one, and every site
+// reference must be in range. Returns a typed *PlanError naming the
+// first offending event; nil for a valid plan.
+func (p Plan) Validate(sites int) error {
+	if p.DropRate < 0 || p.DropRate > 1 {
+		return &PlanError{Plan: p.Name, Index: -1, Reason: fmt.Sprintf("drop rate %v outside [0,1]", p.DropRate)}
+	}
+	down := make([]bool, sites)
+	cut := make([][]bool, sites)
+	for i := range cut {
+		cut[i] = make([]bool, sites)
+	}
+	evs := p.Normalize().Events
+	for i, ev := range evs {
+		fail := func(reason string) error {
+			return &PlanError{Plan: p.Name, Index: i, Event: ev, Reason: reason}
+		}
+		if ev.At < 1 {
+			return fail("fires before the logical clock starts (At must be >= 1)")
+		}
+		switch ev.Kind {
+		case Crash, Recover:
+			if ev.Site < 0 || ev.Site >= sites {
+				return fail(fmt.Sprintf("site %d out of range [0,%d)", ev.Site, sites))
+			}
+			if len(ev.Groups) != 0 {
+				return fail("site event carries partition groups")
+			}
+			if ev.Kind == Crash {
+				if down[ev.Site] {
+					return fail(fmt.Sprintf("site %d is already down (overlapping crash without a recover)", ev.Site))
+				}
+				down[ev.Site] = true
+			} else {
+				if ev.Drift {
+					return fail("drift is a crash property, not a recover property")
+				}
+				if !down[ev.Site] {
+					return fail(fmt.Sprintf("site %d is not down (recover without a preceding crash)", ev.Site))
+				}
+				down[ev.Site] = false
+			}
+		case Partition:
+			if err := validateGroups(ev.Groups, sites, fail); err != nil {
+				return err
+			}
+			if ev.OneWay && len(ev.Groups) > 2 {
+				return fail("a one-way cut needs exactly one or two groups")
+			}
+			changed := false
+			for _, pr := range cutPairs(ev.Groups, ev.OneWay, sites) {
+				for _, a := range pr[0] {
+					for _, b := range pr[1] {
+						if a != b && !cut[a][b] {
+							cut[a][b] = true
+							changed = true
+						}
+					}
+				}
+			}
+			if !changed {
+				return fail("cuts no new link (overlapping partition)")
+			}
+		case Heal:
+			if len(ev.Groups) > 0 {
+				if err := validateGroups(ev.Groups, sites, fail); err != nil {
+					return err
+				}
+			}
+			if ev.OneWay {
+				return fail("one-way is a partition property, not a heal property")
+			}
+			changed := false
+			if len(ev.Groups) == 0 {
+				for a := range cut {
+					for b := range cut[a] {
+						if cut[a][b] {
+							cut[a][b] = false
+							changed = true
+						}
+					}
+				}
+			} else {
+				for _, pr := range cutPairs(ev.Groups, false, sites) {
+					for _, a := range pr[0] {
+						for _, b := range pr[1] {
+							if cut[a][b] {
+								cut[a][b] = false
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			if !changed {
+				return fail("restores no cut link (heal without a matching partition)")
+			}
+		default:
+			return fail(fmt.Sprintf("unknown event kind %d", ev.Kind))
+		}
+	}
+	return nil
+}
+
+// validateGroups checks a partition/heal group list: non-empty groups,
+// sites in range, no site in two groups, and at least one site left
+// outside a single group (its complement is the other side).
+func validateGroups(groups [][]int, sites int, fail func(string) error) error {
+	if len(groups) == 0 {
+		return fail("partition event without site groups")
+	}
+	seen := map[int]bool{}
+	total := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			return fail("empty site group")
+		}
+		for _, s := range g {
+			if s < 0 || s >= sites {
+				return fail(fmt.Sprintf("site %d out of range [0,%d)", s, sites))
+			}
+			if seen[s] {
+				return fail(fmt.Sprintf("site %d appears in two groups", s))
+			}
+			seen[s] = true
+			total++
+		}
+	}
+	if len(groups) == 1 && total >= sites {
+		return fail("single group covers every site (no complement to cut it from)")
+	}
+	return nil
+}
+
+// FormatGroups renders a partition/heal group list deterministically
+// for schedules and reports: sites sorted within groups, groups by
+// first site, e.g. [1|0 2 3]. Empty groups render as "all".
+func FormatGroups(groups [][]int) string {
+	if len(groups) == 0 {
+		return "all"
+	}
+	gs := make([][]int, len(groups))
+	for i, g := range groups {
+		gs[i] = append([]int(nil), g...)
+		sort.Ints(gs[i])
+	}
+	sort.Slice(gs, func(i, j int) bool {
+		if len(gs[i]) == 0 || len(gs[j]) == 0 {
+			return len(gs[j]) == 0
+		}
+		return gs[i][0] < gs[j][0]
+	})
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, g := range gs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, s := range g {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
 // String renders the plan for reports.
 func (p Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan %s: drop=%.2f delay=%v", p.Name, p.DropRate, p.Delay)
 	for _, ev := range p.Events {
-		tag := ev.Kind.String()
-		if ev.Kind == Crash && ev.Drift {
-			tag = "crash+drift"
+		switch ev.Kind {
+		case Partition:
+			tag := "partition"
+			if ev.OneWay {
+				tag = "partition-oneway"
+			}
+			fmt.Fprintf(&b, " [%s %s @%d]", tag, FormatGroups(ev.Groups), ev.At)
+		case Heal:
+			fmt.Fprintf(&b, " [heal %s @%d]", FormatGroups(ev.Groups), ev.At)
+		default:
+			tag := ev.Kind.String()
+			if ev.Kind == Crash && ev.Drift {
+				tag = "crash+drift"
+			}
+			fmt.Fprintf(&b, " [%s site %d @%d]", tag, ev.Site, ev.At)
 		}
-		fmt.Fprintf(&b, " [%s site %d @%d]", tag, ev.Site, ev.At)
 	}
 	return b.String()
 }

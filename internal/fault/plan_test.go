@@ -1,0 +1,263 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestValidateRejections covers every rejection class of Plan.Validate:
+// each invalid schedule must fail with a typed *PlanError naming the
+// offending event, instead of producing an undefined injector schedule.
+func TestValidateRejections(t *testing.T) {
+	iso1 := [][]int{{1}}
+	cases := []struct {
+		name   string
+		plan   Plan
+		reason string // substring of the expected PlanError reason
+	}{
+		{"drop rate below zero", Plan{DropRate: -0.1}, "outside [0,1]"},
+		{"drop rate above one", Plan{DropRate: 1.5}, "outside [0,1]"},
+		{"event before clock start", Plan{Events: []Event{
+			{At: 0, Kind: Crash, Site: 1}}}, "before the logical clock"},
+		{"crash site out of range", Plan{Events: []Event{
+			{At: 10, Kind: Crash, Site: 9}}}, "out of range"},
+		{"crash negative site", Plan{Events: []Event{
+			{At: 10, Kind: Crash, Site: -1}}}, "out of range"},
+		{"overlapping crash", Plan{Events: []Event{
+			{At: 10, Kind: Crash, Site: 1},
+			{At: 20, Kind: Crash, Site: 1}}}, "already down"},
+		{"recover without crash", Plan{Events: []Event{
+			{At: 10, Kind: Recover, Site: 1}}}, "not down"},
+		{"recover twice", Plan{Events: []Event{
+			{At: 10, Kind: Crash, Site: 1},
+			{At: 20, Kind: Recover, Site: 1},
+			{At: 30, Kind: Recover, Site: 1}}}, "not down"},
+		{"drift on recover", Plan{Events: []Event{
+			{At: 10, Kind: Crash, Site: 1},
+			{At: 20, Kind: Recover, Site: 1, Drift: true}}}, "crash property"},
+		{"groups on crash", Plan{Events: []Event{
+			{At: 10, Kind: Crash, Site: 1, Groups: iso1}}}, "partition groups"},
+		{"partition without groups", Plan{Events: []Event{
+			{At: 10, Kind: Partition}}}, "without site groups"},
+		{"partition empty group", Plan{Events: []Event{
+			{At: 10, Kind: Partition, Groups: [][]int{{}}}}}, "empty site group"},
+		{"partition site out of range", Plan{Events: []Event{
+			{At: 10, Kind: Partition, Groups: [][]int{{7}}}}}, "out of range"},
+		{"partition site in two groups", Plan{Events: []Event{
+			{At: 10, Kind: Partition, Groups: [][]int{{0, 1}, {1, 2}}}}}, "two groups"},
+		{"partition covers every site", Plan{Events: []Event{
+			{At: 10, Kind: Partition, Groups: [][]int{{0, 1, 2, 3}}}}}, "no complement"},
+		{"overlapping partition", Plan{Events: []Event{
+			{At: 10, Kind: Partition, Groups: iso1},
+			{At: 20, Kind: Partition, Groups: iso1}}}, "no new link"},
+		{"one-way with three groups", Plan{Events: []Event{
+			{At: 10, Kind: Partition, Groups: [][]int{{0}, {1}, {2}}, OneWay: true}}}, "one or two groups"},
+		{"heal without partition", Plan{Events: []Event{
+			{At: 10, Kind: Heal, Groups: iso1}}}, "restores no cut link"},
+		{"heal-all without partition", Plan{Events: []Event{
+			{At: 10, Kind: Heal}}}, "restores no cut link"},
+		{"one-way heal", Plan{Events: []Event{
+			{At: 10, Kind: Partition, Groups: iso1},
+			{At: 20, Kind: Heal, Groups: iso1, OneWay: true}}}, "partition property"},
+		{"unknown kind", Plan{Events: []Event{
+			{At: 10, Kind: EventKind(99), Site: 1}}}, "unknown event kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.plan.Name = tc.name
+			err := tc.plan.Validate(4)
+			if err == nil {
+				t.Fatalf("Validate accepted invalid plan %q", tc.name)
+			}
+			var pe *PlanError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, want *PlanError: %v", err, err)
+			}
+			if !strings.Contains(pe.Reason, tc.reason) {
+				t.Fatalf("reason %q does not mention %q", pe.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsNamedPlans: every named plan must be valid for a
+// reasonable cluster (4 sites), since fault.New panics on invalid ones.
+func TestValidateAcceptsNamedPlans(t *testing.T) {
+	for _, name := range PlanNames() {
+		plan, err := PlanByName(name)
+		if err != nil {
+			t.Fatalf("PlanByName(%q): %v", name, err)
+		}
+		if err := plan.Validate(4); err != nil {
+			t.Fatalf("named plan %q invalid for 4 sites: %v", name, err)
+		}
+	}
+}
+
+// TestValidateAcceptsLegalSequences: crash/recover/crash cycles and
+// partition/heal/partition cycles are legal; a heal without groups
+// clears prior cuts.
+func TestValidateAcceptsLegalSequences(t *testing.T) {
+	plan := Plan{Name: "legal", Events: []Event{
+		{At: 10, Kind: Crash, Site: 1, Drift: true},
+		{At: 20, Kind: Recover, Site: 1},
+		{At: 25, Kind: Partition, Groups: [][]int{{1}}},
+		{At: 30, Kind: Crash, Site: 1},
+		{At: 35, Kind: Heal}, // no groups: clears everything
+		{At: 40, Kind: Recover, Site: 1},
+		{At: 45, Kind: Partition, Groups: [][]int{{0, 1}, {2, 3}}, OneWay: true},
+		{At: 50, Kind: Heal, Groups: [][]int{{0, 1}, {2, 3}}},
+	}}
+	if err := plan.Validate(4); err != nil {
+		t.Fatalf("legal plan rejected: %v", err)
+	}
+}
+
+// TestNewPanicsOnInvalidPlan: the constructor refuses an undefined
+// schedule loudly rather than running it.
+func TestNewPanicsOnInvalidPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid plan without panicking")
+		}
+	}()
+	New(Plan{Name: "bad", Events: []Event{{At: 5, Kind: Recover, Site: 0}}}, 3, 1)
+}
+
+// TestPartitionCutsTraffic: a symmetric partition refuses cross-group
+// sends in both directions with ErrPartitioned, leaves intra-group and
+// local sends alone, and heal restores everything.
+func TestPartitionCutsTraffic(t *testing.T) {
+	in := New(Plan{Name: "manual"}, 4, 7)
+	in.Partition([][]int{{1}}, false)
+
+	if !in.Partitioned() {
+		t.Fatal("Partitioned() false while a cut is active")
+	}
+	for _, dir := range [][2]int{{0, 1}, {1, 0}, {2, 1}, {1, 3}} {
+		err := in.Send(dir[0], dir[1])
+		if !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("Send(%d,%d) = %v, want ErrPartitioned", dir[0], dir[1], err)
+		}
+		if errors.Is(err, ErrSiteDown) {
+			t.Fatalf("partition error must stay distinct from ErrSiteDown")
+		}
+	}
+	// Sites on the same side still talk; locals always pass.
+	for _, dir := range [][2]int{{0, 2}, {2, 3}, {1, 1}, {0, 0}} {
+		if err := in.Send(dir[0], dir[1]); err != nil {
+			t.Fatalf("Send(%d,%d) = %v, want nil", dir[0], dir[1], err)
+		}
+	}
+	if got := in.Stats().Partitioned.Value(); got != 4 {
+		t.Fatalf("Partitioned stat = %d, want 4", got)
+	}
+
+	in.Heal(nil)
+	if in.Partitioned() {
+		t.Fatal("Partitioned() true after heal")
+	}
+	if err := in.Send(0, 1); err != nil {
+		t.Fatalf("Send(0,1) after heal = %v, want nil", err)
+	}
+}
+
+// TestOneWayPartition: an asymmetric cut severs only group -> rest;
+// the reverse direction keeps flowing.
+func TestOneWayPartition(t *testing.T) {
+	in := New(Plan{Name: "manual"}, 3, 7)
+	in.Partition([][]int{{1}}, true)
+
+	if err := in.Send(1, 0); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("Send(1,0) = %v, want ErrPartitioned", err)
+	}
+	if err := in.Send(0, 1); err != nil {
+		t.Fatalf("Send(0,1) = %v, want nil (cut is one-way)", err)
+	}
+	if in.Reachable(1, 2) {
+		t.Fatal("Reachable(1,2) true across a one-way cut")
+	}
+	if !in.Reachable(2, 1) {
+		t.Fatal("Reachable(2,1) false on the open direction")
+	}
+}
+
+// TestScheduledPartitionFires: a planned partition/heal pair fires on
+// the logical clock and shows up in both the executed and the planned
+// schedule, making the run replayable from the log line alone.
+func TestScheduledPartitionFires(t *testing.T) {
+	plan, err := PlanByName("partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan, 4, 42)
+	sawCut := false
+	for i := 0; i < 3000; i++ {
+		err := in.Send(0, 1)
+		if errors.Is(err, ErrPartitioned) {
+			sawCut = true
+		}
+	}
+	if !sawCut {
+		t.Fatal("scheduled partition never refused a send")
+	}
+	if in.Partitioned() {
+		t.Fatal("partition still active after scheduled heal")
+	}
+	var got []string
+	for _, line := range in.Schedule() {
+		if strings.Contains(line, "partition") || strings.Contains(line, "heal") {
+			got = append(got, line)
+		}
+	}
+	want := []string{"seq=400 partition [1]", "seq=2400 heal [1]"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("executed schedule %v, want %v", got, want)
+	}
+	planned := in.PlannedSchedule(3000)
+	text := strings.Join(planned, "\n")
+	for _, w := range want {
+		if !strings.Contains(text, w) {
+			t.Fatalf("planned schedule missing %q:\n%s", w, text)
+		}
+	}
+}
+
+// TestPartitionHooksFire: OnPartition/OnHeal notifications reach the
+// cluster for both manual and scheduled events.
+func TestPartitionHooksFire(t *testing.T) {
+	in := New(Plan{Name: "manual"}, 3, 1)
+	parted := make(chan [][]int, 1)
+	healed := make(chan [][]int, 1)
+	in.SetHooks(Hooks{
+		OnPartition: func(groups [][]int, oneWay bool) { parted <- groups },
+		OnHeal:      func(groups [][]int) { healed <- groups },
+	})
+	in.Partition([][]int{{2}}, false)
+	if g := <-parted; FormatGroups(g) != "[2]" {
+		t.Fatalf("OnPartition groups = %v", g)
+	}
+	in.Heal([][]int{{2}})
+	if g := <-healed; FormatGroups(g) != "[2]" {
+		t.Fatalf("OnHeal groups = %v", g)
+	}
+}
+
+// TestFormatGroups: deterministic rendering regardless of input order.
+func TestFormatGroups(t *testing.T) {
+	cases := []struct {
+		in   [][]int
+		want string
+	}{
+		{nil, "all"},
+		{[][]int{{1}}, "[1]"},
+		{[][]int{{3, 0, 2}, {1}}, "[0 2 3|1]"},
+		{[][]int{{2}, {1, 0}}, "[0 1|2]"},
+	}
+	for _, tc := range cases {
+		if got := FormatGroups(tc.in); got != tc.want {
+			t.Fatalf("FormatGroups(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -45,6 +45,10 @@ func Wrap(inner sched.Scheduler) *Recorder {
 // Name implements sched.Scheduler.
 func (r *Recorder) Name() string { return r.inner.Name() + "+rec" }
 
+// Unwrap exposes the wrapped scheduler so harnesses can reach optional
+// interfaces (e.g. degraded-mode stats) through the recorder.
+func (r *Recorder) Unwrap() sched.Scheduler { return r.inner }
+
 // Begin implements sched.Scheduler.
 func (r *Recorder) Begin(txn int) {
 	r.mu.Lock()

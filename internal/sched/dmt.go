@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dmt"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/oplog"
 	"repro/internal/storage"
 )
@@ -33,6 +35,107 @@ type DMT struct {
 	mu    sync.Mutex
 	txns  map[int]*mtTxn
 	steps atomic.Int64
+
+	// trackWindows enables degraded-window accounting and home-site
+	// admission on the step path. Only set when the cluster has a
+	// transport: fault-free runs skip the per-op SiteUp check entirely.
+	trackWindows bool
+
+	// Degraded-mode commit hand-off (SetParking). parkSem bounds how
+	// many commits may wait at once; nil means fail fast.
+	parking Parking
+	parkSem chan struct{}
+
+	parked      atomic.Int64 // commits that entered the hand-off queue
+	healed      atomic.Int64 // parked commits released by a heal/recovery
+	expired     atomic.Int64 // parked commits that hit the deadline
+	rejected    atomic.Int64 // commits refused because the queue was full
+	winAttempts atomic.Int64 // commit attempts made during a degraded window
+	winCommits  atomic.Int64 // of those, how many committed
+}
+
+// Parking configures degraded-mode commits: instead of failing fast,
+// an attempt whose home site is crashed parks in a bounded hand-off
+// queue until the site heals or the deadline expires. Parking engages
+// at two points: at commit time (everything validated, only the final
+// decision pending), and at an attempt's FIRST protocol step (nothing
+// validated yet, so resuming after the heal is indistinguishable from
+// a fresh attempt). An attempt that loses its home site mid-flight
+// still fails fast — its validated steps died with the site's volatile
+// state. Parked attempts hold no latches, so reads and writes at
+// reachable sites proceed while they wait.
+type Parking struct {
+	// Capacity bounds concurrently parked commits (backpressure); 0
+	// disables parking (fail-fast, the pre-degraded behavior).
+	Capacity int
+	// Deadline is the maximum wall-clock wait before the parked commit
+	// gives up with ErrUnavailable (default 250ms).
+	Deadline time.Duration
+	// Poll is the base probe interval while parked; each sleep is
+	// jittered ±50% from the seeded sequence (default 200µs).
+	Poll time.Duration
+	// Seed drives the poll jitter.
+	Seed int64
+}
+
+func (p Parking) withDefaults() Parking {
+	if p.Deadline <= 0 {
+		p.Deadline = 250 * time.Millisecond
+	}
+	if p.Poll <= 0 {
+		p.Poll = 200 * time.Microsecond
+	}
+	return p
+}
+
+// DegradedStats is a snapshot of the degraded-mode commit counters.
+type DegradedStats struct {
+	Parked   int64 // commits that entered the hand-off queue
+	Healed   int64 // parked commits released by heal/recovery
+	Expired  int64 // parked commits that hit the deadline
+	Rejected int64 // commits refused by queue backpressure
+	// WindowAttempts/WindowCommits measure attempt-level commit
+	// availability during degraded windows (a site down or a partition
+	// active): an attempt counts when it reaches commit during a window
+	// or runs into its down home site at a step, and counts as committed
+	// when that same attempt goes on to commit. The ratio is what
+	// degraded-mode parking improves over fail-fast — a parked attempt
+	// rides out the outage and commits; a failed-fast one is charged as
+	// an unavailable attempt.
+	WindowAttempts int64
+	WindowCommits  int64
+}
+
+// Availability returns WindowCommits/WindowAttempts (1 when no commit
+// was attempted during a degraded window).
+func (s DegradedStats) Availability() float64 {
+	if s.WindowAttempts == 0 {
+		return 1
+	}
+	return float64(s.WindowCommits) / float64(s.WindowAttempts)
+}
+
+// SetParking enables (or, with Capacity 0, disables) degraded-mode
+// commit parking. Call before traffic flows.
+func (d *DMT) SetParking(p Parking) {
+	d.parking = p.withDefaults()
+	if p.Capacity > 0 {
+		d.parkSem = make(chan struct{}, p.Capacity)
+	} else {
+		d.parkSem = nil
+	}
+}
+
+// Degraded returns a snapshot of the degraded-mode commit counters.
+func (d *DMT) Degraded() DegradedStats {
+	return DegradedStats{
+		Parked:         d.parked.Load(),
+		Healed:         d.healed.Load(),
+		Expired:        d.expired.Load(),
+		Rejected:       d.rejected.Load(),
+		WindowAttempts: d.winAttempts.Load(),
+		WindowCommits:  d.winCommits.Load(),
+	}
 }
 
 // NewDMT returns a DMT(k) runtime scheduler over the store with the
@@ -53,10 +156,11 @@ func NewDMTCoarse(store *storage.Store, opts dmt.Options) *DMT {
 
 func newDMT(store *storage.Store, opts dmt.Options) *DMT {
 	return &DMT{
-		cluster: dmt.NewCluster(opts),
-		store:   store,
-		sites:   opts.Sites,
-		txns:    make(map[int]*mtTxn),
+		cluster:      dmt.NewCluster(opts),
+		store:        store,
+		sites:        opts.Sites,
+		txns:         make(map[int]*mtTxn),
+		trackWindows: opts.Transport != nil,
 	}
 }
 
@@ -123,6 +227,9 @@ func (d *DMT) Read(txn int, item string) (int64, error) {
 		return v, nil
 	}
 	d.mu.Unlock()
+	if err := d.admitStep(txn, st); err != nil {
+		return 0, err
+	}
 	defer d.latch(item)()
 	dec := d.cluster.Step(oplog.R(txn, item))
 	if dec.Verdict == core.Unavailable {
@@ -134,6 +241,9 @@ func (d *DMT) Read(txn int, item string) (int64, error) {
 		d.mu.Unlock()
 		return 0, Abort(txn, dec.Blocker, "read rejected")
 	}
+	d.mu.Lock()
+	st.stepped = true
+	d.mu.Unlock()
 	// No dirty-read window: the cluster publishes WT(x) at write time but
 	// the data publishes at commit; conservatively abort reads over items
 	// with a live writer (cheap check via the adapter's live set).
@@ -157,7 +267,33 @@ func (d *DMT) Write(txn int, item string, v int64) error {
 	if st == nil {
 		return Abort(txn, 0, "no live incarnation")
 	}
+	if err := d.admitStep(txn, st); err != nil {
+		return err
+	}
+	// No write-write inversion: with deferred writes, two live
+	// transactions writing the same item would both hold buffered
+	// values, and whichever COMMITS last would publish last — if that is
+	// the older-timestamped writer, the store ends up with the stale
+	// value and the committed history has a cycle. Mirror the read
+	// path's guard: abort rather than step over a live uncommitted
+	// writer. The item's latch is held from the check through the
+	// protocol step so the previous writer cannot publish (nor a new
+	// writer slip in) between the two.
+	unlock := d.latch(item)
+	if w := d.cluster.WTHolder(item); w != 0 && w != txn {
+		d.mu.Lock()
+		_, live := d.txns[w]
+		if live {
+			st.blocker = w
+		}
+		d.mu.Unlock()
+		if live {
+			unlock()
+			return Abort(txn, w, "write over uncommitted writer")
+		}
+	}
 	dec := d.cluster.Step(oplog.W(txn, item))
+	unlock()
 	if dec.Verdict == core.Unavailable {
 		return Unavailable(txn, dec.Site, "write unreachable")
 	}
@@ -169,28 +305,81 @@ func (d *DMT) Write(txn int, item string, v int64) error {
 	}
 	d.mu.Lock()
 	st.writes[item] = v
+	st.stepped = true
 	d.mu.Unlock()
 	return nil
 }
 
-// Commit implements Scheduler. A transaction whose home site crashed
-// mid-flight cannot commit: its write set is left intact and the error
-// is retryable, so the runtime aborts and re-runs the transaction once
-// the site recovers.
-func (d *DMT) Commit(txn int) error {
-	defer d.serialize()()
-	if home := d.cluster.TxnSite(txn); !d.cluster.SiteUp(home) {
-		return Unavailable(txn, home, "commit on crashed home site")
+// admitStep is the degraded-mode gate in front of every protocol step:
+// when the transaction's home site is down, the attempt is counted
+// against the degraded window once, and — if parking is enabled and
+// nothing has been validated in this incarnation yet — parked until
+// the site heals. A home that stays down past the deadline, a full
+// queue, or a mid-flight loss (some step already validated against
+// state the crash destroyed) all fail fast with ErrUnavailable, which
+// the runtime's unavailability budget absorbs. No-op without a
+// transport.
+func (d *DMT) admitStep(txn int, st *mtTxn) error {
+	if !d.trackWindows {
+		return nil
+	}
+	home := d.cluster.TxnSite(txn)
+	if d.cluster.SiteUp(home) {
+		return nil
 	}
 	d.mu.Lock()
+	counted, stepped := st.winCounted, st.stepped
+	st.winCounted = true
+	d.mu.Unlock()
+	if !counted {
+		d.winAttempts.Add(1)
+	}
+	if d.parkSem == nil || stepped {
+		return Unavailable(txn, home, "home site down")
+	}
+	return d.parkWait(txn, home)
+}
+
+// Commit implements Scheduler. A transaction whose home site crashed
+// mid-flight cannot commit immediately: without parking the error is
+// retryable and the runtime re-runs the transaction once the site
+// recovers (fail-fast); with parking (SetParking) the commit waits in a
+// bounded hand-off queue for the site to heal, turning the crash window
+// from guaranteed aborts into mostly-delayed commits. Parking happens
+// BEFORE the coarse variant's global mutex is taken, so waiting commits
+// never block reads and writes at reachable sites.
+func (d *DMT) Commit(txn int) error {
+	home := d.cluster.TxnSite(txn)
+	var track bool
+	if d.trackWindows {
+		d.mu.Lock()
+		if st := d.txns[txn]; st != nil && st.winCounted {
+			track = true // attempt already counted at a parked/refused step
+		}
+		d.mu.Unlock()
+		if !track && d.cluster.InDegradedWindow() {
+			track = true
+			d.winAttempts.Add(1)
+		}
+	}
+	if !d.cluster.SiteUp(home) {
+		if err := d.parkCommit(txn, home); err != nil {
+			return err
+		}
+	}
+	defer d.serialize()()
+	d.mu.Lock()
 	st := d.txns[txn]
-	delete(d.txns, txn)
 	d.mu.Unlock()
 	if st != nil {
 		// Striped: hold the write set's latches across the publish and
 		// the protocol commit, so a concurrent reader of a written item
 		// sees either the pre-commit state with the pre-commit ordering
-		// or the post-commit state with the post-commit ordering.
+		// or the post-commit state with the post-commit ordering. The
+		// live-set entry is removed only after the publish: the
+		// uncommitted-writer guards key off it, and deleting it first
+		// would open a window where a guard sees "not live" while the
+		// buffered writes are still unpublished.
 		items := make([]string, 0, len(st.writes))
 		for x := range st.writes {
 			items = append(items, x)
@@ -198,12 +387,59 @@ func (d *DMT) Commit(txn int) error {
 		unlock := d.latch(items...)
 		d.store.ApplyTxn(txn, st.writes)
 		d.cluster.Commit(txn)
+		d.mu.Lock()
+		delete(d.txns, txn)
+		d.mu.Unlock()
 		unlock()
 	} else {
 		d.cluster.Commit(txn)
 	}
+	if track {
+		d.winCommits.Add(1)
+	}
 	d.maybeGC()
 	return nil
+}
+
+// parkCommit parks a commit whose home site is down (fail-fast without
+// a queue — the pre-degraded behavior).
+func (d *DMT) parkCommit(txn, home int) error {
+	if d.parkSem == nil {
+		return Unavailable(txn, home, "commit on crashed home site")
+	}
+	return d.parkWait(txn, home)
+}
+
+// parkWait is the degraded-mode hand-off: wait (bounded in space by
+// the queue capacity and in time by the deadline) for the home site to
+// come back. Each poll probes the site THROUGH the transport, advancing
+// the fault injector's logical clock — so scheduled heal and recovery
+// events keep firing even when every worker is parked here, and the
+// cluster cannot livelock waiting for a clock that only traffic drives.
+func (d *DMT) parkWait(txn, home int) error {
+	sem := d.parkSem
+	select {
+	case sem <- struct{}{}:
+	default:
+		d.rejected.Add(1)
+		return Unavailable(txn, home, "parking queue full")
+	}
+	defer func() { <-sem }()
+	d.parked.Add(1)
+	deadline := time.Now().Add(d.parking.Deadline)
+	for tick := int64(1); ; tick++ {
+		if d.cluster.ProbeSite(home) == nil && d.cluster.SiteUp(home) {
+			d.healed.Add(1)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			d.expired.Add(1)
+			return Unavailable(txn, home, "parked attempt deadline expired")
+		}
+		base := d.parking.Poll
+		j := time.Duration(fault.Mix(d.parking.Seed^int64(txn), tick) % uint64(base))
+		time.Sleep(base/2 + j)
+	}
 }
 
 // Abort implements Scheduler.

@@ -31,6 +31,13 @@ type mtTxn struct {
 	order   []string // write order, for deterministic commit validation
 	blocker int      // last rejecting transaction (starvation fix seed)
 	epoch   uint64   // composite adapter epoch; 0 for plain MT
+
+	// DMT degraded-mode bookkeeping (see sched/dmt.go): whether this
+	// incarnation has validated any protocol step (a parked attempt may
+	// only resume if nothing was validated against pre-crash state), and
+	// whether it was already counted as a degraded-window attempt.
+	stepped    bool
+	winCounted bool
 }
 
 // MT adapts the core MT(k) protocol to the runtime Scheduler interface.

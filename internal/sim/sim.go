@@ -71,6 +71,10 @@ type Config struct {
 	// (see storage.SetSimLatency). Benchmarks use it to expose what a
 	// scheduler's lock granularity costs when data access is not free.
 	StoreLatency time.Duration
+	// Repro, when set, is attached verbatim to the Report: the effective
+	// seeds and the planned fault schedule (Injector.PlannedSchedule), so
+	// a failing chaos/partition run is replayable from its log alone.
+	Repro []string
 }
 
 // Report aggregates one run's results.
@@ -87,10 +91,12 @@ type Report struct {
 	Wall        time.Duration
 	Latency     *metrics.Histogram
 	Store       *storage.Store
-	Fault       *fault.Stats        // injector counters (nil without faults)
-	WAL         *wal.Stats          // log writer counters (nil without a WAL)
-	Results     []txn.Result        // per-transaction results (KeepResults only)
-	Recovered   *wal.RecoveredState // state the run started from (WAL only)
+	Fault       *fault.Stats         // injector counters (nil without faults)
+	WAL         *wal.Stats           // log writer counters (nil without a WAL)
+	Results     []txn.Result         // per-transaction results (KeepResults only)
+	Recovered   *wal.RecoveredState  // state the run started from (WAL only)
+	Degraded    *sched.DegradedStats // degraded-mode commit counters (DMT only)
+	Repro       []string             // replay lines (Config.Repro, verbatim)
 }
 
 // Throughput returns committed transactions per second.
@@ -120,9 +126,19 @@ func (r *Report) String() string {
 		s += fmt.Sprintf(" unavail=%d timeouts=%d", r.Unavailable, r.Timeouts)
 	}
 	if r.Fault != nil {
-		s += fmt.Sprintf(" [faults: sent=%d dropped=%d rejected=%d crashes=%d recoveries=%d]",
+		s += fmt.Sprintf(" [faults: sent=%d dropped=%d rejected=%d crashes=%d recoveries=%d",
 			r.Fault.Sent.Value(), r.Fault.Dropped.Value(), r.Fault.Rejected.Value(),
 			r.Fault.Crashes.Value(), r.Fault.Recoveries.Value())
+		if r.Fault.Partitions.Value() > 0 || r.Fault.Partitioned.Value() > 0 {
+			s += fmt.Sprintf(" partitions=%d heals=%d part-refused=%d",
+				r.Fault.Partitions.Value(), r.Fault.Heals.Value(), r.Fault.Partitioned.Value())
+		}
+		s += "]"
+	}
+	if r.Degraded != nil {
+		s += fmt.Sprintf(" [degraded: parked=%d healed=%d expired=%d queue-full=%d window-attempts=%d window-commits=%d avail=%.3f]",
+			r.Degraded.Parked, r.Degraded.Healed, r.Degraded.Expired, r.Degraded.Rejected,
+			r.Degraded.WindowAttempts, r.Degraded.WindowCommits, r.Degraded.Availability())
 	}
 	if r.WAL != nil {
 		s += fmt.Sprintf(" [wal: durable=%d fsyncs=%d batch-mean=%.1f fsync-p50=%dµs fsync-p99=%dµs ckpts=%d]",
@@ -196,6 +212,7 @@ func Run(cfg Config) *Report {
 		Store:     store,
 		Fault:     cfg.FaultStats,
 		Recovered: recovered,
+		Repro:     cfg.Repro,
 	}
 	if w != nil {
 		rep.WAL = w.Stats()
@@ -220,6 +237,21 @@ func Run(cfg Config) *Report {
 	}
 	if cfg.KeepResults {
 		rep.Results = results
+	}
+	// Look through decorators (e.g. history.Recorder) for the
+	// degraded-mode counters of the scheduler underneath.
+	inner := sched.Scheduler(s)
+	for {
+		u, ok := inner.(interface{ Unwrap() sched.Scheduler })
+		if !ok {
+			break
+		}
+		inner = u.Unwrap()
+	}
+	if dg, ok := inner.(interface{ Degraded() sched.DegradedStats }); ok {
+		if snap := dg.Degraded(); snap.WindowAttempts > 0 || snap.Parked > 0 || snap.Rejected > 0 {
+			rep.Degraded = &snap
+		}
 	}
 	if w != nil {
 		// Close flushes the tail; a writer that already died (injected

@@ -88,9 +88,12 @@ type Runtime struct {
 	// Backoff is the base sleep after an abort; attempt n sleeps
 	// Backoff * 2^min(n,6) with full jitter. Zero disables sleeping.
 	Backoff time.Duration
-	// Think sleeps between consecutive operations of a transaction,
-	// forcing transactions to overlap in time (the regime where the
-	// protocols' ordering decisions actually differ).
+	// Think sleeps between consecutive operations of a transaction and
+	// before its commit, forcing transactions to overlap in time (the
+	// regime where the protocols' ordering decisions actually differ).
+	// The pre-commit sleep models the commit request as its own message
+	// round: a site can fail between a transaction's last operation and
+	// its commit, which is the window degraded-mode commits address.
 	Think time.Duration
 	// PartialRollback enables the Section VI-C-1 scheme when both the
 	// scheduler implements PartialRestarter and Store is set (item
@@ -323,6 +326,9 @@ func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]
 			out.failedAt, out.err = i, err
 			return out
 		}
+	}
+	if r.Think > 0 && len(spec.Ops) > 0 {
+		time.Sleep(r.Think)
 	}
 	if err := r.Sched.Commit(spec.ID); err != nil {
 		out.failedAt, out.err = len(spec.Ops), err

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sync"
+)
+
+// The counter sidecar is the per-site durability half of DMT(k)'s
+// partition tolerance: each site persists a write-ahead lease over its
+// own (ucnt, lcnt) counter pair in a tiny dedicated log, so a
+// recovering site reseeds its k-th-column counters from its OWN disk
+// instead of re-validating against live survivors. Under a partition
+// the survivors may be unreachable — with the sidecar, recovery still
+// guarantees cluster-wide no-reissue, because every counter the dead
+// incarnation could have consumed lies below the last lease it
+// persisted before consuming.
+//
+// Frames reuse the WAL framing (| len | crc32c | payload |) with a
+// dedicated kindCounter payload: two varint watermarks. Recovery
+// truncates a torn tail (crash mid-append) and rejects mid-log
+// corruption with the same typed *CorruptError as the main log.
+const kindCounter = 3
+
+// counterLogName is the sidecar file inside a site's durable directory.
+const counterLogName = "counters.log"
+
+// counterCompactEvery bounds sidecar growth: after this many appended
+// leases the log is rewritten as a single frame (temp file + fsync +
+// atomic rename, the checkpoint discipline in miniature).
+const counterCompactEvery = 256
+
+// CounterLog is one site's durable counter-lease log. Safe for
+// concurrent use; Extend is raise-only.
+type CounterLog struct {
+	fs  FS
+	dir string
+
+	mu      sync.Mutex
+	f       File
+	u, l    int64 // highest persisted lease
+	appends int   // frames since the last compaction
+	buf     []byte
+	closed  bool
+}
+
+// OpenCounterLog opens (or creates) the site sidecar in dir and
+// recovers the persisted lease: the maximum over all readable frames,
+// with a torn final frame truncated away. Mid-log corruption returns a
+// typed *CorruptError and refuses to open — a site must not guess its
+// lease.
+func OpenCounterLog(fsys FS, dir string) (*CounterLog, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: counter sidecar mkdir: %w", err)
+	}
+	name := path.Join(dir, counterLogName)
+	c := &CounterLog{fs: fsys, dir: dir}
+	data, err := fsys.ReadFile(name)
+	if err != nil && !notExist(err) {
+		return nil, fmt.Errorf("wal: counter sidecar read: %w", err)
+	}
+	goodLen, frames, err := c.replay(data)
+	if err != nil {
+		return nil, err
+	}
+	if goodLen < len(data) {
+		if err := fsys.Truncate(name, int64(goodLen)); err != nil {
+			return nil, fmt.Errorf("wal: counter sidecar truncate torn tail: %w", err)
+		}
+	}
+	c.appends = frames
+	f, err := fsys.OpenAppend(name)
+	if err != nil {
+		return nil, fmt.Errorf("wal: counter sidecar open: %w", err)
+	}
+	c.f = f
+	return c, nil
+}
+
+// replay scans the sidecar image, raising c.u/c.l from each valid
+// frame. Returns the valid prefix length and the frame count.
+func (c *CounterLog) replay(data []byte) (goodLen, frames int, err error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return off, frames, nil // torn header
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if n > maxFrame {
+			if uint64(off)+8+uint64(n) > uint64(len(data)) {
+				return off, frames, nil // torn length field
+			}
+			return 0, 0, &CorruptError{Offset: int64(off), Reason: "frame length exceeds limit"}
+		}
+		if off+8+int(n) > len(data) {
+			return off, frames, nil // torn payload
+		}
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		payload := rest[8 : 8+int(n)]
+		if crc32.Checksum(payload, castagnoli) != want {
+			return 0, 0, &CorruptError{Offset: int64(off), Reason: "crc mismatch"}
+		}
+		u, l, derr := decodeCounter(payload)
+		if derr != nil {
+			return 0, 0, &CorruptError{Offset: int64(off), Reason: derr.Error()}
+		}
+		if u > c.u {
+			c.u = u
+		}
+		if l > c.l {
+			c.l = l
+		}
+		frames++
+		off += 8 + int(n)
+	}
+	return off, frames, nil
+}
+
+// decodeCounter decodes a kindCounter payload: kind byte + two varints.
+func decodeCounter(payload []byte) (u, l int64, err error) {
+	if len(payload) == 0 || payload[0] != kindCounter {
+		return 0, 0, fmt.Errorf("unexpected record kind")
+	}
+	p := &payloadReader{buf: payload, off: 1}
+	u = p.varint()
+	l = p.varint()
+	if p.err != nil {
+		return 0, 0, p.err
+	}
+	if !p.done() {
+		return 0, 0, fmt.Errorf("trailing bytes in counter payload")
+	}
+	return u, l, nil
+}
+
+// appendPayloadCounter encodes a lease body (without framing).
+func appendPayloadCounter(buf []byte, u, l int64) []byte {
+	buf = append(buf, kindCounter)
+	buf = binary.AppendVarint(buf, u)
+	buf = binary.AppendVarint(buf, l)
+	return buf
+}
+
+// Watermarks returns the persisted lease — the reseed point for
+// SiteCounters.SetDurable after a restart.
+func (c *CounterLog) Watermarks() (u, l int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.u, c.l
+}
+
+// Extend persists a new lease covering (u, l): append one framed
+// record and fsync before returning, so by the time any counter under
+// the lease is consumed the lease is durable. Raise-only; a lease not
+// above the persisted one returns nil without touching the disk.
+func (c *CounterLog) Extend(u, l int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("wal: counter sidecar closed")
+	}
+	if u <= c.u && l <= c.l {
+		return nil
+	}
+	if u < c.u {
+		u = c.u
+	}
+	if l < c.l {
+		l = c.l
+	}
+	if c.appends >= counterCompactEvery {
+		if err := c.compactLocked(u, l); err != nil {
+			return err
+		}
+		c.u, c.l = u, l
+		return nil
+	}
+	c.buf = appendFrame(c.buf[:0], appendPayloadCounter(nil, u, l))
+	if _, err := c.f.Write(c.buf); err != nil {
+		return fmt.Errorf("wal: counter sidecar append: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("wal: counter sidecar sync: %w", err)
+	}
+	c.u, c.l = u, l
+	c.appends++
+	return nil
+}
+
+// compactLocked rewrites the log as a single frame: temp file, fsync,
+// atomic rename, reopen for append. Caller holds mu.
+func (c *CounterLog) compactLocked(u, l int64) error {
+	name := path.Join(c.dir, counterLogName)
+	tmp := name + ".tmp"
+	f, err := c.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: counter sidecar compact create: %w", err)
+	}
+	frame := appendFrame(nil, appendPayloadCounter(nil, u, l))
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: counter sidecar compact write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: counter sidecar compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: counter sidecar compact close: %w", err)
+	}
+	if err := c.fs.Rename(tmp, name); err != nil {
+		return fmt.Errorf("wal: counter sidecar compact rename: %w", err)
+	}
+	old := c.f
+	nf, err := c.fs.OpenAppend(name)
+	if err != nil {
+		return fmt.Errorf("wal: counter sidecar compact reopen: %w", err)
+	}
+	c.f = nf
+	_ = old.Close()
+	c.appends = 1
+	return nil
+}
+
+// Close releases the file handle. Further Extends fail.
+func (c *CounterLog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.f.Close()
+}

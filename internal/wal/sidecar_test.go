@@ -1,0 +1,264 @@
+package wal
+
+import (
+	"errors"
+	"path"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestCounterLogRoundTrip: leases persist across close/reopen and are
+// raise-only.
+func TestCounterLogRoundTrip(t *testing.T) {
+	fs := NewMemFS(1, 0)
+	c, err := OpenCounterLog(fs, "site0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, l := c.Watermarks(); u != 0 || l != 0 {
+		t.Fatalf("fresh log watermarks = (%d,%d), want (0,0)", u, l)
+	}
+	for _, lease := range [][2]int64{{10, 5}, {20, 7}, {15, 30}} {
+		if err := c.Extend(lease[0], lease[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u, l := c.Watermarks(); u != 20 || l != 30 {
+		t.Fatalf("watermarks = (%d,%d), want (20,30) (raise-only max)", u, l)
+	}
+	// A stale lease is a durable no-op.
+	if err := c.Extend(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCounterLog(fs, "site0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if u, l := c2.Watermarks(); u != 20 || l != 30 {
+		t.Fatalf("reopened watermarks = (%d,%d), want (20,30)", u, l)
+	}
+}
+
+// TestCounterLogSurvivesCrash: sweep the crash point over every I/O
+// operation of a lease sequence; whatever survives, the recovered lease
+// is a prefix maximum — never higher than what was extended, and at
+// least the last lease whose Extend returned nil before the crash.
+func TestCounterLogSurvivesCrash(t *testing.T) {
+	// Size the sweep from a crash-free run.
+	probe := NewMemFS(1, 0)
+	writeLeases := func(fs *MemFS) (acked int64, err error) {
+		c, err := OpenCounterLog(fs, "s")
+		if err != nil {
+			return 0, err
+		}
+		for i := int64(1); i <= 40; i++ {
+			if err := c.Extend(i*10, i*10); err != nil {
+				return acked, err
+			}
+			acked = i * 10
+		}
+		return acked, c.Close()
+	}
+	if _, err := writeLeases(probe); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+
+	for at := int64(1); at <= total; at++ {
+		fs := NewMemFS(at, at)
+		acked, _ := writeLeases(fs) // error expected at the crash point
+		fs.Restart()
+		c, err := OpenCounterLog(fs, "s")
+		if err != nil {
+			t.Fatalf("crashAt=%d: recovery failed: %v", at, err)
+		}
+		u, l := c.Watermarks()
+		c.Close()
+		if u < acked || l < acked {
+			t.Fatalf("crashAt=%d: recovered lease (%d,%d) below acked %d", at, u, l, acked)
+		}
+		if u > 400 || l > 400 {
+			t.Fatalf("crashAt=%d: recovered lease (%d,%d) above anything extended", at, u, l)
+		}
+	}
+}
+
+// TestCounterLogTornTail: a partial final frame is truncated, the
+// preceding leases survive.
+func TestCounterLogTornTail(t *testing.T) {
+	fs := NewMemFS(1, 0)
+	c, err := OpenCounterLog(fs, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Extend(100, 50); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	name := path.Join("s", counterLogName)
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a torn frame: a full frame cut short.
+	torn := appendFrame(nil, appendPayloadCounter(nil, 999, 999))
+	f, err := fs.OpenAppend(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	f.Close()
+
+	c2, err := OpenCounterLog(fs, "s")
+	if err != nil {
+		t.Fatalf("torn tail must recover cleanly: %v", err)
+	}
+	defer c2.Close()
+	if u, l := c2.Watermarks(); u != 100 || l != 50 {
+		t.Fatalf("watermarks = (%d,%d), want (100,50)", u, l)
+	}
+	after, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", len(after), len(data))
+	}
+}
+
+// TestCounterLogRejectsCorruption: a flipped byte mid-log is a typed
+// *CorruptError, never silently replayed past.
+func TestCounterLogRejectsCorruption(t *testing.T) {
+	fs := NewMemFS(1, 0)
+	c, err := OpenCounterLog(fs, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Extend(10, 10)
+	c.Extend(20, 20)
+	c.Close()
+	name := path.Join("s", counterLogName)
+	data, _ := fs.ReadFile(name)
+	data[9] ^= 0xFF // inside the first frame's payload
+	fs.Remove(name)
+	f, _ := fs.Create(name)
+	f.Write(data)
+	f.Sync()
+	f.Close()
+
+	_, err = OpenCounterLog(fs, "s")
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupt sidecar opened: err=%v, want *CorruptError", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("errors.Is(err, ErrCorrupt) = false: %v", err)
+	}
+}
+
+// TestCounterLogCompaction: the log stays bounded across many leases
+// and compaction preserves the lease exactly.
+func TestCounterLogCompaction(t *testing.T) {
+	fs := NewMemFS(1, 0)
+	c, err := OpenCounterLog(fs, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(3 * counterCompactEvery)
+	for i := int64(1); i <= n; i++ {
+		if err := c.Extend(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	data, err := fs.ReadFile(path.Join("s", counterLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > counterCompactEvery*32 {
+		t.Fatalf("sidecar grew unbounded: %d bytes after %d leases", len(data), n)
+	}
+	c2, err := OpenCounterLog(fs, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if u, l := c2.Watermarks(); u != n || l != n {
+		t.Fatalf("watermarks = (%d,%d), want (%d,%d)", u, l, n, n)
+	}
+}
+
+// TestSiteCountersDurableLease: the glue invariant — with a sidecar
+// lease installed, the persisted lease always dominates the volatile
+// counters, so a crash at ANY moment reseeds at or above everything
+// consumed. This is the per-site no-reissue contract end to end.
+func TestSiteCountersDurableLease(t *testing.T) {
+	fs := NewMemFS(1, 0)
+	log, err := OpenCounterLog(fs, "site1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := engine.NewSiteCounters(3)
+	u0, l0 := log.Watermarks()
+	sc.SetDurable(1, u0, l0, 8, log.Extend)
+
+	var consumedMax int64
+	for i := 0; i < 100; i++ {
+		v := sc.AllocUpper(1, 0)
+		if v > consumedMax {
+			consumedMax = v
+		}
+		sc.AllocLower(1, 0)
+		// The documented invariant: lease >= volatile counters, always.
+		du, dl := sc.DurableLease(1)
+		cu, cl := sc.SiteWatermarks(1)
+		if du < cu || dl < cl {
+			t.Fatalf("step %d: lease (%d,%d) behind counters (%d,%d)", i, du, dl, cu, cl)
+		}
+		lu, ll := log.Watermarks()
+		if lu != du || ll != dl {
+			t.Fatalf("step %d: in-memory lease (%d,%d) != persisted (%d,%d)", i, du, dl, lu, ll)
+		}
+	}
+	if err := sc.DurableErr(1); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	// Crash: volatile loss, reopen the sidecar, reseed.
+	sc.Reset(1)
+	log2, err := OpenCounterLog(fs, "site1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	u, l := log2.Watermarks()
+	sc.SetDurable(1, u, l, 8, log2.Extend)
+	// No value allocated after the reseed may repeat a consumed one.
+	if v := sc.AllocUpper(1, 0); v <= consumedMax {
+		t.Fatalf("post-recovery alloc %d <= consumed max %d (re-issue!)", v, consumedMax)
+	}
+}
+
+// TestSiteCountersDurableErrSticky: a failing extend surfaces through
+// DurableErr and allocation still proceeds (degrade the guarantee, not
+// availability).
+func TestSiteCountersDurableErrSticky(t *testing.T) {
+	sc := engine.NewSiteCounters(2)
+	boom := errors.New("disk gone")
+	sc.SetDurable(0, 0, 0, 4, func(u, l int64) error { return boom })
+	if sc.AllocUpper(0, 0) == sc.AllocUpper(0, 0) {
+		t.Fatal("allocation stopped being unique")
+	}
+	if !errors.Is(sc.DurableErr(0), boom) {
+		t.Fatalf("DurableErr = %v, want %v", sc.DurableErr(0), boom)
+	}
+}

@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet fmt lint vuln build test shuffle race bench bench-smoke bench-sweep bench-sweep-4 chaos chaos-partition chaos-partition-smoke fuzz-smoke crash
+.PHONY: ci vet fmt lint vuln build test shuffle race bench bench-smoke bench-sweep bench-sweep-4 bench-sweep-7 chaos chaos-partition chaos-partition-smoke fuzz-smoke crash overload-smoke
 
 # The full gate: what must pass before merging.
-ci: vet fmt lint vuln build test shuffle race bench-smoke fuzz-smoke crash chaos-partition-smoke
+ci: vet fmt lint vuln build test shuffle race bench-smoke fuzz-smoke crash chaos-partition-smoke overload-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,7 +41,7 @@ shuffle:
 # (crash/recovery racing allocations and counter sync), plus the
 # runtime, the group-commit log writer and the harness that drive them.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/storage/... ./internal/lock/... ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/wal/... ./internal/sim/...
+	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/storage/... ./internal/lock/... ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/wal/... ./internal/sim/... ./internal/admit/...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=20x ./...
@@ -89,6 +89,21 @@ chaos-partition:
 # nightly target).
 chaos-partition-smoke:
 	$(GO) run ./cmd/mtsim -partition partition-churn -sites 4 -txns 1000 -seed 1
+
+# One quick overload A/B for the CI gate: exercises shedding, deadline
+# accounting and the retention math end-to-end from the CLI. The
+# measured curve (2000 txns, median-of-3) is bench-sweep-7 / E27.
+overload-smoke:
+	$(GO) run ./cmd/mtsim -sched mt -overload 1,10 -txns 800 -items 32 \
+		-readfrac 0.5 -hotitems 4 -hotfrac 0.9 -workers 4
+
+# The overload sweep behind bench/BENCH_7.json (EXPERIMENTS.md E27):
+# goodput at 1x/4x/10x offered load per scheduler variant, admission
+# control on vs off, median of 3 runs per point.
+bench-sweep-7:
+	$(GO) run ./cmd/mtsim -sched mt,mtdefer,composite,dmt -overload 1,4,10 \
+		-txns 2000 -items 32 -readfrac 0.5 -hotitems 4 -hotfrac 0.9 \
+		-workers 4 -repeats 3 -csv bench/bench_7.csv -json bench/BENCH_7.json
 
 # Run every fuzz target for FUZZTIME each (Go runs one -fuzz target per
 # invocation, hence the loop). Seed corpora alone run in `test`.

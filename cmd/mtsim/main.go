@@ -10,9 +10,25 @@
 //	mtsim -chaos crash-drift -sites 4 -txns 2000
 //	mtsim -sched mtdefer -wal /tmp/mtwal -walsync group -checkpoint-every 512
 //	mtsim -sched mtdefer -crashpoint -1 -txns 200
+//	mtsim -sched mt,composite -overload 1,4,10 -deadline 25ms -repeats 3
 //
 // Schedulers: mt, mtdefer, composite, dmt, 2pl, to, occ, sgt, interval,
-// mvmt, or "all" to sweep every one over the same workload.
+// mvmt, a comma-separated subset, or "all" to sweep every one over the
+// same workload.
+//
+// With -overload <factors>, the tool runs the goodput-vs-offered-load
+// sweep instead (EXPERIMENTS.md E27): for each selected scheduler the
+// workload is replicated to factor× its size with proportionally more
+// client workers, twice per factor — admission control on, then off —
+// and the tool prints each curve's saturation knee and how much of the
+// knee's goodput survives at the highest factor. Every transaction
+// carries the -deadline budget (default 25ms in this mode); goodput
+// counts only commits inside it. -csv/-json write the curve artifacts.
+//
+// With -admit (outside -overload), a plain run gets the overload
+// controller in front of the runtime: an adaptive AIMD concurrency
+// limiter sheds excess load, restart-storm damping widens backoffs, and
+// priority aging protects starving transactions.
 //
 // With -wal <dir>, commits are durable: every commit appends a redo
 // record to a write-ahead log in <dir> (group-committed per -walsync:
@@ -56,6 +72,7 @@ import (
 	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/dmt"
 	"repro/internal/engine"
@@ -96,6 +113,13 @@ func main() {
 	walSync := flag.String("walsync", "group", "WAL sync policy: always|group|none")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the WAL after N log records (0 = never)")
 	crashPoint := flag.Int64("crashpoint", 0, "crash-point harness: kill the in-memory disk at the Nth I/O op, recover, verify (-1 = sweep all ops, 0 = off)")
+	overload := flag.String("overload", "", "goodput-vs-offered-load sweep: comma-separated load factors (e.g. 1,4,10), admission on vs off per scheduler")
+	deadline := flag.Duration("deadline", 0, "per-transaction deadline, admission wait and retries included (0 = none; -overload defaults to 25ms)")
+	shedPause := flag.Duration("shedpause", 200*time.Microsecond, "rejected client's retry-after pause before offering its next transaction")
+	repeats := flag.Int("repeats", 1, "runs per overload point, keeping the median-goodput run (-overload)")
+	admitOn := flag.Bool("admit", false, "put the overload controller (adaptive admission, storm damping, aging) in front of the runtime")
+	csvPath := flag.String("csv", "", "write overload sweep rows to this CSV file (-overload)")
+	jsonPath := flag.String("json", "", "write the overload sweep summary to this JSON file (-overload)")
 	flag.Parse()
 
 	if *k <= 0 {
@@ -154,11 +178,33 @@ func main() {
 	var names []string
 	if *schedName == "all" {
 		names = order
-	} else if _, ok := factories[*schedName]; ok {
-		names = []string{*schedName}
 	} else {
-		fmt.Fprintf(os.Stderr, "mtsim: unknown scheduler %q\n", *schedName)
-		os.Exit(2)
+		for _, n := range strings.Split(*schedName, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := factories[n]; !ok {
+				fmt.Fprintf(os.Stderr, "mtsim: unknown scheduler %q\n", n)
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+
+	if *overload != "" {
+		factors, err := parseFactors(*overload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtsim: %v\n", err)
+			os.Exit(2)
+		}
+		if *deadline == 0 {
+			// The sweep's goodput definition needs a deadline: without one a
+			// closed loop never sheds and "goodput" is just throughput.
+			*deadline = 25 * time.Millisecond
+		}
+		os.Exit(runOverloadSweep(names, factories, specs, overloadOptions{
+			factors: factors, deadline: *deadline, shedPause: *shedPause,
+			repeats: *repeats, workers: *workers,
+			csvPath: *csvPath, jsonPath: *jsonPath,
+		}))
 	}
 
 	pol, err := wal.ParseSyncPolicy(*walSync)
@@ -186,6 +232,11 @@ func main() {
 			Workers:      *workers,
 			MaxAttempts:  *maxAttempts,
 			Backoff:      20 * time.Microsecond,
+			Deadline:     *deadline,
+			ShedPause:    *shedPause,
+		}
+		if *admitOn {
+			cfg.Admit = &admit.Options{}
 		}
 		if *walDir != "" {
 			cfg.WAL = &wal.Options{

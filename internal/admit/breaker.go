@@ -1,0 +1,157 @@
+package admit
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+)
+
+// BreakerOptions tunes the per-site circuit breaker.
+type BreakerOptions struct {
+	// Health tunes the embedded failure detector; the breaker maps its
+	// Down state to the open circuit (DownAfter consecutive failures
+	// trip the breaker).
+	Health fault.HealthOptions
+	// Cooldown is how long an open breaker blocks all traffic to the
+	// site before letting one probe attempt through (half-open state;
+	// default 2ms — sim time scales, tune up for real deployments).
+	Cooldown time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Breaker is a per-site circuit breaker over a fault.Health failure
+// detector. The detector supplies the evidence (consecutive contact
+// failures drive a site Up → Suspect → Down); the breaker adds the
+// policy: once a site is Down the circuit opens and every attempt that
+// would touch it fails fast with ErrUnavailable instead of burning its
+// deadline against a transport that will not answer. After Cooldown one
+// attempt per cooldown period is allowed through as a probe (half-open);
+// a successful contact resets the detector and closes the circuit, a
+// failed one reopens it for another cooldown.
+//
+// States map as: Health Up/Suspect = closed (Suspect still admits —
+// false suspicion must not cost availability), Health Down + cooldown
+// running = open, Health Down + cooldown elapsed = half-open.
+type Breaker struct {
+	opts    BreakerOptions
+	health  *fault.Health
+	openNs  []atomic.Int64 // monotonic ns when the circuit opened; 0 = closed
+	probing []atomic.Bool  // a half-open probe is in flight
+
+	trips     metrics.Counter // closed → open transitions
+	fastFails metrics.Counter // attempts refused while open
+	reprobes  metrics.Counter // half-open probes admitted
+}
+
+// NewBreaker returns a breaker for the given number of sites, all
+// closed.
+func NewBreaker(sites int, opts BreakerOptions) *Breaker {
+	opts = opts.withDefaults()
+	return &Breaker{
+		opts:    opts,
+		health:  fault.NewHealth(sites, opts.Health),
+		openNs:  make([]atomic.Int64, sites),
+		probing: make([]atomic.Bool, sites),
+	}
+}
+
+// Health exposes the embedded failure detector (shared with counter-sync
+// skip sets and diagnostics).
+func (b *Breaker) Health() *fault.Health { return b.health }
+
+// Allow reports whether an attempt may contact the site. While the
+// circuit is open it returns false (fail fast); after Cooldown it admits
+// exactly one caller per cooldown period as the half-open probe.
+func (b *Breaker) Allow(site int) bool {
+	if site < 0 || site >= len(b.openNs) {
+		return false
+	}
+	if b.health.State(site) != fault.Down {
+		return true
+	}
+	opened := b.openNs[site].Load()
+	if opened == 0 {
+		// Down but not yet stamped (detector raced ahead of Observe's
+		// stamping): open now.
+		b.openNs[site].CompareAndSwap(0, time.Now().UnixNano())
+		b.fastFails.Inc()
+		return false
+	}
+	if time.Since(time.Unix(0, opened)) < b.opts.Cooldown {
+		b.fastFails.Inc()
+		return false
+	}
+	// Half-open: one probe per cooldown period.
+	if b.probing[site].CompareAndSwap(false, true) {
+		b.reprobes.Inc()
+		return true
+	}
+	b.fastFails.Inc()
+	return false
+}
+
+// Observe feeds one contact outcome with the site, driving both the
+// detector and the circuit state machine.
+func (b *Breaker) Observe(site int, ok bool) {
+	if site < 0 || site >= len(b.openNs) {
+		return
+	}
+	wasDown := b.health.State(site) == fault.Down
+	b.health.Observe(site, ok)
+	switch {
+	case ok:
+		// Success closes the circuit (the detector is already reset).
+		b.openNs[site].Store(0)
+		b.probing[site].Store(false)
+	case b.health.State(site) == fault.Down:
+		if !wasDown {
+			b.trips.Inc()
+		}
+		// A failure while down (tripping failure or failed half-open
+		// probe) restarts the cooldown.
+		b.openNs[site].Store(time.Now().UnixNano())
+		b.probing[site].Store(false)
+	}
+}
+
+// Open reports whether the site's circuit is currently open or
+// half-open (i.e. the detector holds it Down).
+func (b *Breaker) Open(site int) bool {
+	return site >= 0 && site < len(b.openNs) && b.health.State(site) == fault.Down
+}
+
+// Trips returns the number of closed → open transitions.
+func (b *Breaker) Trips() int64 { return b.trips.Value() }
+
+// FastFails returns how many attempts were refused while open.
+func (b *Breaker) FastFails() int64 { return b.fastFails.Value() }
+
+// Reprobes returns how many half-open probes were admitted.
+func (b *Breaker) Reprobes() int64 { return b.reprobes.Value() }
+
+// BreakerStats is a snapshot of the breaker's counters for reports.
+type BreakerStats struct {
+	Trips     int64
+	FastFails int64
+	Reprobes  int64
+	Open      int // sites currently open
+}
+
+// Stats snapshots the breaker.
+func (b *Breaker) Stats() BreakerStats {
+	s := BreakerStats{Trips: b.trips.Value(), FastFails: b.fastFails.Value(), Reprobes: b.reprobes.Value()}
+	for i := range b.openNs {
+		if b.Open(i) {
+			s.Open++
+		}
+	}
+	return s
+}

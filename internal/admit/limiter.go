@@ -1,0 +1,241 @@
+package admit
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// LimiterOptions tunes the adaptive concurrency limiter.
+type LimiterOptions struct {
+	// Initial is the starting concurrency limit (default 8).
+	Initial int
+	// Min and Max clamp the limit (defaults 1 and 4096).
+	Min, Max int
+	// Window is the number of completed transactions per adaptation
+	// round (default 32).
+	Window int
+	// TargetAbortRate is the attempt-level abort rate above which the
+	// window triggers a multiplicative decrease (default 0.5: more than
+	// half of all executions were wasted work).
+	TargetAbortRate float64
+	// Decrease is the multiplicative-decrease factor (default 0.75).
+	Decrease float64
+	// LatencyFactor triggers a decrease when the window's p50 commit
+	// latency exceeds this multiple of the best p50 seen so far
+	// (default 4; the gradient term that catches queueing collapse the
+	// abort rate alone misses). 0 disables the latency term.
+	LatencyFactor float64
+	// QueuePerSlot bounds waiters: at most QueuePerSlot × limit
+	// admissions may wait for a slot before new arrivals are shed with
+	// ErrOverloaded (default 2).
+	QueuePerSlot int
+}
+
+func (o LimiterOptions) withDefaults() LimiterOptions {
+	if o.Initial <= 0 {
+		o.Initial = 8
+	}
+	if o.Min <= 0 {
+		o.Min = 1
+	}
+	if o.Max <= 0 {
+		o.Max = 4096
+	}
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.TargetAbortRate <= 0 {
+		o.TargetAbortRate = 0.5
+	}
+	if o.Decrease <= 0 || o.Decrease >= 1 {
+		o.Decrease = 0.75
+	}
+	if o.LatencyFactor < 0 {
+		o.LatencyFactor = 0
+	} else if o.LatencyFactor == 0 {
+		o.LatencyFactor = 4
+	}
+	if o.QueuePerSlot <= 0 {
+		o.QueuePerSlot = 2
+	}
+	if o.Initial < o.Min {
+		o.Initial = o.Min
+	}
+	if o.Initial > o.Max {
+		o.Initial = o.Max
+	}
+	return o
+}
+
+// Limiter is an AIMD concurrency limiter: Acquire admits a transaction
+// into the scheduler (blocking in a bounded wait queue when the limit is
+// reached, shedding with ErrOverloaded when the queue is full too), and
+// Release feeds the outcome back. Every Window completions the limiter
+// adapts: a window whose attempt-level abort rate exceeds
+// TargetAbortRate — or whose p50 latency blew past the best window by
+// LatencyFactor — multiplies the limit by Decrease; a healthy window
+// (abort rate under half the target) adds one. The probe direction is
+// deliberately asymmetric (slow up, fast down): restart storms feed on
+// admission, so over-admitting is the expensive mistake.
+type Limiter struct {
+	opts LimiterOptions
+
+	mu       sync.Mutex
+	limit    int
+	inflight int
+	queue    []chan struct{} // FIFO hand-off; closed channel = slot granted
+
+	// Window accumulators (under mu).
+	winDone     int
+	winAttempts int64
+	winCommits  int64
+	bestP50     int64 // best (lowest) windowed p50 commit latency seen
+
+	lat metrics.Histogram // commit latencies of the current window
+
+	gauge     metrics.Gauge   // in-flight admissions
+	shed      metrics.Counter // admissions refused with ErrOverloaded
+	increases metrics.Counter
+	decreases metrics.Counter
+}
+
+// NewLimiter returns a limiter with the given options.
+func NewLimiter(o LimiterOptions) *Limiter {
+	o = o.withDefaults()
+	return &Limiter{opts: o, limit: o.Initial}
+}
+
+// Limit returns the current concurrency limit.
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// InFlight returns the number of currently held slots.
+func (l *Limiter) InFlight() int64 { return l.gauge.Value() }
+
+// Gauge exposes the in-flight gauge (reports).
+func (l *Limiter) Gauge() *metrics.Gauge { return &l.gauge }
+
+// Shed returns how many admissions were refused.
+func (l *Limiter) Shed() int64 { return l.shed.Value() }
+
+// Acquire admits one transaction: immediately when a slot is free,
+// after a bounded wait when the limiter is at its limit, or not at all —
+// a full wait queue sheds the arrival with a typed *OverloadError, and
+// ctx expiry while queued returns ctx.Err().
+func (l *Limiter) Acquire(ctx Waiter, id int) error {
+	l.mu.Lock()
+	if l.inflight < l.limit {
+		l.inflight++
+		l.mu.Unlock()
+		l.gauge.Inc()
+		return nil
+	}
+	if len(l.queue) >= l.opts.QueuePerSlot*l.limit {
+		e := &OverloadError{Txn: id, InFlight: l.inflight, Limit: l.limit, Waiters: len(l.queue)}
+		l.mu.Unlock()
+		l.shed.Inc()
+		return e
+	}
+	w := make(chan struct{})
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+	select {
+	case <-w:
+		l.gauge.Inc()
+		return nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		for i, q := range l.queue {
+			if q == w {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				l.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		// The slot was granted while we were cancelling: hand it on.
+		l.releaseSlotLocked()
+		l.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// releaseSlotLocked frees one slot, handing it to the oldest waiter if
+// any and the limit still has room for it. Callers hold mu.
+func (l *Limiter) releaseSlotLocked() {
+	if len(l.queue) > 0 && l.inflight <= l.limit {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		close(w) // inflight count transfers to the waiter
+		return
+	}
+	l.inflight--
+}
+
+// Release returns a transaction's slot and feeds its outcome into the
+// adaptation window.
+func (l *Limiter) Release(committed bool, attempts int, latency time.Duration) {
+	if committed {
+		l.lat.ObserveDuration(latency)
+	}
+	l.mu.Lock()
+	l.winDone++
+	l.winAttempts += int64(attempts)
+	if committed {
+		l.winCommits++
+	}
+	if l.winDone >= l.opts.Window {
+		l.adaptLocked()
+	}
+	l.releaseSlotLocked()
+	l.mu.Unlock()
+	l.gauge.Dec()
+}
+
+// adaptLocked runs one AIMD round over the finished window. Callers
+// hold mu.
+func (l *Limiter) adaptLocked() {
+	attempts, commits := l.winAttempts, l.winCommits
+	l.winDone, l.winAttempts, l.winCommits = 0, 0, 0
+	snap := l.lat.Snapshot()
+	l.lat.Reset()
+	p50 := snap.Percentile(50)
+	if p50 > 0 && (l.bestP50 == 0 || p50 < l.bestP50) {
+		l.bestP50 = p50
+	}
+	abortRate := 0.0
+	if attempts > 0 {
+		abortRate = float64(attempts-commits) / float64(attempts)
+	}
+	slow := l.opts.LatencyFactor > 0 && l.bestP50 > 0 && p50 > int64(float64(l.bestP50)*l.opts.LatencyFactor)
+	switch {
+	case abortRate > l.opts.TargetAbortRate || slow:
+		next := int(float64(l.limit) * l.opts.Decrease)
+		if next >= l.limit {
+			next = l.limit - 1
+		}
+		if next < l.opts.Min {
+			next = l.opts.Min
+		}
+		if next != l.limit {
+			l.limit = next
+			l.decreases.Inc()
+		}
+	case abortRate < l.opts.TargetAbortRate/2:
+		if l.limit < l.opts.Max {
+			l.limit++
+			l.increases.Inc()
+			// A raised limit may unblock a waiter immediately.
+			if len(l.queue) > 0 && l.inflight < l.limit {
+				w := l.queue[0]
+				l.queue = l.queue[1:]
+				l.inflight++
+				close(w)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package admit
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// StormOptions tunes the restart-storm detector.
+type StormOptions struct {
+	// Window is the number of attempt outcomes (aborts + commits) per
+	// evaluation round (default 128).
+	Window int
+	// TripRatio is the abort:commit ratio at which the detector trips
+	// (default 3: three aborted executions per commit). A window with
+	// zero commits and at least Window aborts always trips.
+	TripRatio float64
+	// Damp is the global backoff multiplier while tripped (default 4).
+	Damp float64
+	// ClearRatio is the abort:commit ratio below which a tripped
+	// detector releases (default TripRatio/2 — hysteresis, so the
+	// damping does not flap at the threshold).
+	ClearRatio float64
+}
+
+func (o StormOptions) withDefaults() StormOptions {
+	if o.Window <= 0 {
+		o.Window = 128
+	}
+	if o.TripRatio <= 0 {
+		o.TripRatio = 3
+	}
+	if o.Damp <= 1 {
+		o.Damp = 4
+	}
+	if o.ClearRatio <= 0 || o.ClearRatio >= o.TripRatio {
+		o.ClearRatio = o.TripRatio / 2
+	}
+	return o
+}
+
+// Storm watches the global abort:commit ratio over fixed-size windows of
+// attempt outcomes. When the ratio spikes past TripRatio the system is
+// in a restart storm — most executions are wasted work — and every
+// backoff in the runtime is widened by Damp until the ratio falls back
+// under ClearRatio. Widening backoff globally drains the conflict
+// window: fewer transactions are mid-flight at once, so the survivors'
+// next attempts meet less competition. The trip counter is the
+// operator-facing signal that offered load is past the knee.
+type Storm struct {
+	opts StormOptions
+
+	mu         sync.Mutex
+	winAborts  int64
+	winCommits int64
+	storming   bool
+
+	trips metrics.Counter
+}
+
+// NewStorm returns a detector with the given options.
+func NewStorm(o StormOptions) *Storm {
+	return &Storm{opts: o.withDefaults()}
+}
+
+// OnAbort records one aborted attempt.
+func (s *Storm) OnAbort() { s.observe(1, 0) }
+
+// OnCommit records one committed attempt.
+func (s *Storm) OnCommit() { s.observe(0, 1) }
+
+func (s *Storm) observe(aborts, commits int64) {
+	s.mu.Lock()
+	s.winAborts += aborts
+	s.winCommits += commits
+	if s.winAborts+s.winCommits >= int64(s.opts.Window) {
+		ratio := float64(s.winAborts)
+		if s.winCommits > 0 {
+			ratio = float64(s.winAborts) / float64(s.winCommits)
+		}
+		switch {
+		case !s.storming && ratio >= s.opts.TripRatio:
+			s.storming = true
+			s.trips.Inc()
+		case s.storming && ratio <= s.opts.ClearRatio:
+			s.storming = false
+		}
+		s.winAborts, s.winCommits = 0, 0
+	}
+	s.mu.Unlock()
+}
+
+// Scale returns the current global backoff multiplier: Damp while a
+// storm is running, 1 otherwise.
+func (s *Storm) Scale() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.storming {
+		return s.opts.Damp
+	}
+	return 1
+}
+
+// Storming reports whether the detector is currently tripped.
+func (s *Storm) Storming() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.storming
+}
+
+// Trips returns how many times the detector has tripped.
+func (s *Storm) Trips() int64 { return s.trips.Value() }

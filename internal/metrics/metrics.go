@@ -25,6 +25,33 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
+// Gauge is an atomic level meter (e.g. in-flight admissions): it moves
+// both ways and remembers its high-water mark.
+type Gauge struct {
+	n    atomic.Int64
+	high atomic.Int64
+}
+
+// Inc raises the level by one and returns the new value.
+func (g *Gauge) Inc() int64 {
+	v := g.n.Add(1)
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return v
+		}
+	}
+}
+
+// Dec lowers the level by one and returns the new value.
+func (g *Gauge) Dec() int64 { return g.n.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// High returns the high-water mark.
+func (g *Gauge) High() int64 { return g.high.Load() }
+
 // Histogram collects int64 samples (typically nanoseconds) and answers
 // mean and percentile queries. Safe for concurrent use.
 type Histogram struct {
@@ -115,4 +142,77 @@ func (h *Histogram) Percentile(p float64) int64 {
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.0f p50=%d p99=%d",
 		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99))
+}
+
+// Reset discards every sample, starting a fresh window. Samples recorded
+// concurrently with the Reset land in either the old or the new window,
+// never both.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = nil
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Snapshot returns an immutable copy of the current window, sorted once,
+// so callers can take several percentile readings without re-holding the
+// histogram lock (the limiter reads p50/p99 of each adaptation window
+// this way, then Resets the live histogram).
+func (h *Histogram) Snapshot() *Snapshot {
+	h.mu.Lock()
+	samples := make([]int64, len(h.samples))
+	copy(samples, h.samples)
+	h.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return &Snapshot{samples: samples}
+}
+
+// Snapshot is a frozen, sorted sample set; all queries are lock-free.
+type Snapshot struct {
+	samples []int64
+}
+
+// Count returns the number of samples in the snapshot.
+func (s *Snapshot) Count() int { return len(s.samples) }
+
+// Mean returns the snapshot mean (0 with no samples).
+func (s *Snapshot) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return float64(sum) / float64(len(s.samples))
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Snapshot) Max() int64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-th percentile by the nearest-rank method
+// (0 with no samples).
+func (s *Snapshot) Percentile(p float64) int64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := int(p/100*float64(len(s.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.samples) {
+		rank = len(s.samples) - 1
+	}
+	return s.samples[rank]
 }

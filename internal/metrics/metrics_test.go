@@ -96,6 +96,120 @@ func TestObserveSince(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("Value = %d", g.Value())
+	}
+	if g.High() != 2 {
+		t.Fatalf("High = %d", g.High())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("Value = %d, want 0", g.Value())
+	}
+	if g.High() < 1 || g.High() > 8 {
+		t.Fatalf("High = %d, want 1..8", g.High())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Observe(10)
+	h.Reset()
+	if h.Count() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("Reset left samples behind")
+	}
+	h.Observe(3)
+	if h.Percentile(50) != 3 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 10; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	h.Reset()
+	h.Observe(1000) // must not affect the snapshot
+	if s.Count() != 10 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Mean() != 5.5 {
+		t.Fatalf("Mean = %f", s.Mean())
+	}
+	if s.Max() != 10 {
+		t.Fatalf("Max = %d", s.Max())
+	}
+	if s.Percentile(0) != 1 || s.Percentile(100) != 10 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if p := s.Percentile(50); p < 4 || p > 6 {
+		t.Fatalf("p50 = %d", p)
+	}
+	empty := (&Histogram{}).Snapshot()
+	if empty.Count() != 0 || empty.Mean() != 0 || empty.Max() != 0 || empty.Percentile(50) != 0 {
+		t.Fatal("empty snapshot not zero")
+	}
+}
+
+// TestHistogramConcurrentWindows is the -race guard for the limiter's
+// usage pattern: writers Observe continuously while a reader alternates
+// Percentile queries, Snapshots and Resets.
+func TestHistogramConcurrentWindows(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Observe(v % 1000)
+			}
+		}(int64(w + 1))
+	}
+	for i := 0; i < 200; i++ {
+		_ = h.Percentile(50)
+		_ = h.Mean()
+		s := h.Snapshot()
+		_ = s.Percentile(99)
+		if i%10 == 0 {
+			h.Reset()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestObserveDuration(t *testing.T) {
 	var h Histogram
 	h.ObserveDuration(2 * time.Microsecond)

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func overloadRows() []OverloadRow {
+	return []OverloadRow{
+		{Sched: "mt", Admit: true, Factor: 1, Goodput: 1000},
+		{Sched: "mt", Admit: true, Factor: 4, Goodput: 1200},
+		{Sched: "mt", Admit: true, Factor: 10, Goodput: 960},
+		{Sched: "mt", Admit: false, Factor: 1, Goodput: 1000},
+		{Sched: "mt", Admit: false, Factor: 4, Goodput: 800},
+		{Sched: "mt", Admit: false, Factor: 10, Goodput: 250},
+	}
+}
+
+func TestComputeRetention(t *testing.T) {
+	got := ComputeRetention(overloadRows())
+	if len(got) != 2 {
+		t.Fatalf("curves = %d, want 2", len(got))
+	}
+	adm := got[0]
+	if !adm.Admit || adm.KneeFactor != 4 || adm.KneeTPS != 1200 {
+		t.Fatalf("admit knee = %+v, want factor 4 @ 1200", adm)
+	}
+	if want := 960.0 / 1200.0; adm.Retention != want {
+		t.Fatalf("admit retention = %g, want %g", adm.Retention, want)
+	}
+	raw := got[1]
+	if raw.Admit || raw.KneeFactor != 1 || raw.Retention != 0.25 {
+		t.Fatalf("raw curve = %+v, want knee x1, retention 0.25", raw)
+	}
+}
+
+func TestOverloadWriters(t *testing.T) {
+	rows := overloadRows()
+	var csvBuf bytes.Buffer
+	if err := WriteOverloadCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("csv lines = %d, want %d", len(lines), len(rows)+1)
+	}
+	if !strings.HasPrefix(lines[0], "sched,admit,factor") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+
+	var jsonBuf bytes.Buffer
+	sum := OverloadSummary{Name: "t", Rows: rows, Retention: ComputeRetention(rows)}
+	if err := WriteOverloadJSON(&jsonBuf, sum); err != nil {
+		t.Fatal(err)
+	}
+	var back OverloadSummary
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(rows) || len(back.Retention) != 2 {
+		t.Fatalf("round-trip: rows=%d retention=%d", len(back.Rows), len(back.Retention))
+	}
+}

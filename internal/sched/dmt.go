@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/dmt"
 	"repro/internal/engine"
@@ -45,6 +46,12 @@ type DMT struct {
 	// many commits may wait at once; nil means fail fast.
 	parking Parking
 	parkSem chan struct{}
+
+	// Per-site circuit breaker (SetBreaker). When a site's circuit is
+	// open, admitStep fails the attempt fast with ErrUnavailable instead
+	// of letting it park or probe a transport that will not answer; the
+	// step, probe and commit paths feed the breaker's failure detector.
+	breaker *admit.Breaker
 
 	parked      atomic.Int64 // commits that entered the hand-off queue
 	healed      atomic.Int64 // parked commits released by a heal/recovery
@@ -125,6 +132,13 @@ func (d *DMT) SetParking(p Parking) {
 		d.parkSem = nil
 	}
 }
+
+// SetBreaker installs a per-site circuit breaker in front of every
+// protocol step. Call before traffic flows; nil removes it.
+func (d *DMT) SetBreaker(b *admit.Breaker) { d.breaker = b }
+
+// Breaker returns the installed circuit breaker (nil when none).
+func (d *DMT) Breaker() *admit.Breaker { return d.breaker }
 
 // Degraded returns a snapshot of the degraded-mode commit counters.
 func (d *DMT) Degraded() DegradedStats {
@@ -232,6 +246,7 @@ func (d *DMT) Read(txn int, item string) (int64, error) {
 	}
 	defer d.latch(item)()
 	dec := d.cluster.Step(oplog.R(txn, item))
+	d.observeStep(txn, dec)
 	if dec.Verdict == core.Unavailable {
 		return 0, Unavailable(txn, dec.Site, "read unreachable")
 	}
@@ -294,6 +309,7 @@ func (d *DMT) Write(txn int, item string, v int64) error {
 	}
 	dec := d.cluster.Step(oplog.W(txn, item))
 	unlock()
+	d.observeStep(txn, dec)
 	if dec.Verdict == core.Unavailable {
 		return Unavailable(txn, dec.Site, "write unreachable")
 	}
@@ -320,24 +336,51 @@ func (d *DMT) Write(txn int, item string, v int64) error {
 // the runtime's unavailability budget absorbs. No-op without a
 // transport.
 func (d *DMT) admitStep(txn int, st *mtTxn) error {
-	if !d.trackWindows {
+	if !d.trackWindows && d.breaker == nil {
 		return nil
 	}
 	home := d.cluster.TxnSite(txn)
-	if d.cluster.SiteUp(home) {
-		return nil
+	if d.trackWindows && !d.cluster.SiteUp(home) {
+		d.mu.Lock()
+		counted, stepped := st.winCounted, st.stepped
+		st.winCounted = true
+		d.mu.Unlock()
+		if !counted {
+			d.winAttempts.Add(1)
+		}
+		// Open circuit: fail fast before parking — the whole point of
+		// the breaker is not to burn a parked attempt's deadline against
+		// a site the detector already holds Down. The half-open probe
+		// that Allow lets through still takes the normal path below.
+		if d.breaker != nil && !d.breaker.Allow(home) {
+			return Unavailable(txn, home, "site breaker open")
+		}
+		if d.parkSem == nil || stepped {
+			return Unavailable(txn, home, "home site down")
+		}
+		return d.parkWait(txn, home)
 	}
-	d.mu.Lock()
-	counted, stepped := st.winCounted, st.stepped
-	st.winCounted = true
-	d.mu.Unlock()
-	if !counted {
-		d.winAttempts.Add(1)
+	// Site looks up locally but the circuit may still be open (cooldown
+	// running after a heal): fail fast until a probe closes it.
+	if d.breaker != nil && !d.breaker.Allow(home) {
+		return Unavailable(txn, home, "site breaker open")
 	}
-	if d.parkSem == nil || stepped {
-		return Unavailable(txn, home, "home site down")
+	return nil
+}
+
+// observeStep feeds the breaker from one protocol step's outcome: an
+// Unavailable verdict is a failed contact with the unreachable site,
+// any decided verdict (Accept or Reject — the protocol answered) is a
+// successful contact with the transaction's acting home site.
+func (d *DMT) observeStep(txn int, dec core.Decision) {
+	if d.breaker == nil {
+		return
 	}
-	return d.parkWait(txn, home)
+	if dec.Verdict == core.Unavailable {
+		d.breaker.Observe(dec.Site, false)
+	} else {
+		d.breaker.Observe(d.cluster.TxnSite(txn), true)
+	}
 }
 
 // Commit implements Scheduler. A transaction whose home site crashed
@@ -394,6 +437,9 @@ func (d *DMT) Commit(txn int) error {
 	} else {
 		d.cluster.Commit(txn)
 	}
+	if d.breaker != nil {
+		d.breaker.Observe(home, true)
+	}
 	if track {
 		d.winCommits.Add(1)
 	}
@@ -428,7 +474,11 @@ func (d *DMT) parkWait(txn, home int) error {
 	d.parked.Add(1)
 	deadline := time.Now().Add(d.parking.Deadline)
 	for tick := int64(1); ; tick++ {
-		if d.cluster.ProbeSite(home) == nil && d.cluster.SiteUp(home) {
+		up := d.cluster.ProbeSite(home) == nil && d.cluster.SiteUp(home)
+		if d.breaker != nil {
+			d.breaker.Observe(home, up)
+		}
+		if up {
 			d.healed.Add(1)
 			return nil
 		}

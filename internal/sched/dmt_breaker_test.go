@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/fault"
+)
+
+// failHome drives one attempt homed at the crashed site and asserts it
+// comes back unavailable, returning the observed error for inspection.
+func failHome(t *testing.T, d *DMT, id int) error {
+	t.Helper()
+	d.Begin(id)
+	_, err := d.Read(id, "x")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("read on crashed home: %v, want ErrUnavailable", err)
+	}
+	d.Abort(id)
+	return err
+}
+
+// A flapping site must trip the breaker after DownAfter consecutive
+// contact failures, fail fast while open, admit a half-open probe after
+// the cooldown that re-closes the circuit, and re-trip on the next
+// crash.
+func TestDMTBreakerFlappingSite(t *testing.T) {
+	d, _ := newParkingDMT(t, false)
+	br := admit.NewBreaker(2, admit.BreakerOptions{
+		Health:   fault.HealthOptions{SuspectAfter: 1, DownAfter: 2},
+		Cooldown: 20 * time.Millisecond,
+	})
+	d.SetBreaker(br)
+
+	for cycle := 1; cycle <= 2; cycle++ {
+		d.Cluster().CrashSite(1, false)
+		// Two real contact failures drive the detector to Down and trip
+		// the circuit; further attempts are refused without a contact.
+		for i := 0; i < 4; i++ {
+			failHome(t, d, 100*cycle+2*i+1) // odd ids home at site 1
+		}
+		if !br.Open(1) || br.Trips() != int64(cycle) {
+			t.Fatalf("cycle %d: open=%v trips=%d, want open with %d trips",
+				cycle, br.Open(1), br.Trips(), cycle)
+		}
+		ff := br.FastFails()
+		failHome(t, d, 100*cycle+11)
+		if br.FastFails() <= ff {
+			t.Fatalf("cycle %d: open breaker did not fast-fail", cycle)
+		}
+
+		// Heal. Before the cooldown elapses the circuit stays open even
+		// though the site is back; after it, the first attempt through is
+		// the half-open probe, whose successful contact closes the circuit.
+		d.Cluster().RecoverSite(1)
+		if !br.Open(1) {
+			t.Fatalf("cycle %d: circuit closed without a probe", cycle)
+		}
+		time.Sleep(25 * time.Millisecond)
+		id := 100*cycle + 21
+		d.Begin(id)
+		if _, err := d.Read(id, "x"); err != nil {
+			t.Fatalf("cycle %d: half-open probe failed: %v", cycle, err)
+		}
+		if err := d.Commit(id); err != nil {
+			t.Fatalf("cycle %d: probe commit: %v", cycle, err)
+		}
+		if br.Open(1) {
+			t.Fatalf("cycle %d: successful probe did not close the circuit", cycle)
+		}
+	}
+	if br.Reprobes() < 2 {
+		t.Fatalf("reprobes = %d, want >= 2 (one per heal)", br.Reprobes())
+	}
+	s := br.Stats()
+	if s.Trips != 2 || s.Open != 0 {
+		t.Fatalf("stats = %+v, want 2 trips, all closed", s)
+	}
+}
+
+// An open breaker must not let an attempt park: the first parked
+// attempt's failing probes trip the circuit, and every later attempt
+// fails fast instead of burning its own parking deadline against the
+// down site.
+func TestDMTBreakerBeatsParking(t *testing.T) {
+	d, _ := newParkingDMT(t, true)
+	d.SetParking(Parking{Capacity: 4, Deadline: 50 * time.Millisecond, Poll: 100 * time.Microsecond})
+	br := admit.NewBreaker(2, admit.BreakerOptions{
+		Health:   fault.HealthOptions{SuspectAfter: 1, DownAfter: 2},
+		Cooldown: time.Hour,
+	})
+	d.SetBreaker(br)
+	d.Cluster().CrashSite(1, false)
+	// The first attempt parks (the circuit is still closed) and its
+	// probes feed the breaker's detector until the parking deadline
+	// expires — by which point the circuit has tripped.
+	failHome(t, d, 1)
+	if !br.Open(1) || br.Trips() != 1 {
+		t.Fatalf("open=%v trips=%d after parked probes, want tripped", br.Open(1), br.Trips())
+	}
+	if d.Degraded().Parked != 1 {
+		t.Fatalf("parked = %d, want the first attempt parked", d.Degraded().Parked)
+	}
+	// Later attempts must return immediately without entering the queue.
+	start := time.Now()
+	failHome(t, d, 3)
+	if waited := time.Since(start); waited > 40*time.Millisecond {
+		t.Fatalf("open breaker let the attempt park (waited %v)", waited)
+	}
+	if d.Degraded().Parked != 1 {
+		t.Fatalf("parked = %d, want 1 with the circuit open", d.Degraded().Parked)
+	}
+}

@@ -78,12 +78,13 @@ func (m *MT) Begin(txn int) {
 	m.txns[txn] = &mtTxn{writes: make(map[string]int64)}
 }
 
+// state returns the live incarnation's buffers, or nil if the
+// transaction has no live incarnation (never began, or was aborted by a
+// deadline-expired runtime attempt whose straggler operation arrives
+// late). Returning nil instead of panicking keeps the run alive: the
+// caller answers such stray operations with a plain abort.
 func (m *MT) state(txn int) *mtTxn {
-	st := m.txns[txn]
-	if st == nil {
-		panic(fmt.Sprintf("sched: operation on transaction %d without Begin", txn))
-	}
-	return st
+	return m.txns[txn]
 }
 
 // Read implements Scheduler: the read is validated immediately
@@ -101,6 +102,9 @@ func (m *MT) Read(txn int, item string) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.state(txn)
+	if st == nil {
+		return 0, Abort(txn, 0, "no live incarnation")
+	}
 	if v, ok := st.writes[item]; ok {
 		return v, nil
 	}
@@ -125,6 +129,9 @@ func (m *MT) Write(txn int, item string, v int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.state(txn)
+	if st == nil {
+		return Abort(txn, 0, "no live incarnation")
+	}
 	if !m.opts.DeferWrites {
 		d := m.sched.Step(oplog.W(txn, item))
 		switch d.Verdict {
@@ -151,6 +158,9 @@ func (m *MT) Commit(txn int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.state(txn)
+	if st == nil {
+		return Abort(txn, 0, "no live incarnation")
+	}
 	apply := make(map[string]int64, len(st.writes))
 	for x, v := range st.writes {
 		apply[x] = v
@@ -309,6 +319,10 @@ func (c *Composite) Read(txn int, item string) (int64, error) {
 	}
 	c.mu.Lock()
 	st := c.state(txn)
+	if st == nil {
+		c.mu.Unlock()
+		return 0, Abort(txn, 0, "no live incarnation")
+	}
 	if v, ok := st.writes[item]; ok {
 		c.mu.Unlock()
 		return v, nil
@@ -330,6 +344,9 @@ func (c *Composite) Write(txn int, item string, v int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.state(txn)
+	if st == nil {
+		return Abort(txn, 0, "no live incarnation")
+	}
 	if _, ok := st.writes[item]; !ok {
 		st.order = append(st.order, item)
 	}
@@ -346,6 +363,10 @@ func (c *Composite) Write(txn int, item string, v int64) error {
 func (c *Composite) Commit(txn int) error {
 	c.mu.Lock()
 	st := c.state(txn)
+	if st == nil {
+		c.mu.Unlock()
+		return Abort(txn, 0, "no live incarnation")
+	}
 	order := append([]string(nil), st.order...)
 	c.mu.Unlock()
 	if c.latches != nil {
@@ -402,10 +423,8 @@ func (c *Composite) Protocol() *composite.Scheduler {
 	return c.sched
 }
 
+// state mirrors MT.state: nil for a transaction with no live
+// incarnation, answered by the caller with a plain abort.
 func (c *Composite) state(txn int) *mtTxn {
-	st := c.txns[txn]
-	if st == nil {
-		panic(fmt.Sprintf("sched: operation on transaction %d without Begin", txn))
-	}
-	return st
+	return c.txns[txn]
 }

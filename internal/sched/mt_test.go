@@ -182,14 +182,21 @@ func TestMTThomasRuleDropsWrite(t *testing.T) {
 	}
 }
 
-func TestMTBeginWithoutOpPanic(t *testing.T) {
+// An operation without Begin — a stray from an abandoned (deadline- or
+// timeout-expired) attempt whose incarnation was already aborted — must
+// answer with a plain abort, not a panic: the runtime's abandonment
+// design guarantees such stragglers exist.
+func TestMTOpWithoutBeginAborts(t *testing.T) {
 	m := NewMT(storage.New(), MTOptions{Core: engine.Options{K: 2}})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for op without Begin")
-		}
-	}()
-	m.Read(1, "x")
+	if _, err := m.Read(1, "x"); !errors.Is(err, ErrAbort) {
+		t.Fatalf("read without Begin: err = %v, want ErrAbort", err)
+	}
+	if err := m.Write(1, "x", 1); !errors.Is(err, ErrAbort) {
+		t.Fatalf("write without Begin: err = %v, want ErrAbort", err)
+	}
+	if err := m.Commit(1); !errors.Is(err, ErrAbort) {
+		t.Fatalf("commit without Begin: err = %v, want ErrAbort", err)
+	}
 }
 
 func TestCompositeRuntimeBasic(t *testing.T) {

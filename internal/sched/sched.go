@@ -13,6 +13,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ErrAbort is returned by Read, Write or Commit when the transaction must
@@ -65,6 +66,34 @@ func (e *UnavailableError) Unwrap() error { return ErrUnavailable }
 // Unavailable builds an *UnavailableError.
 func Unavailable(txn, site int, reason string) error {
 	return &UnavailableError{Txn: txn, Site: site, Reason: reason}
+}
+
+// ErrDeadlineExceeded is returned by the transaction runtime when a
+// per-transaction deadline expires before the transaction commits or
+// exhausts its retry budgets. Like ErrUnavailable it is NOT an ErrAbort:
+// no conflict was lost — the caller simply ran out of time, typically
+// while blocked in a backoff sleep, a latch wait or an unavailability
+// retry, all of which the deadline cancels.
+var ErrDeadlineExceeded = errors.New("sched: transaction deadline exceeded")
+
+// DeadlineError wraps ErrDeadlineExceeded with diagnostic context.
+type DeadlineError struct {
+	Txn     int
+	Elapsed time.Duration // wall time from first attempt to expiry
+	Stage   string        // where the deadline fired ("backoff", "attempt", ...)
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sched: txn %d deadline exceeded after %v (%s)", e.Txn, e.Elapsed, e.Stage)
+}
+
+// Unwrap makes errors.Is(err, ErrDeadlineExceeded) true.
+func (e *DeadlineError) Unwrap() error { return ErrDeadlineExceeded }
+
+// DeadlineExceeded builds a *DeadlineError.
+func DeadlineExceeded(txn int, elapsed time.Duration, stage string) error {
+	return &DeadlineError{Txn: txn, Elapsed: elapsed, Stage: stage}
 }
 
 // Scheduler is a runtime concurrency controller bound to a store.

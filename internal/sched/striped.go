@@ -83,13 +83,15 @@ func (m *MTStriped) Begin(txn int) {
 	m.tmu.Unlock()
 }
 
+// state returns the live incarnation's runtime state, or nil if the
+// transaction has no live incarnation (never began, or was aborted by a
+// deadline-expired runtime attempt whose straggler operation arrives
+// late). Returning nil instead of panicking keeps the run alive: the
+// caller answers such stray operations with a plain abort.
 func (m *MTStriped) state(txn int) *stripedTxnState {
 	m.tmu.RLock()
 	st := m.txns[txn]
 	m.tmu.RUnlock()
-	if st == nil {
-		panic(fmt.Sprintf("sched: operation on transaction %d without Begin", txn))
-	}
 	return st
 }
 
@@ -110,6 +112,9 @@ func (m *MTStriped) live(txn int) bool {
 // uncommitted writer" abort mirrors MT.Read.
 func (m *MTStriped) Read(txn int, item string) (int64, error) {
 	st := m.state(txn)
+	if st == nil {
+		return 0, Abort(txn, 0, "no live incarnation")
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if v, ok := st.writes[item]; ok {
@@ -134,6 +139,9 @@ func (m *MTStriped) Read(txn int, item string) (int64, error) {
 // Write implements Scheduler.
 func (m *MTStriped) Write(txn int, item string, v int64) error {
 	st := m.state(txn)
+	if st == nil {
+		return Abort(txn, 0, "no live incarnation")
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if !m.opts.DeferWrites {
@@ -167,6 +175,9 @@ func (m *MTStriped) Write(txn int, item string, v int64) error {
 // not at latch-acquire time.
 func (m *MTStriped) Commit(txn int) error {
 	st := m.state(txn)
+	if st == nil {
+		return Abort(txn, 0, "no live incarnation")
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	apply := make(map[string]int64, len(st.writes))

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -75,32 +76,61 @@ type Config struct {
 	// seeds and the planned fault schedule (Injector.PlannedSchedule), so
 	// a failing chaos/partition run is replayable from its log alone.
 	Repro []string
+	// Admit, when set, puts an overload controller in front of the
+	// runtime: admission is gated by its adaptive concurrency limiter
+	// (excess load is shed with ErrOverloaded), restart-storm damping
+	// widens backoffs globally, and priority aging gives starving
+	// transactions precedence. The controller's stats land on the Report.
+	Admit *admit.Options
+	// Deadline bounds each transaction's total wall time (admission wait,
+	// every attempt and every backoff included); 0 = none. Missed
+	// deadlines are reported per-transaction and counted on the Report.
+	Deadline time.Duration
+	// ShedPause is the rejected client's retry-after pause: a shed
+	// transaction sleeps this long before its worker offers the next
+	// one. See txn.Runtime.ShedPause.
+	ShedPause time.Duration
 }
 
 // Report aggregates one run's results.
 type Report struct {
-	Name        string
-	Txns        int
-	Committed   int64
-	GaveUp      int64 // transactions that exhausted a retry budget
-	Attempts    int64 // total executions, committed or not
-	Restarts    int64 // Attempts - Txns that finished (retry count)
-	Unavailable int64 // attempts ended by sched.ErrUnavailable
-	Timeouts    int64 // attempts abandoned by the per-attempt timeout
-	Durable     int64 // commits acked durable (== Committed without a WAL)
-	Wall        time.Duration
-	Latency     *metrics.Histogram
-	Store       *storage.Store
-	Fault       *fault.Stats         // injector counters (nil without faults)
-	WAL         *wal.Stats           // log writer counters (nil without a WAL)
-	Results     []txn.Result         // per-transaction results (KeepResults only)
-	Recovered   *wal.RecoveredState  // state the run started from (WAL only)
-	Degraded    *sched.DegradedStats // degraded-mode commit counters (DMT only)
-	Repro       []string             // replay lines (Config.Repro, verbatim)
+	Name         string
+	Txns         int
+	Committed    int64
+	GaveUp       int64 // transactions that exhausted a retry budget
+	Shed         int64 // transactions refused admission (ErrOverloaded)
+	DeadlineMiss int64 // transactions that ran out of deadline
+	Attempts     int64 // total executions, committed or not
+	Restarts     int64 // Attempts - Txns that finished (retry count)
+	Unavailable  int64 // attempts ended by sched.ErrUnavailable
+	Timeouts     int64 // attempts abandoned by the per-attempt timeout
+	Durable      int64 // commits acked durable (== Committed without a WAL)
+	Wall         time.Duration
+	Latency      *metrics.Histogram
+	Store        *storage.Store
+	Fault        *fault.Stats         // injector counters (nil without faults)
+	WAL          *wal.Stats           // log writer counters (nil without a WAL)
+	Results      []txn.Result         // per-transaction results (KeepResults only)
+	Recovered    *wal.RecoveredState  // state the run started from (WAL only)
+	Degraded     *sched.DegradedStats // degraded-mode commit counters (DMT only)
+	Admit        *admit.Stats         // overload controller counters (Config.Admit only)
+	Breaker      *admit.BreakerStats  // per-site circuit breaker counters (if installed)
+	Repro        []string             // replay lines (Config.Repro, verbatim)
 }
 
 // Throughput returns committed transactions per second.
 func (r *Report) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Wall.Seconds()
+}
+
+// Goodput returns useful work per second: transactions that committed
+// (within their deadline, when one was set). Shed and deadline-missed
+// transactions cost wall time but produce nothing, so under overload
+// goodput is the number to watch, not offered throughput.
+func (r *Report) Goodput() float64 {
 	if r.Wall <= 0 {
 		return 0
 	}
@@ -124,6 +154,16 @@ func (r *Report) String() string {
 		r.Latency.Mean()/1e3, r.Latency.Percentile(99)/1000)
 	if r.Unavailable > 0 || r.Timeouts > 0 {
 		s += fmt.Sprintf(" unavail=%d timeouts=%d", r.Unavailable, r.Timeouts)
+	}
+	if r.Shed > 0 || r.DeadlineMiss > 0 {
+		s += fmt.Sprintf(" shed=%d deadline-miss=%d", r.Shed, r.DeadlineMiss)
+	}
+	if r.Admit != nil {
+		s += " [admit: " + r.Admit.String() + "]"
+	}
+	if r.Breaker != nil {
+		s += fmt.Sprintf(" [breaker: trips=%d fast-fails=%d reprobes=%d open=%d]",
+			r.Breaker.Trips, r.Breaker.FastFails, r.Breaker.Reprobes, r.Breaker.Open)
 	}
 	if r.Fault != nil {
 		s += fmt.Sprintf(" [faults: sent=%d dropped=%d rejected=%d crashes=%d recoveries=%d",
@@ -201,6 +241,12 @@ func Run(cfg Config) *Report {
 		Sched: s, MaxAttempts: cfg.MaxAttempts, Backoff: cfg.Backoff, Think: cfg.Think,
 		Seed: cfg.RuntimeSeed, AttemptTimeout: cfg.AttemptTimeout,
 		UnavailableBudget: cfg.UnavailableBudget, UnavailableBackoff: cfg.UnavailableBackoff,
+		Deadline: cfg.Deadline, ShedPause: cfg.ShedPause,
+	}
+	var ctrl *admit.Controller
+	if cfg.Admit != nil {
+		ctrl = admit.NewController(*cfg.Admit)
+		rt.Admit = ctrl
 	}
 	if w != nil {
 		rt.Durable = w
@@ -222,18 +268,29 @@ func Run(cfg Config) *Report {
 	rep.Wall = time.Since(start)
 	for _, res := range results {
 		rep.Attempts += int64(res.Attempts)
-		if res.Committed {
+		switch {
+		case res.Committed:
 			rep.Committed++
-		} else {
+		case res.Shed:
+			rep.Shed++
+		case res.DeadlineExceeded:
+			rep.DeadlineMiss++
+		default:
 			rep.GaveUp++
 		}
 		if res.Committed && res.Durable {
 			rep.Durable++
 		}
-		rep.Restarts += int64(res.Attempts - 1)
+		if res.Attempts > 0 {
+			rep.Restarts += int64(res.Attempts - 1)
+		}
 		rep.Unavailable += int64(res.Unavailable)
 		rep.Timeouts += int64(res.Timeouts)
-		rep.Latency.ObserveDuration(res.Latency)
+		// Shed transactions never executed; their near-zero "latency"
+		// would only dilute the percentiles of work that actually ran.
+		if !res.Shed {
+			rep.Latency.ObserveDuration(res.Latency)
+		}
 	}
 	if cfg.KeepResults {
 		rep.Results = results
@@ -252,6 +309,16 @@ func Run(cfg Config) *Report {
 		if snap := dg.Degraded(); snap.WindowAttempts > 0 || snap.Parked > 0 || snap.Rejected > 0 {
 			rep.Degraded = &snap
 		}
+	}
+	if bk, ok := inner.(interface{ Breaker() *admit.Breaker }); ok {
+		if b := bk.Breaker(); b != nil {
+			snap := b.Stats()
+			rep.Breaker = &snap
+		}
+	}
+	if ctrl != nil {
+		snap := ctrl.Stats()
+		rep.Admit = &snap
 	}
 	if w != nil {
 		// Close flushes the tail; a writer that already died (injected

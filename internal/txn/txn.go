@@ -6,12 +6,14 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/oplog"
 	"repro/internal/sched"
 	"repro/internal/storage"
@@ -59,6 +61,14 @@ type Result struct {
 	Unavailable int
 	// Timeouts counts attempts abandoned by the per-attempt timeout.
 	Timeouts int
+	// Shed reports that admission control refused the transaction with
+	// admit.ErrOverloaded before it consumed any scheduler resources
+	// (Attempts is 0).
+	Shed bool
+	// DeadlineExceeded reports that the per-transaction deadline (or the
+	// caller's context) expired before the transaction committed or
+	// exhausted its retry budgets.
+	DeadlineExceeded bool
 	// Durable reports whether the commit reached stable storage before
 	// it was acknowledged. Equal to Committed when the runtime has no
 	// Durable waiter; false when the write-ahead log failed after the
@@ -127,6 +137,27 @@ type Runtime struct {
 	// non-durable but still committed — the in-memory state has it,
 	// the disk does not.
 	Durable interface{ Wait(txn int) error }
+	// Admit, when set, is the overload controller: every transaction's
+	// first attempt passes its admission gate (a refused transaction
+	// returns with Shed set and no scheduler work done), every conflict
+	// abort is reported to it, and the scale it returns multiplies the
+	// next backoff sleep (storm damping, priority aging).
+	Admit *admit.Controller
+	// ShedPause is slept (cancellably) before a shed transaction
+	// returns, modeling a rejected client's retry-after pause; 0 = none.
+	// Without it a closed-loop worker pool turns shedding into a busy
+	// loop that steals CPU from the admitted work it protects.
+	ShedPause time.Duration
+	// Deadline bounds one transaction end to end (0 = none): it covers
+	// admission waits, every attempt, backoff sleeps and think time.
+	// Expiry cancels in-flight sleeps, abandons blocked attempts and
+	// returns a result with DeadlineExceeded set.
+	Deadline time.Duration
+	// Stop, when non-nil, is a shutdown signal: once it closes, every
+	// in-flight backoff or think sleep is cancelled and transactions
+	// return promptly with DeadlineExceeded (shutdown is a deadline of
+	// "now").
+	Stop <-chan struct{}
 }
 
 // errAttemptTimeout marks an attempt abandoned by AttemptTimeout. It
@@ -156,20 +187,86 @@ func jitterSeed(runtimeSeed int64, id int) int64 {
 // attempt timeouts) are retried under separate budgets with separate
 // exponential-backoff-plus-jitter schedules.
 func (r *Runtime) Exec(spec Spec) Result {
+	return r.ExecCtx(context.Background(), spec)
+}
+
+// ExecCtx is Exec under a context: ctx expiry (or Runtime.Deadline,
+// whichever fires first, or a closed Stop channel) cancels admission
+// waits, backoff and think sleeps and abandons blocked attempts,
+// returning a result with DeadlineExceeded set. With Admit configured,
+// the transaction first passes the overload controller's admission
+// gate; a refusal returns immediately with Shed set.
+func (r *Runtime) ExecCtx(ctx context.Context, spec Spec) Result {
 	start := time.Now()
-	rng := rand.New(rand.NewSource(jitterSeed(r.Seed, spec.ID)))
 	res := Result{ID: spec.ID}
+	if r.Stop != nil {
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stop := r.Stop
+		go func() {
+			select {
+			case <-stop:
+				cancel()
+			case <-sctx.Done():
+			}
+		}()
+		ctx = sctx
+	}
+	if r.Deadline > 0 {
+		dctx, cancel := context.WithTimeout(ctx, r.Deadline)
+		defer cancel()
+		ctx = dctx
+	}
+	if r.Admit != nil {
+		if err := r.Admit.Admit(ctx, spec.ID); err != nil {
+			if errors.Is(err, admit.ErrOverloaded) {
+				res.Shed = true
+				_ = sleepCtx(ctx, r.ShedPause)
+			} else {
+				res.DeadlineExceeded = true
+			}
+			res.Latency = time.Since(start)
+			return res
+		}
+		// The controller is fed SERVICE latency (admission grant to
+		// outcome), not arrival latency: queue wait is the limiter's own
+		// artifact, and feeding it back would spiral the limit down under
+		// load — the deeper the queue, the "slower" the system looks, the
+		// harder it throttles. Result.Latency stays arrival-based.
+		admitted := time.Now()
+		defer func() {
+			r.Admit.Done(spec.ID, res.Committed, res.Attempts, time.Since(admitted))
+		}()
+	}
+	rng := rand.New(rand.NewSource(jitterSeed(r.Seed, spec.ID)))
 	resumeFrom := 0
 	var reads map[string]int64
 	var readVers map[string]int64
 	conflicts := 0 // attempts ended by ErrAbort, counted against MaxAttempts
 	unavail := 0   // attempts ended by ErrUnavailable, separate budget
+	// expired finalizes a deadline exit: the live incarnation (if any)
+	// is aborted so the scheduler does not hold its vector forever.
+	expired := func() Result {
+		r.Sched.Abort(spec.ID)
+		res.DeadlineExceeded = true
+		res.Latency = time.Since(start)
+		return res
+	}
 	for {
+		// Retries (never the first attempt) pass the aging crisis gate:
+		// while an elder is fighting for its commit, only the oldest live
+		// transaction may launch, so its commit is certain rather than a
+		// rematch it can keep losing.
+		if r.Admit != nil && res.Attempts > 0 {
+			if err := r.Admit.RetryGate(ctx, spec.ID); err != nil {
+				return expired()
+			}
+		}
 		if resumeFrom == 0 {
 			reads = make(map[string]int64)
 			readVers = make(map[string]int64)
 		}
-		out := r.attemptWithTimeout(spec, resumeFrom, reads, readVers)
+		out := r.attemptWithTimeout(ctx, spec, resumeFrom, reads, readVers)
 		res.OpsExecuted += out.ops
 		res.Attempts++
 		if out.err == nil {
@@ -185,6 +282,8 @@ func (r *Runtime) Exec(spec Spec) Result {
 			return res
 		}
 		switch {
+		case errors.Is(out.err, sched.ErrDeadlineExceeded):
+			return expired()
 		case errors.Is(out.err, sched.ErrUnavailable):
 			// Degraded mode: no conflict was lost and no ordering was
 			// established against us — abort the incarnation and wait for
@@ -205,7 +304,9 @@ func (r *Runtime) Exec(spec Spec) Result {
 			if base == 0 {
 				base = r.Backoff
 			}
-			sleepBackoff(rng, unavail, base)
+			if err := sleepBackoff(ctx, rng, unavail, base, 1); err != nil {
+				return expired()
+			}
 		case errors.Is(out.err, sched.ErrAbort):
 			conflicts++
 			resumeFrom = 0
@@ -222,7 +323,18 @@ func (r *Runtime) Exec(spec Spec) Result {
 				res.Latency = time.Since(start)
 				return res
 			}
-			sleepBackoff(rng, conflicts, r.Backoff)
+			scale := 1.0
+			if r.Admit != nil {
+				blocker := 0
+				var ae *sched.AbortError
+				if errors.As(out.err, &ae) {
+					blocker = ae.Blocker
+				}
+				scale = r.Admit.OnAbort(spec.ID, blocker)
+			}
+			if err := sleepBackoff(ctx, rng, conflicts, r.Backoff, scale); err != nil {
+				return expired()
+			}
 		default:
 			panic("txn: scheduler returned a non-abort error: " + out.err.Error())
 		}
@@ -230,17 +342,45 @@ func (r *Runtime) Exec(spec Spec) Result {
 }
 
 // sleepBackoff sleeps Backoff-style full jitter: uniform in
-// [0, base·2^min(n,6)].
-func sleepBackoff(rng *rand.Rand, n int, base time.Duration) {
-	if base <= 0 {
-		return
+// [0, scale·base·2^min(n,6)]. scale < 1 shortens the sleep (0 skips it
+// entirely — an aged transaction retrying immediately), scale > 1
+// widens it (storm damping, young-yields-to-old). The sleep is
+// cancellable: ctx expiry interrupts it and returns the ctx error.
+func sleepBackoff(ctx context.Context, rng *rand.Rand, n int, base time.Duration, scale float64) error {
+	if base <= 0 || scale < 0 {
+		return ctx.Err()
 	}
 	shift := n
 	if shift > 6 {
 		shift = 6
 	}
-	max := int64(base) << shift
-	time.Sleep(time.Duration(rng.Int63n(max + 1)))
+	max := int64(float64(base) * scale)
+	if max <= 0 {
+		return ctx.Err()
+	}
+	max <<= shift
+	return sleepCtx(ctx, time.Duration(rng.Int63n(max+1)))
+}
+
+// sleepCtx sleeps d, returning early with the ctx error when the
+// context expires first. The fast path (no cancellation possible) stays
+// a bare time.Sleep.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // tryResume decides whether execution can continue mid-transaction: the
@@ -271,37 +411,60 @@ type attemptOut struct {
 }
 
 // attemptWithTimeout runs one attempt, bounded by AttemptTimeout when
-// set. A timed-out attempt is abandoned: its goroutine keeps draining
-// against the scheduler (which must tolerate stray operations of a dead
-// incarnation) but its maps are never reused by the caller, and its op
-// count is lost.
-func (r *Runtime) attemptWithTimeout(spec Spec, resumeFrom int, reads, readVers map[string]int64) attemptOut {
-	if r.AttemptTimeout <= 0 {
-		return r.attempt(spec, resumeFrom, reads, readVers)
+// set and by the context's deadline. A timed-out or deadline-abandoned
+// attempt keeps draining in its goroutine against the scheduler (which
+// must tolerate stray operations of a dead incarnation) but its maps are
+// never reused by the caller, and its op count is lost. This abandonment
+// is also what cancels an attempt blocked on a latch or lock wait: the
+// caller stops waiting even though the blocked goroutine only unwinds
+// once the latch frees.
+func (r *Runtime) attemptWithTimeout(ctx context.Context, spec Spec, resumeFrom int, reads, readVers map[string]int64) attemptOut {
+	if r.AttemptTimeout <= 0 && ctx.Done() == nil {
+		return r.attempt(ctx, spec, resumeFrom, reads, readVers)
 	}
 	ch := make(chan attemptOut, 1)
-	go func() { ch <- r.attempt(spec, resumeFrom, reads, readVers) }()
-	timer := time.NewTimer(r.AttemptTimeout)
-	defer timer.Stop()
+	go func() { ch <- r.attempt(ctx, spec, resumeFrom, reads, readVers) }()
+	var timeout <-chan time.Time
+	if r.AttemptTimeout > 0 {
+		timer := time.NewTimer(r.AttemptTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	select {
 	case out := <-ch:
 		return out
-	case <-timer.C:
+	case <-timeout:
 		return attemptOut{failedAt: -1, err: errAttemptTimeout}
+	case <-ctx.Done():
+		// Janitor: the abandoned goroutine may Begin a fresh incarnation
+		// after the caller's final Abort, leaving a live-looking entry
+		// that poisons other transactions' pending-writer checks. The
+		// deadline path never reuses the id, so re-aborting once the
+		// stray drains is safe and closes the leak.
+		go func() { <-ch; r.Sched.Abort(spec.ID) }()
+		return attemptOut{failedAt: -1, err: sched.DeadlineExceeded(spec.ID, 0, "attempt abandoned")}
 	}
 }
 
 // attempt runs ops[resumeFrom:] of the spec; a fresh attempt
-// (resumeFrom == 0) begins the transaction first.
-func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]int64) attemptOut {
+// (resumeFrom == 0) begins the transaction first. Think sleeps are
+// cancellable: ctx expiry fails the attempt with ErrDeadlineExceeded.
+func (r *Runtime) attempt(ctx context.Context, spec Spec, resumeFrom int, reads, readVers map[string]int64) attemptOut {
 	out := attemptOut{failedAt: -1}
 	if resumeFrom == 0 {
+		if ctx.Err() != nil {
+			out.err = sched.DeadlineExceeded(spec.ID, 0, "attempt not started")
+			return out
+		}
 		r.Sched.Begin(spec.ID)
 	}
 	for i := resumeFrom; i < len(spec.Ops); i++ {
 		op := spec.Ops[i]
 		if r.Think > 0 && i > 0 {
-			time.Sleep(r.Think)
+			if err := sleepCtx(ctx, r.Think); err != nil {
+				out.failedAt, out.err = i, sched.DeadlineExceeded(spec.ID, 0, "think")
+				return out
+			}
 		}
 		out.ops++
 		if op.Kind == oplog.Read {
@@ -328,7 +491,10 @@ func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]
 		}
 	}
 	if r.Think > 0 && len(spec.Ops) > 0 {
-		time.Sleep(r.Think)
+		if err := sleepCtx(ctx, r.Think); err != nil {
+			out.failedAt, out.err = len(spec.Ops), sched.DeadlineExceeded(spec.ID, 0, "pre-commit think")
+			return out
+		}
 	}
 	if err := r.Sched.Commit(spec.ID); err != nil {
 		out.failedAt, out.err = len(spec.Ops), err
@@ -340,6 +506,12 @@ func (r *Runtime) attempt(spec Spec, resumeFrom int, reads, readVers map[string]
 
 // Pool executes specs on w workers and returns every result.
 func (r *Runtime) Pool(specs []Spec, workers int) []Result {
+	return r.PoolCtx(context.Background(), specs, workers)
+}
+
+// PoolCtx is Pool under a context shared by every transaction (each
+// still gets its own per-transaction Deadline on top, when configured).
+func (r *Runtime) PoolCtx(ctx context.Context, specs []Spec, workers int) []Result {
 	if workers < 1 {
 		workers = 1
 	}
@@ -355,7 +527,7 @@ func (r *Runtime) Pool(specs []Spec, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for spec := range in {
-				out[idx[spec.ID]] = r.Exec(spec)
+				out[idx[spec.ID]] = r.ExecCtx(ctx, spec)
 			}
 		}()
 	}

@@ -85,6 +85,34 @@ func TestFacadeRuntimeBanking(t *testing.T) {
 	}
 }
 
+// The overload layer through the facade: an admission-controlled,
+// deadline-bounded run keeps every offered transaction accounted for
+// (committed, shed, deadline-missed or gave up) and attaches the
+// controller's stats to the report.
+func TestFacadeOverloadRuntime(t *testing.T) {
+	accounts := []string{"a", "b", "c"}
+	rep := RunSim(SimConfig{
+		NewScheduler: func(st *Store) RuntimeScheduler {
+			return NewMTRuntime(st, DefaultMTOptions(4), true)
+		},
+		Specs:    Transfers(60, accounts, 5, 7),
+		Workers:  8,
+		Backoff:  20 * time.Microsecond,
+		Initial:  map[string]int64{"a": 100, "b": 100, "c": 100},
+		Admit:    &AdmitOptions{},
+		Deadline: 250 * time.Millisecond,
+	})
+	if got := rep.Committed + rep.Shed + rep.DeadlineMiss + rep.GaveUp; got != 60 {
+		t.Fatalf("accounted = %d, want 60", got)
+	}
+	if rep.Admit == nil {
+		t.Fatal("controller stats missing from report")
+	}
+	if rep.Store.Sum(accounts) != 300 {
+		t.Fatalf("sum = %d", rep.Store.Sum(accounts))
+	}
+}
+
 // The README durability quickstart, end to end: a durable banking run,
 // then recovery reproduces the final balances from disk.
 func TestFacadeDurableRuntime(t *testing.T) {

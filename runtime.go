@@ -2,6 +2,7 @@ package mdts
 
 import (
 	"repro/internal/adaptive"
+	"repro/internal/admit"
 	"repro/internal/engine"
 	"repro/internal/interval"
 	"repro/internal/lock"
@@ -132,6 +133,33 @@ func NewAdaptiveRuntime(store *Store, opts AdaptiveOptions) RuntimeScheduler {
 
 // RunSim executes a simulation and returns its report.
 func RunSim(cfg SimConfig) *SimReport { return sim.Run(cfg) }
+
+// Overload-control layer: adaptive admission, restart-storm damping,
+// priority aging and deadline propagation (DESIGN.md §12). Set
+// SimConfig.Admit (and optionally SimConfig.Deadline) to put the
+// controller in front of a simulation's runtime.
+type (
+	// AdmitOptions configures the controller: the AIMD concurrency
+	// limiter, the aging table (express lane, elder barrier, crisis
+	// gate) and the storm detector.
+	AdmitOptions = admit.Options
+	// AdmitController gates admission, scales backoffs and tracks ages.
+	AdmitController = admit.Controller
+	// AdmitStats is the controller's counters, attached to SimReport.
+	AdmitStats = admit.Stats
+)
+
+// ErrOverloaded is returned (wrapped in a typed *admit.OverloadError)
+// when admission is refused because the system is past its limit.
+var ErrOverloaded = admit.ErrOverloaded
+
+// ErrDeadlineExceeded is returned when a transaction's deadline expires
+// before it commits (admission wait, attempts and backoffs included).
+var ErrDeadlineExceeded = sched.ErrDeadlineExceeded
+
+// NewAdmitController builds an overload controller for use with
+// txn.Runtime.Admit.
+func NewAdmitController(opts AdmitOptions) *AdmitController { return admit.NewController(opts) }
 
 // Durability layer: the write-ahead log that makes runtime commits
 // crash-safe (redo records, group commit, checkpoints, recovery).

@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet fmt lint vuln build test shuffle race bench bench-smoke bench-sweep bench-sweep-4 bench-sweep-7 chaos chaos-partition chaos-partition-smoke fuzz-smoke crash overload-smoke
+.PHONY: ci vet fmt lint vuln build test shuffle race bench bench-smoke bench-sweep bench-sweep-4 bench-sweep-7 chaos chaos-partition chaos-partition-smoke fuzz-smoke crash overload-smoke explore-smoke explore cover
 
 # The full gate: what must pass before merging.
-ci: vet fmt lint vuln build test shuffle race bench-smoke fuzz-smoke crash chaos-partition-smoke overload-smoke
+ci: vet fmt lint vuln build test shuffle race bench-smoke fuzz-smoke crash chaos-partition-smoke overload-smoke explore-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,7 +41,7 @@ shuffle:
 # (crash/recovery racing allocations and counter sync), plus the
 # runtime, the group-commit log writer and the harness that drive them.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/storage/... ./internal/lock/... ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/wal/... ./internal/sim/... ./internal/admit/...
+	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/storage/... ./internal/lock/... ./internal/dmt/... ./internal/fault/... ./internal/txn/... ./internal/wal/... ./internal/sim/... ./internal/admit/... ./internal/explore/...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=20x ./...
@@ -110,6 +110,25 @@ bench-sweep-7:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseLog -fuzztime=$(FUZZTIME) ./internal/oplog/
 	$(GO) test -fuzz=FuzzParseLogWAL -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -fuzz=FuzzReplayTrace -fuzztime=$(FUZZTIME) ./internal/explore/
+
+# Controlled-concurrency schedule exploration (internal/explore, see
+# DESIGN.md §13 / EXPERIMENTS.md E28). The smoke leg runs the full test
+# file: PCT campaigns over every scheduler family, exhaustive DFS on the
+# 2x2 workloads (with the C(8,4)=70 bound check), the seeded-bug search
+# acceptance tests, and the checked-in trace regressions.
+explore-smoke:
+	$(GO) test ./internal/explore -run TestExplore -explore.budget=40 -timeout 600s
+
+# A deeper local search: more PCT executions per (family, workload).
+explore:
+	$(GO) test ./internal/explore -run TestExplore -explore.budget=500 -timeout 1800s -v
+
+# Per-package coverage report (the numbers quoted in EXPERIMENTS.md E28).
+cover:
+	$(GO) test -cover ./internal/... | sort
+	@$(GO) test -coverprofile=/tmp/repro-cover.out ./internal/... >/dev/null && \
+		$(GO) tool cover -func=/tmp/repro-cover.out | tail -1
 
 # The full crash matrix from the CLI: one run per filesystem sync
 # boundary, verifying recovery, durability acks and counter watermarks.

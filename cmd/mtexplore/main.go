@@ -1,0 +1,144 @@
+// Command mtexplore drives the controlled-concurrency schedule explorer
+// (internal/explore) from the command line: it searches the interleaving
+// space of a scheduler family over a tiny named workload with PCT random
+// priorities or bounded DFS, judges every execution with the full oracle
+// set (panic/deadlock, DSR, coarse-reference parity, k-th-column
+// uniqueness), and writes any failing schedule as a replayable — and
+// optionally delta-debugged — trace file.
+//
+// Usage:
+//
+//	mtexplore -sched mt-striped -workload conflict-2x2 -strategy pct -budget 2000
+//	mtexplore -sched dmt -workload mix-3x3 -strategy dfs
+//	mtexplore -replay failure.trace
+//	mtexplore -replay testdata/publish_inversion.trace -inject
+//
+// Every run is a pure function of its flags: the same seed and budget
+// re-explore the same schedules. A failing run exits 1 after writing
+// the trace; -shrink minimizes it first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/explore"
+)
+
+func main() {
+	schedName := flag.String("sched", "mt-striped", "scheduler family: mt|mt-striped|composite|dmt|nested")
+	workloadName := flag.String("workload", "conflict-2x2", "named workload: "+strings.Join(explore.WorkloadNames(), "|"))
+	strategy := flag.String("strategy", "pct", "search strategy: pct|dfs")
+	budget := flag.Int("budget", 1000, "PCT executions (ignored by dfs)")
+	seed := flag.Int64("seed", 1, "PCT campaign seed")
+	d := flag.Int("d", 3, "PCT priority-change points (bug depth - 1)")
+	k := flag.Int("k", 2, "timestamp vector size")
+	deferWrites := flag.Bool("defer", false, "deferred-write discipline (mt families)")
+	starvation := flag.Bool("starvation", false, "enable the starvation-avoidance reseed")
+	maxSchedules := flag.Int("max-schedules", 0, "DFS schedule cap (0 = run to exhaustion)")
+	out := flag.String("out", ".", "directory for failing trace files")
+	shrink := flag.Bool("shrink", true, "delta-debug failing schedules before writing them")
+	replay := flag.String("replay", "", "replay a trace file instead of searching")
+	inject := flag.Bool("inject", false, "with -replay: honor the trace's unsafe-* injection flags")
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay, *inject))
+	}
+
+	w, ok := explore.NamedWorkload(*workloadName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mtexplore: unknown workload %q (have %s)\n",
+			*workloadName, strings.Join(explore.WorkloadNames(), ", "))
+		os.Exit(2)
+	}
+	o := explore.CampaignOptions{
+		Config: explore.Config{
+			Family:              *schedName,
+			K:                   *k,
+			DeferWrites:         *deferWrites,
+			StarvationAvoidance: *starvation,
+			Initial:             map[string]int64{"a": 10, "b": 20, "c": 30, "x": 40},
+		},
+		Workload: w,
+	}
+	var dfs *explore.DFS
+	switch *strategy {
+	case "pct":
+		o.Strategy = &explore.PCT{Seed: *seed, D: *d, Budget: *budget}
+	case "dfs":
+		dfs = &explore.DFS{MaxSchedules: *maxSchedules}
+		o.Strategy = dfs
+		o.Preempt = explore.PreemptOps
+	default:
+		fmt.Fprintf(os.Stderr, "mtexplore: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	res := explore.RunCampaign(o)
+	rate := float64(res.Executions) / res.Elapsed.Seconds()
+	fmt.Printf("%s/%s %s: %d executions (%d distinct schedules) in %v — %.0f schedules/sec\n",
+		*schedName, *workloadName, *strategy, res.Executions, res.Distinct, res.Elapsed.Round(1e6), rate)
+	for st, n := range res.Statuses {
+		fmt.Printf("  %-10s %d\n", st, n)
+	}
+	if dfs != nil {
+		if res.Exhausted {
+			fmt.Println("  schedule space exhausted")
+		} else {
+			fmt.Println("  schedule space NOT exhausted (cap reached)")
+		}
+	}
+	if len(res.Failures) == 0 {
+		fmt.Println("  all oracles passed")
+		return
+	}
+
+	f := res.Failures[0]
+	fmt.Printf("FAILURE %s: %s\n", f.Oracle, f.Detail)
+	if *shrink && len(f.Dirs) > 0 {
+		orig := len(f.Dirs)
+		f.Dirs = explore.Shrink(f.Dirs, func(dirs []explore.Directive) bool {
+			_, rf, _ := explore.ReplayTrace(o, &explore.Trace{Dirs: dirs})
+			return rf != nil && rf.Oracle == f.Oracle
+		}, 0)
+		fmt.Printf("  shrunk %d -> %d directives\n", orig, len(f.Dirs))
+	}
+	tr := explore.TraceFor(o, f)
+	path := filepath.Join(*out, fmt.Sprintf("%s_%s_%s.trace", *schedName, *workloadName, f.Oracle))
+	if err := os.WriteFile(path, tr.Format(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mtexplore: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  wrote %s — replay with: mtexplore -replay %s -inject\n", path, path)
+	os.Exit(1)
+}
+
+func runReplay(path string, inject bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtexplore: %v\n", err)
+		return 2
+	}
+	tr, err := explore.ParseTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtexplore: %v\n", err)
+		return 2
+	}
+	o, err := explore.OptionsFromTrace(tr, inject)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtexplore: %v\n", err)
+		return 2
+	}
+	ex, f, diverged := explore.ReplayTrace(o, tr)
+	fmt.Printf("replayed %s: status=%s steps=%d diverged=%v\n", path, ex.Status, len(ex.Choices), diverged)
+	if f != nil {
+		fmt.Printf("FAILURE %s: %s\n", f.Oracle, f.Detail)
+		return 1
+	}
+	fmt.Println("all oracles passed")
+	return 0
+}

@@ -29,6 +29,12 @@ type AgingOptions struct {
 	// Disabled turns the whole component off: OnAbort always returns 1,
 	// the barrier never closes. Used by A/B experiments.
 	Disabled bool
+	// UnsafeZeroExpress reintroduces the PR 7 express-lane livelock for
+	// the schedule explorer's seeded-bug tests: the oldest live
+	// transaction's backoff scale becomes literally zero, so it
+	// hot-loops its attempt budget against the reseed-past-the-blocker
+	// rule. Never set outside tests.
+	UnsafeZeroExpress bool
 }
 
 func (o AgingOptions) withDefaults() AgingOptions {
@@ -40,6 +46,9 @@ func (o AgingOptions) withDefaults() AgingOptions {
 	}
 	if o.ExpressScale <= 0 {
 		o.ExpressScale = 0.25
+	}
+	if o.UnsafeZeroExpress {
+		o.ExpressScale = 0
 	}
 	return o
 }

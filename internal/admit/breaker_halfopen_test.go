@@ -1,0 +1,144 @@
+package admit
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// tripBreaker drives site 0 Down with consecutive failures.
+func tripBreaker(b *Breaker) {
+	for i := 0; i < 8 && !b.Open(0); i++ {
+		b.Observe(0, false)
+	}
+}
+
+func newTestBreaker(cooldown time.Duration) *Breaker {
+	return NewBreaker(1, BreakerOptions{
+		Cooldown: cooldown,
+		Health:   fault.HealthOptions{SuspectAfter: 1, DownAfter: 2},
+	})
+}
+
+// TestBreakerHalfOpenSingleProbe races many goroutines against the
+// half-open transition: after the cooldown elapses, exactly one caller
+// may pass as the probe, no matter how many arrive at once.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newTestBreaker(time.Millisecond)
+	tripBreaker(b)
+	if !b.Open(0) {
+		t.Fatal("breaker did not trip")
+	}
+	if b.Allow(0) {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+	time.Sleep(2 * time.Millisecond)
+
+	const n = 32
+	var admitted atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.Allow(0) {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+	if b.Reprobes() != 1 {
+		t.Fatalf("reprobes = %d, want 1", b.Reprobes())
+	}
+}
+
+// TestBreakerProbeSuccessCloses: a successful half-open probe closes
+// the circuit for everyone.
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	b := newTestBreaker(time.Millisecond)
+	tripBreaker(b)
+	time.Sleep(2 * time.Millisecond)
+	if !b.Allow(0) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	b.Observe(0, true)
+	if b.Open(0) {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	for i := 0; i < 4; i++ {
+		if !b.Allow(0) {
+			t.Fatal("closed breaker refused traffic")
+		}
+	}
+}
+
+// TestBreakerProbeFailureRestartsCooldown: a failed probe reopens the
+// circuit for a full new cooldown, after which the next single probe is
+// admitted again.
+func TestBreakerProbeFailureRestartsCooldown(t *testing.T) {
+	b := newTestBreaker(5 * time.Millisecond)
+	tripBreaker(b)
+	time.Sleep(7 * time.Millisecond)
+	if !b.Allow(0) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	b.Observe(0, false)
+	if !b.Open(0) {
+		t.Fatal("failed probe closed the circuit")
+	}
+	// Immediately after the failed probe we are inside a fresh cooldown.
+	if b.Allow(0) {
+		t.Fatal("failed probe did not restart the cooldown")
+	}
+	time.Sleep(7 * time.Millisecond)
+	if !b.Allow(0) {
+		t.Fatal("second half-open period refused its probe")
+	}
+	if b.Reprobes() != 2 {
+		t.Fatalf("reprobes = %d, want 2", b.Reprobes())
+	}
+}
+
+// TestBreakerConcurrentObserveAllowRace hammers Allow and Observe from
+// many goroutines through trip/recover cycles; the run must be
+// race-free (go test -race) and end closed after a success.
+func TestBreakerConcurrentObserveAllowRace(t *testing.T) {
+	b := newTestBreaker(100 * time.Microsecond)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Allow(0)
+				b.Stats()
+			}
+		}()
+	}
+	for cycle := 0; cycle < 20; cycle++ {
+		tripBreaker(b)
+		time.Sleep(200 * time.Microsecond)
+		b.Observe(0, true)
+	}
+	close(stop)
+	wg.Wait()
+	b.Observe(0, true)
+	if b.Open(0) {
+		t.Fatal("breaker open after a final success")
+	}
+}

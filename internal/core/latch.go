@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/explore/hook"
+)
 
 // LatchTable is a hash-striped per-item latch table: each item maps to
 // one of a fixed set of mutex stripes, and a multi-item acquisition
@@ -14,6 +18,11 @@ import "sort"
 type LatchTable struct {
 	stripes []chanMutex
 	mask    uint32
+	// resBase is this table's first stripe's process-unique resource id
+	// for the explore hook: stripe i is resource resBase+i, so the
+	// schedule explorer can track waiters per stripe across any number
+	// of coexisting tables.
+	resBase uint64
 }
 
 // chanMutex is a mutex built on a 1-buffered channel. It behaves like
@@ -33,7 +42,11 @@ func NewLatchTable(n int) *LatchTable {
 	for size < n {
 		size <<= 1
 	}
-	t := &LatchTable{stripes: make([]chanMutex, size), mask: uint32(size - 1)}
+	t := &LatchTable{
+		stripes: make([]chanMutex, size),
+		mask:    uint32(size - 1),
+		resBase: hook.NewResourceRange(size),
+	}
 	for i := range t.stripes {
 		t.stripes[i] = make(chanMutex, 1)
 	}
@@ -88,11 +101,37 @@ func (t *LatchTable) Lock(items ...string) func() {
 // that cache stripe indices across acquisitions).
 func (t *LatchTable) LockStripes(sorted []int) func() {
 	for _, i := range sorted {
-		t.stripes[i].lock()
+		t.lockStripe(i)
 	}
 	return func() {
 		for j := len(sorted) - 1; j >= 0; j-- {
-			t.stripes[sorted[j]].unlock()
+			t.unlockStripe(sorted[j])
 		}
 	}
+}
+
+// lockStripe acquires one stripe. Under the schedule explorer the
+// acquisition is controlled: the hook try-loops a non-blocking lock
+// attempt, parking the goroutine between failures, so a latch wait is a
+// scheduling decision rather than a wall-clock block. In production the
+// hook declines (one atomic load) and the plain channel send runs.
+func (t *LatchTable) lockStripe(i int) {
+	m := t.stripes[i]
+	if hook.TryAcquire(t.resBase+uint64(i), "latch.acquire", func() bool {
+		select {
+		case m <- struct{}{}:
+			return true
+		default:
+			return false
+		}
+	}) {
+		return
+	}
+	m.lock()
+}
+
+// unlockStripe releases one stripe and notifies controlled waiters.
+func (t *LatchTable) unlockStripe(i int) {
+	t.stripes[i].unlock()
+	hook.Release(t.resBase + uint64(i))
 }

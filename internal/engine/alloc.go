@@ -1,6 +1,10 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/explore/hook"
+)
 
 // ColumnAllocator hands out the distinct k-th-column ("counter column")
 // values of Algorithm 1. Every protocol variant in the family differs
@@ -33,10 +37,17 @@ type ColumnAllocator interface {
 type LocalCounters struct {
 	lcount int64
 	ucount int64
+	// aid is a process-unique allocator id: the schedule explorer's
+	// k-th-column uniqueness oracle checks that no value is handed out
+	// twice by the same allocator, and composite/nested schedulers run
+	// several LocalCounters side by side.
+	aid uint64
 }
 
 // NewLocalCounters returns the initial counter pair (lcount 0, ucount 1).
-func NewLocalCounters() *LocalCounters { return &LocalCounters{ucount: 1} }
+func NewLocalCounters() *LocalCounters {
+	return &LocalCounters{ucount: 1, aid: hook.NewResourceRange(1)}
+}
 
 // AllocUpper consumes the next ascending upper value. The bound is
 // ignored: centralized counters are already strictly monotonic, so
@@ -44,6 +55,7 @@ func NewLocalCounters() *LocalCounters { return &LocalCounters{ucount: 1} }
 func (c *LocalCounters) AllocUpper(bound int64) int64 {
 	v := c.ucount
 	c.ucount++
+	hook.Observe("alloc.upper", "", v, int64(c.aid))
 	return v
 }
 
@@ -52,6 +64,7 @@ func (c *LocalCounters) AllocUpper(bound int64) int64 {
 func (c *LocalCounters) AllocLower(bound int64) int64 {
 	v := c.lcount
 	c.lcount--
+	hook.Observe("alloc.lower", "", v, int64(c.aid))
 	return v
 }
 
@@ -59,6 +72,8 @@ func (c *LocalCounters) AllocLower(bound int64) int64 {
 func (c *LocalCounters) AllocPair(bound int64) (int64, int64) {
 	a := c.ucount
 	c.ucount += 2
+	hook.Observe("alloc.upper", "", a, int64(c.aid))
+	hook.Observe("alloc.upper", "", a+1, int64(c.aid))
 	return a, a + 1
 }
 
@@ -70,6 +85,7 @@ func (c *LocalCounters) ReserveAtLeast(seed int64) int64 {
 		seed = c.ucount
 	}
 	c.ucount = seed + 1
+	hook.Observe("alloc.upper", "", seed, int64(c.aid))
 	return seed
 }
 
@@ -106,6 +122,10 @@ func (c *LocalCounters) Raise(lo, hi int64) {
 type SiteCounters struct {
 	n     int64 // number of sites S
 	sites []siteCounter
+	// aid identifies the cluster to the explorer's uniqueness oracle:
+	// cnt*S+site values are unique across the whole cluster, so one id
+	// covers every site.
+	aid uint64
 }
 
 type siteCounter struct {
@@ -148,7 +168,7 @@ func NewSiteCounters(sites int) *SiteCounters {
 	if sites < 1 {
 		panic("engine: SiteCounters needs at least one site")
 	}
-	c := &SiteCounters{n: int64(sites), sites: make([]siteCounter, sites)}
+	c := &SiteCounters{n: int64(sites), sites: make([]siteCounter, sites), aid: hook.NewResourceRange(1)}
 	for i := range c.sites {
 		c.sites[i].ucnt = 1
 	}
@@ -174,7 +194,9 @@ func (c *SiteCounters) AllocUpper(site int, bound int64) int64 {
 	}
 	s.ucnt = cnt + 1
 	s.extendLeaseLocked()
-	return cnt*c.n + int64(site)
+	v := cnt*c.n + int64(site)
+	hook.Observe("alloc.upper", "", v, int64(c.aid))
+	return v
 }
 
 // AllocLower allocates a fresh lower value -(cnt*S+site) strictly
@@ -189,7 +211,9 @@ func (c *SiteCounters) AllocLower(site int, bound int64) int64 {
 	}
 	s.lcnt = cnt + 1
 	s.extendLeaseLocked()
-	return -(cnt*c.n + int64(site))
+	v := -(cnt*c.n + int64(site))
+	hook.Observe("alloc.lower", "", v, int64(c.aid))
+	return v
 }
 
 type siteAlloc struct {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/explore/hook"
 	"repro/internal/oplog"
 )
 
@@ -214,6 +215,7 @@ func (s *Striped) StepLocked(op oplog.Op) core.Decision {
 		}
 		if v == core.Reject {
 			d = core.Decision{Op: op, Verdict: core.Reject, Blocker: blocker, Item: x}
+			hook.Observe("engine.decision", x, int64(op.Txn), int64(v))
 			if s.OnDecision != nil {
 				s.OnDecision(d)
 			}
@@ -227,6 +229,9 @@ func (s *Striped) StepLocked(op oplog.Op) core.Decision {
 		d.Verdict = core.AcceptIgnored
 	}
 	d.IgnoredItems = ignored
+	if len(op.Items) > 0 {
+		hook.Observe("engine.decision", op.Items[0], int64(op.Txn), int64(d.Verdict))
+	}
 	if s.OnDecision != nil {
 		s.OnDecision(d)
 	}
@@ -493,6 +498,23 @@ func (s *Striped) ReadPendingWriter(i int, x string, live func(int) bool) (block
 		return w, true
 	}
 	return 0, false
+}
+
+// WritePendingWriter supports the runtime adapter's immediate-mode
+// write guard: with x's latch HELD by the caller, it reports whether
+// x's most recent writer w (≠ i) is still live per the callback. Two
+// uncommitted accepted writes on one item are unpublishable under the
+// publish-at-commit discipline — whichever commit order occurs, one of
+// the two inverts the decided write order — so the adapter aborts the
+// second writer regardless of how the vectors compare. The callback
+// must not call back into this scheduler.
+func (s *Striped) WritePendingWriter(i int, x string, live func(int) bool) (blocker int, conflict bool) {
+	st := &s.stripes[s.latches.StripeOf(x)]
+	w := st.wt[x]
+	if w == 0 || w == i || !live(w) {
+		return 0, false
+	}
+	return w, true
 }
 
 // Vector returns a copy of TS(i). Unknown transactions have the

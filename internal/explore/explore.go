@@ -1,0 +1,496 @@
+// Package explore is a controlled-concurrency test harness: it takes
+// over goroutine scheduling at the yield points instrumented through
+// internal/explore/hook and searches the interleaving space of the
+// schedulers systematically instead of sampling it with wall-clock
+// races. One Controller drives one execution: every registered task
+// runs only while it holds the run token, every latch wait becomes a
+// scheduling decision, and the sequence of decisions — the schedule —
+// is recorded, replayable from a compact trace, and minimizable by
+// delta debugging. Strategies (PCT random priorities, bounded DFS,
+// trace replay) decide which runnable task gets the token at each step;
+// oracles (driver.go) judge each completed execution.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/explore/hook"
+)
+
+// Status classifies how an execution ended.
+type Status int
+
+const (
+	// StatusOK: every task ran to completion.
+	StatusOK Status = iota
+	// StatusDeadlock: no task is runnable but some are blocked on
+	// controlled resources.
+	StatusDeadlock
+	// StatusPanic: a task panicked; the execution was torn down.
+	StatusPanic
+	// StatusWatchdog: the granted task neither yielded nor finished
+	// within the watchdog interval (a block on an uninstrumented
+	// resource, or a livelock inside one scheduling quantum).
+	StatusWatchdog
+	// StatusStepLimit: the schedule exceeded MaxSteps decisions.
+	StatusStepLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDeadlock:
+		return "deadlock"
+	case StatusPanic:
+		return "panic"
+	case StatusWatchdog:
+		return "watchdog"
+	case StatusStepLimit:
+		return "step-limit"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Choice is one scheduling decision: which task received the run token,
+// out of which runnable candidates (sorted ascending).
+type Choice struct {
+	Task       int
+	Candidates []int
+}
+
+// Event is one observed protocol event (decision, allocation, commit
+// boundary, backoff scale), stamped with its global order position.
+type Event struct {
+	Stamp int
+	Task  int
+	hook.Point
+}
+
+// Execution is the outcome of one controlled run.
+type Execution struct {
+	Status   Status
+	Choices  []Choice
+	Events   []Event
+	PanicVal any
+	PanicOn  string // name of the panicking task
+	Stack    string // panic or watchdog stack dump
+	Blocked  []string
+}
+
+// Options configures a Controller.
+type Options struct {
+	// Strategy picks the next task at each step. Required.
+	Strategy Strategy
+	// Preempt reports whether a yield site may preempt (park the
+	// caller). Nil uses DefaultPreempt. Observe events are always
+	// recorded regardless.
+	Preempt func(site string) bool
+	// MaxSteps bounds the schedule length (default 20000).
+	MaxSteps int
+	// Watchdog bounds one scheduling quantum (default 10s).
+	Watchdog time.Duration
+}
+
+// DefaultPreempt is the preemption policy sound for every scheduler
+// family with a striped data path: driver operation boundaries, latch
+// acquisitions and runtime restarts. Storage sites stay observe-only
+// (coarse adapters call the store under their global mutex, where
+// parking would deadlock the run); the sched.publish site only exists
+// under the seeded publish-inversion bug and preempting it is the
+// point.
+func DefaultPreempt(site string) bool {
+	switch site {
+	case "driver.op", "latch.acquire", "txn.restart", "sched.publish":
+		return true
+	}
+	return false
+}
+
+// PreemptOps preempts only at driver operation boundaries — the policy
+// for coarse (global-mutex) schedulers, where any in-operation park
+// would block every other task on the uninstrumented mutex, and for
+// the DFS bound tests, where the schedule space must be enumerable by
+// hand.
+func PreemptOps(site string) bool { return site == "driver.op" }
+
+type taskState int
+
+const (
+	taskReady taskState = iota
+	taskRunning
+	taskBlocked
+	taskDone
+)
+
+type task struct {
+	c       *Controller
+	idx     int
+	name    string
+	gid     uint64
+	fn      func()
+	grant   chan struct{}
+	state   taskState
+	res     uint64 // resource blocked on (taskBlocked)
+	opStamp int    // stamp of the current op's first observe; -1 none
+	panicV  any
+	stack   string
+}
+
+// killSignal unwinds an abandoned task during teardown.
+type killSignal struct{}
+
+// Controller runs registered tasks one at a time. It implements
+// hook.Controller; Run installs it as the process-wide hook for the
+// duration of the execution, so executions are strictly sequential.
+type Controller struct {
+	opts Options
+
+	mu     sync.Mutex
+	tasks  []*task
+	byGID  map[uint64]*task
+	stamp  int
+	events []Event
+
+	parked  chan int // task idx → run loop: "I parked/blocked/finished"
+	regged  chan struct{}
+	abandon atomic.Bool
+
+	choices []Choice
+	last    int
+}
+
+// New returns a Controller with no tasks registered.
+func New(opts Options) *Controller {
+	if opts.Strategy == nil {
+		panic("explore: Options.Strategy is required")
+	}
+	if opts.Preempt == nil {
+		opts.Preempt = DefaultPreempt
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 20000
+	}
+	if opts.Watchdog <= 0 {
+		opts.Watchdog = 10 * time.Second
+	}
+	return &Controller{
+		opts:   opts,
+		byGID:  make(map[uint64]*task),
+		regged: make(chan struct{}),
+		last:   -1,
+	}
+}
+
+// Go registers a task. Must be called before Run; tasks are identified
+// by their registration index in schedules and traces.
+func (c *Controller) Go(name string, fn func()) {
+	t := &task{
+		c:       c,
+		idx:     len(c.tasks),
+		name:    name,
+		fn:      fn,
+		grant:   make(chan struct{}),
+		state:   taskReady,
+		opStamp: -1,
+	}
+	c.tasks = append(c.tasks, t)
+}
+
+// TaskNames returns the registered task names in index order.
+func (c *Controller) TaskNames() []string {
+	names := make([]string, len(c.tasks))
+	for i, t := range c.tasks {
+		names[i] = t.name
+	}
+	return names
+}
+
+// Run executes the registered tasks under controlled scheduling and
+// returns the recorded execution. The Controller is single-shot: build
+// a fresh one (and fresh system under test) per execution.
+func (c *Controller) Run() *Execution {
+	hook.Install(c)
+	defer hook.Uninstall()
+	c.parked = make(chan int, 4*len(c.tasks)+16)
+	for _, t := range c.tasks {
+		go c.taskMain(t)
+	}
+	for range c.tasks {
+		<-c.regged
+	}
+
+	ex := &Execution{}
+loop:
+	for {
+		c.mu.Lock()
+		var cands []int
+		allDone := true
+		for _, t := range c.tasks {
+			switch t.state {
+			case taskReady:
+				cands = append(cands, t.idx)
+				allDone = false
+			case taskBlocked:
+				allDone = false
+			}
+		}
+		c.mu.Unlock()
+		if allDone {
+			ex.Status = StatusOK
+			break
+		}
+		if len(cands) == 0 {
+			ex.Status = StatusDeadlock
+			c.mu.Lock()
+			for _, t := range c.tasks {
+				if t.state == taskBlocked {
+					ex.Blocked = append(ex.Blocked, t.name)
+				}
+			}
+			c.mu.Unlock()
+			break
+		}
+		if len(c.choices) >= c.opts.MaxSteps {
+			ex.Status = StatusStepLimit
+			break
+		}
+		pick := c.opts.Strategy.Pick(len(c.choices), cands, c.last)
+		if !containsInt(cands, pick) {
+			panic(fmt.Sprintf("explore: strategy picked task %d, not in candidates %v", pick, cands))
+		}
+		c.choices = append(c.choices, Choice{Task: pick, Candidates: cands})
+		c.last = pick
+		t := c.tasks[pick]
+		c.mu.Lock()
+		t.state = taskRunning
+		c.mu.Unlock()
+		t.grant <- struct{}{}
+		select {
+		case <-c.parked:
+		case <-time.After(c.opts.Watchdog):
+			ex.Status = StatusWatchdog
+			ex.Stack = allStacks()
+			break loop
+		}
+		// A panicked task ends the execution: its teardown unwound the
+		// system under test, so further scheduling is meaningless.
+		c.mu.Lock()
+		pan := t.state == taskDone && t.panicV != nil
+		if pan {
+			ex.Status = StatusPanic
+			ex.PanicVal = t.panicV
+			ex.PanicOn = t.name
+			ex.Stack = t.stack
+		}
+		c.mu.Unlock()
+		if pan {
+			break
+		}
+	}
+	c.teardown()
+	ex.Choices = c.choices
+	ex.Events = c.events
+	return ex
+}
+
+// teardown kills every task still parked on the controller so its
+// goroutine (and the locks it holds) unwind. Tasks stuck on
+// uninstrumented resources (watchdog case) are leaked deliberately —
+// the run already failed and the system under test is discarded.
+func (c *Controller) teardown() {
+	c.abandon.Store(true)
+	deadline := time.NewTimer(5 * time.Second)
+	defer deadline.Stop()
+	for {
+		c.mu.Lock()
+		var wake []*task
+		allDone := true
+		for _, t := range c.tasks {
+			if t.state == taskDone {
+				continue
+			}
+			allDone = false
+			if t.state == taskReady || t.state == taskBlocked {
+				t.state = taskRunning
+				wake = append(wake, t)
+			}
+		}
+		c.mu.Unlock()
+		if allDone || len(wake) == 0 {
+			return
+		}
+		for _, t := range wake {
+			t.grant <- struct{}{}
+		}
+		for range wake {
+			select {
+			case <-c.parked:
+			case <-deadline.C:
+				return
+			}
+		}
+	}
+}
+
+func (c *Controller) taskMain(t *task) {
+	gid := hook.GID()
+	c.mu.Lock()
+	t.gid = gid
+	c.byGID[gid] = t
+	c.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, kill := r.(killSignal); !kill {
+				t.panicV = r
+				buf := make([]byte, 64<<10)
+				t.stack = string(buf[:runtime.Stack(buf, false)])
+			}
+		}
+		c.mu.Lock()
+		t.state = taskDone
+		delete(c.byGID, t.gid)
+		c.mu.Unlock()
+		c.parked <- t.idx
+	}()
+	c.regged <- struct{}{}
+	t.waitGrant()
+	t.fn()
+}
+
+// waitGrant parks until the run loop grants the token; during teardown
+// the grant is a kill.
+func (t *task) waitGrant() {
+	<-t.grant
+	if t.c.abandon.Load() {
+		panic(killSignal{})
+	}
+}
+
+// lookup resolves a goroutine to its task, nil for unregistered ones.
+func (c *Controller) lookup(gid uint64) *task {
+	c.mu.Lock()
+	t := c.byGID[gid]
+	c.mu.Unlock()
+	return t
+}
+
+// Yield implements hook.Controller: park at a preemptible site,
+// returning the token to the run loop.
+func (c *Controller) Yield(gid uint64, p hook.Point) {
+	t := c.lookup(gid)
+	if t == nil || c.abandon.Load() || !c.opts.Preempt(p.Site) {
+		return
+	}
+	c.mu.Lock()
+	t.state = taskReady
+	c.mu.Unlock()
+	c.parked <- t.idx
+	t.waitGrant()
+}
+
+// Observe implements hook.Controller: stamp a protocol event on the
+// global order. Never parks; the stamp of an op's FIRST event is the
+// op's linearization point for the parity oracle.
+func (c *Controller) Observe(gid uint64, p hook.Point) {
+	t := c.lookup(gid)
+	if t == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stamp++
+	if t.opStamp < 0 {
+		t.opStamp = c.stamp
+	}
+	c.events = append(c.events, Event{Stamp: c.stamp, Task: t.idx, Point: p})
+	c.mu.Unlock()
+}
+
+// Acquire implements hook.Controller: a controlled lock acquisition.
+// The try runs under the controller mutex, so it cannot race a Release
+// into a lost wakeup: either the resource is free when tried, or the
+// releaser's notification finds this task already registered blocked.
+func (c *Controller) Acquire(gid uint64, res uint64, p hook.Point, try func() bool) bool {
+	t := c.lookup(gid)
+	if t == nil || c.abandon.Load() {
+		return false
+	}
+	if c.opts.Preempt(p.Site) {
+		c.mu.Lock()
+		t.state = taskReady
+		c.mu.Unlock()
+		c.parked <- t.idx
+		t.waitGrant()
+	}
+	for {
+		c.mu.Lock()
+		if try() {
+			c.mu.Unlock()
+			return true
+		}
+		t.state = taskBlocked
+		t.res = res
+		c.mu.Unlock()
+		c.parked <- t.idx
+		t.waitGrant()
+	}
+}
+
+// Release implements hook.Controller: wake tasks blocked on res. Called
+// by registered and unregistered goroutines alike.
+func (c *Controller) Release(gid uint64, res uint64) {
+	c.mu.Lock()
+	for _, t := range c.tasks {
+		if t.state == taskBlocked && t.res == res {
+			t.state = taskReady
+		}
+	}
+	c.mu.Unlock()
+}
+
+// BeginOp marks the start of a driver-level operation for the calling
+// task: the next Observe stamps the op's linearization point.
+func (c *Controller) BeginOp() {
+	t := c.lookup(hook.GID())
+	if t == nil {
+		return
+	}
+	c.mu.Lock()
+	t.opStamp = -1
+	c.mu.Unlock()
+}
+
+// EndOp returns the calling task's current op stamp: the stamp of its
+// first protocol event, or a fresh stamp if the op had none (a purely
+// local operation, atomic from the last preemption point to here).
+func (c *Controller) EndOp() int {
+	t := c.lookup(hook.GID())
+	if t == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.opStamp >= 0 {
+		return t.opStamp
+	}
+	c.stamp++
+	return c.stamp
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func allStacks() string {
+	buf := make([]byte, 1<<20)
+	return string(buf[:runtime.Stack(buf, true)])
+}

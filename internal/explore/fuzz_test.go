@@ -1,0 +1,34 @@
+package explore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplayTrace checks the trace parser never panics on arbitrary
+// input and that every accepted trace round-trips through the canonical
+// format: Format(Parse(x)) must itself parse to an identical trace.
+// This is what makes checked-in regression traces safe to hand-edit.
+func FuzzReplayTrace(f *testing.F) {
+	f.Add([]byte("mtexplore-trace v1\n"))
+	f.Add([]byte("mtexplore-trace v1\nmeta family mt-striped\nmeta workload ww-2x1\nswitch 0 1\nswitch 3 0\n"))
+	f.Add([]byte("# comment\n\nmtexplore-trace v1\nmeta seed 42\nswitch 1000000000 99\n"))
+	f.Add([]byte("mtexplore-trace v1\nswitch 01 2\n"))
+	f.Add([]byte("mtexplore-trace v2\n"))
+	f.Add([]byte("mtexplore-trace v1\nmeta k v\nmeta k w\n"))
+	f.Add([]byte{0x00, 0xff, 0x0a})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseTrace(data)
+		if err != nil {
+			return
+		}
+		out := tr.Format()
+		tr2, err := ParseTrace(out)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%q", err, out)
+		}
+		if !bytes.Equal(out, tr2.Format()) {
+			t.Fatalf("round-trip not stable:\n%q\nvs\n%q", out, tr2.Format())
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package hook is the instrumentation seam between the production
+// concurrency-control code and the systematic schedule explorer
+// (internal/explore). Production packages (core, engine, storage, txn,
+// sched) call the free functions below at their interesting
+// interleaving points; with no controller installed every call is a
+// single atomic load and an early return, so the hot paths stay hot.
+// When internal/explore installs a controller, registered goroutines
+// are scheduled cooperatively: Yield parks the caller until the
+// controller grants it the run token again, TryAcquire turns a blocking
+// lock acquisition into a controlled try-loop, and Observe stamps
+// protocol events onto the controller's global event order (the basis
+// of the decision-order parity oracle).
+//
+// hook is a leaf package — it imports nothing from this repository — so
+// any layer can be instrumented without import cycles.
+package hook
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Point describes one instrumented event. Site names the instrumented
+// location ("latch.acquire", "engine.decision", ...), Item the datum it
+// concerns (item name, or "" when not applicable), and A/B carry two
+// site-specific integers (txn id, verdict, counter value, scaled
+// backoff factor...). Points are plain values so building one allocates
+// nothing.
+type Point struct {
+	Site string
+	Item string
+	A, B int64
+}
+
+// Controller is what the explorer installs. All methods receive the
+// calling goroutine's id; the controller ignores goroutines it did not
+// register (their hooks behave like production no-ops).
+type Controller interface {
+	// Yield offers a preemption point. The controller may park the
+	// caller and run other tasks before returning.
+	Yield(gid uint64, p Point)
+	// Observe records an annotation event without yielding. Called
+	// under arbitrary (possibly uninstrumented) locks, so it must never
+	// park the caller.
+	Observe(gid uint64, p Point)
+	// Acquire performs a controlled acquisition of resource res for a
+	// registered goroutine: it may yield first, then calls try (which
+	// must not block) until it succeeds, parking the caller between
+	// failed tries until the resource is released. It returns false —
+	// having done nothing — when gid is not a registered task; the
+	// caller then acquires normally.
+	Acquire(gid uint64, res uint64, p Point, try func() bool) bool
+	// Release notes that res was released so tasks blocked on it become
+	// runnable. Called by registered and unregistered goroutines alike.
+	Release(gid uint64, res uint64)
+}
+
+type holder struct{ c Controller }
+
+var active atomic.Pointer[holder]
+
+// Install makes c the process-wide controller. Exactly one controller
+// may be active; Install panics if one already is (explore executions
+// are strictly sequential).
+func Install(c Controller) {
+	if !active.CompareAndSwap(nil, &holder{c}) {
+		panic("hook: controller already installed")
+	}
+}
+
+// Uninstall removes the active controller.
+func Uninstall() { active.Store(nil) }
+
+// Enabled reports whether a controller is installed. Callers can use it
+// to skip building expensive Point payloads, but the free functions are
+// already cheap to call unconditionally.
+func Enabled() bool { return active.Load() != nil }
+
+// Yield offers a preemption point to the controller, if one is
+// installed and has registered this goroutine.
+func Yield(site, item string, a, b int64) {
+	if h := active.Load(); h != nil {
+		h.c.Yield(GID(), Point{Site: site, Item: item, A: a, B: b})
+	}
+}
+
+// Observe records a protocol event (decision, allocation, apply) on the
+// controller's global event order. Never parks; safe under locks.
+func Observe(site, item string, a, b int64) {
+	if h := active.Load(); h != nil {
+		h.c.Observe(GID(), Point{Site: site, Item: item, A: a, B: b})
+	}
+}
+
+// TryAcquire routes a lock acquisition through the controller. try must
+// attempt the acquisition without blocking and report success. Returns
+// true when the controller handled the acquisition (try eventually
+// succeeded under its scheduling); false when the caller must acquire
+// normally (no controller, or an unregistered goroutine).
+func TryAcquire(res uint64, site string, try func() bool) bool {
+	h := active.Load()
+	if h == nil {
+		return false
+	}
+	return h.c.Acquire(GID(), res, Point{Site: site, A: int64(res)}, try)
+}
+
+// Release reports that a resource previously acquired through
+// TryAcquire's site was released, waking tasks blocked on it. Must be
+// called on every release of an instrumented resource (even by
+// goroutines that acquired it on the normal path) so controlled waiters
+// never miss a wakeup.
+func Release(res uint64) {
+	if h := active.Load(); h != nil {
+		h.c.Release(GID(), res)
+	}
+}
+
+// resourceIDs hands out process-unique resource id ranges, so every
+// latch table instance gets distinct ids for its stripes no matter how
+// many tables a test builds.
+var resourceIDs atomic.Uint64
+
+// NewResourceRange reserves n consecutive resource ids and returns the
+// first. n <= 0 reserves 1.
+func NewResourceRange(n int) uint64 {
+	if n <= 0 {
+		n = 1
+	}
+	return resourceIDs.Add(uint64(n)) - uint64(n)
+}
+
+// GID returns the calling goroutine's runtime id, parsed from the
+// "goroutine N [...]" header of its stack trace. ~1µs — irrelevant
+// under the explorer (which replaces wall-clock-scale work with
+// scheduling decisions) and never executed in production, where the
+// controller pointer is nil.
+func GID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine ".
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

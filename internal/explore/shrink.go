@@ -1,0 +1,65 @@
+package explore
+
+// Shrink minimizes a failing schedule's directive list with ddmin-style
+// delta debugging: check must rerun the schedule and report whether the
+// failure still reproduces. Directives removed from a trace fall back
+// to the inertial default (keep running the current task), so every
+// subset is a valid — more sequential — schedule. maxRuns bounds the
+// number of check calls (0 = 4·len² heuristic cap).
+func Shrink(dirs []Directive, check func([]Directive) bool, maxRuns int) []Directive {
+	if maxRuns <= 0 {
+		maxRuns = 4*len(dirs)*len(dirs) + 64
+	}
+	runs := 0
+	try := func(cand []Directive) bool {
+		runs++
+		return runs <= maxRuns && check(cand)
+	}
+	cur := append([]Directive(nil), dirs...)
+	n := 2
+	for len(cur) >= 2 && n <= len(cur) && runs < maxRuns {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			// Try the complement: drop cur[lo:hi].
+			cand := make([]Directive, 0, len(cur)-(hi-lo))
+			cand = append(cand, cur[:lo]...)
+			cand = append(cand, cur[hi:]...)
+			if try(cand) {
+				cur = cand
+				n -= 1
+				if n < 2 {
+					n = 2
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	// Final pass: drop single directives until no single drop
+	// reproduces (1-minimality).
+	for i := 0; i < len(cur) && runs < maxRuns; {
+		cand := make([]Directive, 0, len(cur)-1)
+		cand = append(cand, cur[:i]...)
+		cand = append(cand, cur[i+1:]...)
+		if try(cand) {
+			cur = cand
+		} else {
+			i++
+		}
+	}
+	return cur
+}

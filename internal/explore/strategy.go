@@ -1,0 +1,251 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Strategy decides which runnable task gets the run token at each
+// scheduling step. One Strategy instance drives a whole campaign of
+// executions: Begin is called before each execution (returning false
+// ends the campaign — budget spent or search space exhausted), Pick is
+// called at every step, End after each execution with the recorded
+// schedule.
+type Strategy interface {
+	Begin(nTasks int) bool
+	Pick(step int, cands []int, last int) int
+	End(ex *Execution)
+}
+
+// defaultPick is the inertial default schedule: keep running the task
+// that ran last if it is runnable, else the lowest-index runnable task.
+// Replay traces record only the deviations from this rule, which is
+// what makes shrunk traces short: dropping a directive makes the
+// schedule MORE sequential, never invalid.
+func defaultPick(cands []int, last int) int {
+	if containsInt(cands, last) {
+		return last
+	}
+	return cands[0]
+}
+
+// PCT is probabilistic concurrency testing: each execution draws a
+// random priority order over tasks plus D priority-change points over
+// the (estimated) schedule length; at every step the highest-priority
+// runnable task runs, and at a change point the current winner is
+// demoted below everyone. A bug of depth d is found with probability
+// >= 1/(n·L^(d-1)) per execution, independent of how rare its
+// interleaving is under wall-clock scheduling.
+type PCT struct {
+	// Seed is the campaign seed; execution e derives its RNG from
+	// Seed+e, so any single failing execution is reproducible from
+	// (Seed, index).
+	Seed int64
+	// D is the number of priority-change points (bug depth - 1;
+	// default 3).
+	D int
+	// Budget is the number of executions (default 100).
+	Budget int
+
+	exec    int
+	prio    []int
+	demote  int
+	change  map[int]bool
+	horizon int
+	// LastSeed is the per-execution seed of the most recent Begin
+	// (diagnostics: a failure report names it).
+	LastSeed int64
+}
+
+// Begin implements Strategy.
+func (p *PCT) Begin(nTasks int) bool {
+	if p.Budget <= 0 {
+		p.Budget = 100
+	}
+	if p.D <= 0 {
+		p.D = 3
+	}
+	if p.exec >= p.Budget {
+		return false
+	}
+	p.LastSeed = p.Seed + int64(p.exec)
+	rng := rand.New(rand.NewSource(p.LastSeed))
+	p.exec++
+	p.prio = rng.Perm(nTasks)
+	p.demote = -1
+	if p.horizon < 16 {
+		p.horizon = 16
+	}
+	p.change = make(map[int]bool, p.D)
+	for i := 0; i < p.D; i++ {
+		p.change[rng.Intn(p.horizon)] = true
+	}
+	return true
+}
+
+// Pick implements Strategy.
+func (p *PCT) Pick(step int, cands []int, last int) int {
+	best := p.argmax(cands)
+	if p.change[step] {
+		p.prio[best] = p.demote
+		p.demote--
+		best = p.argmax(cands)
+	}
+	return best
+}
+
+func (p *PCT) argmax(cands []int) int {
+	best := cands[0]
+	for _, t := range cands[1:] {
+		if p.prio[t] > p.prio[best] {
+			best = t
+		}
+	}
+	return best
+}
+
+// End implements Strategy: the next execution's change points are
+// sampled over this one's length.
+func (p *PCT) End(ex *Execution) {
+	if n := len(ex.Choices); n > 16 {
+		p.horizon = n
+	}
+}
+
+// Executions returns how many executions have begun.
+func (p *PCT) Executions() int { return p.exec }
+
+// DFS enumerates the schedule tree exhaustively: each execution follows
+// the recorded prefix of choices, then extends it first-candidate
+// first; End backtracks the deepest frame with an untried sibling.
+// When the prefix empties the space is exhausted. Requires the system
+// under test to be deterministic given the schedule — verified at every
+// step by comparing the recorded candidate sets against the rerun.
+type DFS struct {
+	// MaxSchedules caps the campaign (0 = run to exhaustion).
+	MaxSchedules int
+
+	prefix []dfsFrame
+	done   bool
+	// Schedules counts completed executions.
+	Schedules int
+	// Err records a determinism violation: a rerun presented different
+	// candidates than the recorded prefix. The campaign stops.
+	Err error
+}
+
+type dfsFrame struct {
+	idx   int
+	cands []int
+}
+
+// Begin implements Strategy.
+func (d *DFS) Begin(nTasks int) bool {
+	if d.done || d.Err != nil {
+		return false
+	}
+	if d.MaxSchedules > 0 && d.Schedules >= d.MaxSchedules {
+		return false
+	}
+	return true
+}
+
+// Pick implements Strategy.
+func (d *DFS) Pick(step int, cands []int, last int) int {
+	if step < len(d.prefix) {
+		f := d.prefix[step]
+		if !equalInts(f.cands, cands) {
+			d.Err = fmt.Errorf("explore: nondeterministic rerun at step %d: recorded candidates %v, got %v", step, f.cands, cands)
+			return defaultPick(cands, last)
+		}
+		return f.cands[f.idx]
+	}
+	d.prefix = append(d.prefix, dfsFrame{idx: 0, cands: append([]int(nil), cands...)})
+	return cands[0]
+}
+
+// End implements Strategy: backtrack to the deepest untried sibling.
+func (d *DFS) End(ex *Execution) {
+	d.Schedules++
+	for len(d.prefix) > 0 {
+		f := &d.prefix[len(d.prefix)-1]
+		if f.idx+1 < len(f.cands) {
+			f.idx++
+			return
+		}
+		d.prefix = d.prefix[:len(d.prefix)-1]
+	}
+	d.done = true
+}
+
+// Exhausted reports whether the whole schedule space was enumerated.
+func (d *DFS) Exhausted() bool { return d.done && d.Err == nil }
+
+// Replay follows a trace's switch directives, falling back to the
+// inertial default wherever the trace is silent. A directive naming a
+// task that is not runnable at its step is skipped (and Diverged set),
+// so traces stay usable as regression anchors even when unrelated
+// instrumentation shifts step numbers slightly — the oracle verdict,
+// not the exact schedule, is what the regression asserts.
+type Replay struct {
+	Trace    *Trace
+	Diverged bool
+
+	ran  bool
+	dirs map[int]int
+}
+
+// Begin implements Strategy (single execution).
+func (r *Replay) Begin(nTasks int) bool {
+	if r.ran {
+		return false
+	}
+	r.ran = true
+	r.dirs = make(map[int]int, len(r.Trace.Dirs))
+	for _, d := range r.Trace.Dirs {
+		r.dirs[d.Step] = d.Task
+	}
+	return true
+}
+
+// Pick implements Strategy.
+func (r *Replay) Pick(step int, cands []int, last int) int {
+	if task, ok := r.dirs[step]; ok {
+		if containsInt(cands, task) {
+			return task
+		}
+		r.Diverged = true
+	}
+	return defaultPick(cands, last)
+}
+
+// End implements Strategy.
+func (r *Replay) End(ex *Execution) {}
+
+// DirectivesFrom compresses a recorded schedule to the switch
+// directives that deviate from the inertial default. Replaying exactly
+// these directives through Replay reproduces the schedule decision for
+// decision (same system, same seed inputs).
+func DirectivesFrom(ex *Execution) []Directive {
+	last := -1
+	var out []Directive
+	for i, ch := range ex.Choices {
+		if def := defaultPick(ch.Candidates, last); ch.Task != def {
+			out = append(out, Directive{Step: i, Task: ch.Task})
+		}
+		last = ch.Task
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

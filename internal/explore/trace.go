@@ -1,0 +1,193 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Directive is one replay instruction: at scheduling step Step, grant
+// the token to task Task (instead of the inertial default).
+type Directive struct {
+	Step int
+	Task int
+}
+
+// MetaKV is one ordered metadata entry of a trace (scheduler family,
+// workload name, seed, injected flags — whatever the campaign needs to
+// rebuild the system under test).
+type MetaKV struct {
+	Key string
+	Val string
+}
+
+// Trace is the on-disk form of a failing schedule: metadata plus the
+// switch directives that reproduce it. The format is line-oriented and
+// hand-editable:
+//
+//	mtexplore-trace v1
+//	# comment
+//	meta sched mt-striped
+//	meta workload ww-conflict
+//	switch 4 1
+//	switch 9 0
+//
+// Directives must be strictly increasing in step. Parse rejects
+// anything else; Format(Parse(x)) round-trips accepted inputs.
+type Trace struct {
+	Meta []MetaKV
+	Dirs []Directive
+}
+
+// traceHeader is the first non-blank, non-comment line of every trace.
+const traceHeader = "mtexplore-trace v1"
+
+// maxTraceField bounds parsed integers: a schedule never has a billion
+// steps, and the bound keeps fuzzed inputs from smuggling overflow.
+const maxTraceField = 1_000_000_000
+
+// Get returns the value of the first meta entry with the key ("" if
+// absent).
+func (t *Trace) Get(key string) string {
+	for _, kv := range t.Meta {
+		if kv.Key == key {
+			return kv.Val
+		}
+	}
+	return ""
+}
+
+// Set appends or replaces the meta entry for key.
+func (t *Trace) Set(key, val string) {
+	for i := range t.Meta {
+		if t.Meta[i].Key == key {
+			t.Meta[i].Val = val
+			return
+		}
+	}
+	t.Meta = append(t.Meta, MetaKV{Key: key, Val: val})
+}
+
+// Format renders the trace in canonical form.
+func (t *Trace) Format() []byte {
+	var b strings.Builder
+	b.WriteString(traceHeader)
+	b.WriteByte('\n')
+	for _, kv := range t.Meta {
+		fmt.Fprintf(&b, "meta %s %s\n", kv.Key, kv.Val)
+	}
+	for _, d := range t.Dirs {
+		fmt.Fprintf(&b, "switch %d %d\n", d.Step, d.Task)
+	}
+	return []byte(b.String())
+}
+
+// printable rejects control characters (so formatted traces stay
+// line-oriented and round-trip exactly).
+func printable(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTrace parses a trace file. Blank lines and '#' comments are
+// skipped; the first significant line must be the version header.
+func ParseTrace(data []byte) (*Trace, error) {
+	t := &Trace{}
+	seenHeader := false
+	seenKeys := map[string]bool{}
+	lastStep := -1
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !printable(line) {
+			return nil, fmt.Errorf("trace line %d: control character", ln+1)
+		}
+		if !seenHeader {
+			if line != traceHeader {
+				return nil, fmt.Errorf("trace line %d: expected header %q, got %q", ln+1, traceHeader, line)
+			}
+			seenHeader = true
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "meta "):
+			rest := line[len("meta "):]
+			sp := strings.IndexByte(rest, ' ')
+			if sp <= 0 {
+				return nil, fmt.Errorf("trace line %d: meta needs key and value", ln+1)
+			}
+			key, val := rest[:sp], strings.TrimSpace(rest[sp+1:])
+			if val == "" {
+				return nil, fmt.Errorf("trace line %d: empty meta value", ln+1)
+			}
+			if seenKeys[key] {
+				return nil, fmt.Errorf("trace line %d: duplicate meta key %q", ln+1, key)
+			}
+			seenKeys[key] = true
+			t.Meta = append(t.Meta, MetaKV{Key: key, Val: val})
+		case strings.HasPrefix(line, "switch "):
+			f := strings.Fields(line)
+			if len(f) != 3 {
+				return nil, fmt.Errorf("trace line %d: switch needs step and task", ln+1)
+			}
+			step, err := parseTraceInt(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: bad step: %v", ln+1, err)
+			}
+			task, err := parseTraceInt(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: bad task: %v", ln+1, err)
+			}
+			if step <= lastStep {
+				return nil, fmt.Errorf("trace line %d: step %d not increasing (previous %d)", ln+1, step, lastStep)
+			}
+			lastStep = step
+			t.Dirs = append(t.Dirs, Directive{Step: step, Task: task})
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown directive %q", ln+1, line)
+		}
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("trace: missing header %q", traceHeader)
+	}
+	return t, nil
+}
+
+// parseTraceInt parses a bounded non-negative integer. A leading zero
+// on a nonzero number is rejected so the canonical form is unique (the
+// round-trip property the fuzzer checks).
+func parseTraceInt(s string) (int, error) {
+	if len(s) > 1 && s[0] == '0' {
+		return 0, fmt.Errorf("non-canonical number %q", s)
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > maxTraceField {
+		return 0, fmt.Errorf("out of range: %d", v)
+	}
+	return v, nil
+}
+
+// NewTrace builds a trace from campaign metadata and directives. Meta
+// keys are emitted in sorted order for stable output.
+func NewTrace(meta map[string]string, dirs []Directive) *Trace {
+	t := &Trace{Dirs: dirs}
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Meta = append(t.Meta, MetaKV{Key: k, Val: meta[k]})
+	}
+	return t
+}

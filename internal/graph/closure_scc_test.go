@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTransitiveClosureEmptyGraph(t *testing.T) {
+	for _, n := range []int{0, 3} {
+		c := New(n).TransitiveClosure()
+		if c.Len() != n {
+			t.Fatalf("closure of edgeless %d-node graph has %d nodes", n, c.Len())
+		}
+		if c.EdgeCount() != 0 {
+			t.Fatalf("closure of edgeless graph has %d edges", c.EdgeCount())
+		}
+	}
+}
+
+func TestTransitiveClosureSelfLoop(t *testing.T) {
+	// A self-loop is a nonempty path u->u, so the closure keeps it; it
+	// must not leak reachability to unrelated nodes.
+	g := New(2)
+	g.AddEdge(0, 0)
+	c := g.TransitiveClosure()
+	if !c.HasEdge(0, 0) {
+		t.Fatal("closure dropped the self-loop")
+	}
+	if c.HasEdge(0, 1) || c.HasEdge(1, 0) || c.HasEdge(1, 1) {
+		t.Fatal("closure invented edges from a self-loop")
+	}
+}
+
+func TestTransitiveClosureChainAndCycle(t *testing.T) {
+	// Chain 0->1->2->3: closure adds all forward pairs, nothing backward.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	c := g.TransitiveClosure()
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			want := u < v
+			if c.HasEdge(u, v) != want {
+				t.Errorf("chain closure HasEdge(%d,%d) = %v, want %v", u, v, !want, want)
+			}
+		}
+	}
+	// 2-cycle: every ordered pair (including both self-loops via the
+	// round trip) becomes an edge.
+	g2 := New(2)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(1, 0)
+	c2 := g2.TransitiveClosure()
+	for u := 0; u < 2; u++ {
+		for v := 0; v < 2; v++ {
+			if !c2.HasEdge(u, v) {
+				t.Errorf("cycle closure missing edge %d->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestSCCEmptyGraph(t *testing.T) {
+	if comps := New(0).SCC(); len(comps) != 0 {
+		t.Fatalf("SCC of empty graph = %v", comps)
+	}
+	// Edgeless nodes are singleton components.
+	comps := New(3).SCC()
+	if len(comps) != 3 {
+		t.Fatalf("SCC of 3 edgeless nodes = %v", comps)
+	}
+	for _, c := range comps {
+		if len(c) != 1 {
+			t.Fatalf("edgeless node in non-singleton component %v", c)
+		}
+	}
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	// A self-loop does not merge components: the node stays a singleton
+	// (but a cyclic one for HasCycle).
+	g := New(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	comps := g.SCC()
+	if len(comps) != 2 {
+		t.Fatalf("SCC = %v, want two singletons", comps)
+	}
+	if !g.HasCycle() {
+		t.Fatal("self-loop not reported as a cycle")
+	}
+}
+
+func TestSCCMergesCycleAndOrdersReverseTopo(t *testing.T) {
+	// 0->1->2->0 is one component; 3 hangs off it (2->3). Reverse
+	// topological order puts the sink component {3} first.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	comps := g.SCC()
+	want := [][]int{{3}, {0, 1, 2}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("SCC = %v, want %v", comps, want)
+	}
+}

@@ -125,6 +125,17 @@ func (m *MT) Read(txn int, item string) (int64, error) {
 }
 
 // Write implements Scheduler.
+//
+// Immediate mode admits at most one uncommitted writer per item: WT(x)
+// is published at write time but the data only at commit, so if two
+// live transactions both held accepted writes on x, whichever commit
+// order occurred would invert the decided write order for one of them
+// (the earlier-ordered writer publishing second silently clobbers the
+// later-ordered committed value — the lost update the schedule explorer
+// found on mix-3x2). The second writer aborts before the protocol step,
+// mirroring the read-side "ordered after uncommitted writer" guard.
+// Deferred mode never hits this: writes are validated at commit, where
+// publication and ordering are one atomic decision.
 func (m *MT) Write(txn int, item string, v int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -133,6 +144,12 @@ func (m *MT) Write(txn int, item string, v int64) error {
 		return Abort(txn, 0, "no live incarnation")
 	}
 	if !m.opts.DeferWrites {
+		if w := m.sched.WT(item); w != 0 && w != txn {
+			if _, live := m.txns[w]; live {
+				st.blocker = w
+				return Abort(txn, w, "write conflicts with uncommitted writer")
+			}
+		}
 		d := m.sched.Step(oplog.W(txn, item))
 		switch d.Verdict {
 		case core.Reject:

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/explore/hook"
 	"repro/internal/oplog"
 	"repro/internal/storage"
 )
@@ -42,6 +43,13 @@ type MTStriped struct {
 
 	tmu  sync.RWMutex
 	txns map[int]*stripedTxnState
+
+	// unsafePublish reintroduces the PR 5 deferred-mode publish
+	// inversion for the schedule explorer's seeded-bug tests: commit
+	// releases the write set's latches between validation and ApplyTxn,
+	// reopening the window where two validated writers publish in commit
+	// order instead of timestamp order. Never set outside tests.
+	unsafePublish bool
 }
 
 // stripedTxnState is the runtime state of one live transaction,
@@ -146,6 +154,16 @@ func (m *MTStriped) Write(txn int, item string, v int64) error {
 	defer st.mu.Unlock()
 	if !m.opts.DeferWrites {
 		unlock := m.sched.Latches().Lock(item)
+		// Immediate mode admits at most one uncommitted writer per item
+		// (see MT.Write): a second live accepted write would publish in
+		// commit order, inverting the decided write order for one of the
+		// two. Checked under the item latch, before the protocol step, so
+		// WT(x) still names the prior writer.
+		if w, conflict := m.sched.WritePendingWriter(txn, item, m.live); conflict {
+			unlock()
+			st.blocker = w
+			return Abort(txn, w, "write conflicts with uncommitted writer")
+		}
 		d := m.sched.StepLocked(oplog.W(txn, item))
 		unlock()
 		switch d.Verdict {
@@ -203,12 +221,28 @@ func (m *MTStriped) Commit(txn int) error {
 			}
 		}
 	}
+	if m.unsafePublish {
+		// Seeded bug (explore harness): drop the latches before the
+		// publish, as the pre-PR-5-fix code did. The yield marks the
+		// reopened window so the explorer can preempt inside it.
+		unlock()
+		hook.Yield("sched.publish", "", int64(txn), 0)
+		m.store.ApplyTxn(txn, apply)
+		m.sched.Commit(txn)
+		m.drop(txn)
+		return nil
+	}
 	m.store.ApplyTxn(txn, apply)
 	m.sched.Commit(txn)
 	unlock()
 	m.drop(txn)
 	return nil
 }
+
+// SetUnsafePublish toggles the reintroduced publish-inversion bug
+// (test-only fault injection for the schedule explorer; see the field
+// comment).
+func (m *MTStriped) SetUnsafePublish(v bool) { m.unsafePublish = v }
 
 // drop removes txn's runtime state.
 func (m *MTStriped) drop(txn int) {

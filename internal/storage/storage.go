@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/explore/hook"
 )
 
 // shardCount is the number of map shards (power of two).
@@ -149,6 +151,7 @@ func (s *Store) SetJournal(j Journal) {
 
 // Get returns the committed value of item (0 if never written).
 func (s *Store) Get(item string) int64 {
+	hook.Yield("storage.get", item, 0, 0)
 	sh := s.shardOf(item)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -228,6 +231,7 @@ func (s *Store) lockShards(writes map[string]int64) func() {
 // the commit mutex: journal order is commit order globally, and agrees
 // with the per-item version order item by item.
 func (s *Store) ApplyTxn(txn int, writes map[string]int64) int64 {
+	hook.Yield("storage.apply", "", int64(txn), 0)
 	unlock := s.lockShards(writes)
 	defer unlock()
 	s.simSleep()
@@ -241,6 +245,10 @@ func (s *Store) ApplyTxn(txn int, writes map[string]int64) int64 {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.version++
+	// The journal boundary event: emitted under commitMu with the shard
+	// locks held, so observation order IS global commit order (never a
+	// preemption point — commitMu is uninstrumented).
+	hook.Observe("storage.commit", "", int64(txn), s.version)
 	if s.journal != nil {
 		s.journal(ApplyEvent{Txn: txn, Writes: writes, Vers: vers, Version: s.version})
 	}

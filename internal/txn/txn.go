@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/admit"
+	"repro/internal/explore/hook"
 	"repro/internal/oplog"
 	"repro/internal/sched"
 	"repro/internal/storage"
@@ -332,6 +333,12 @@ func (r *Runtime) ExecCtx(ctx context.Context, spec Spec) Result {
 				}
 				scale = r.Admit.OnAbort(spec.ID, blocker)
 			}
+			// Explore instrumentation: the backoff scale the admission
+			// controller chose (scaled to ppm so zero stays exactly zero —
+			// the express-lane livelock oracle checks for it), then the
+			// restart itself as a preemption point.
+			hook.Observe("txn.backoff", "", int64(spec.ID), int64(scale*1e6))
+			hook.Yield("txn.restart", "", int64(spec.ID), int64(conflicts))
 			if err := sleepBackoff(ctx, rng, conflicts, r.Backoff, scale); err != nil {
 				return expired()
 			}

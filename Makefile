@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet fmt lint vuln build test shuffle race bench bench-smoke bench-sweep bench-sweep-4 bench-sweep-7 chaos chaos-partition chaos-partition-smoke fuzz-smoke crash overload-smoke explore-smoke explore cover
+.PHONY: ci vet fmt lint vuln build test shuffle race bench bench-smoke bench-sweep bench-sweep-4 bench-sweep-7 bench-sweep-10 alloc-gate chaos chaos-partition chaos-partition-smoke fuzz-smoke crash overload-smoke explore-smoke explore cover
 
 # The full gate: what must pass before merging.
-ci: vet fmt lint vuln build test shuffle race bench-smoke fuzz-smoke crash chaos-partition-smoke overload-smoke explore-smoke
+ci: vet fmt lint vuln build test shuffle race bench-smoke alloc-gate fuzz-smoke crash chaos-partition-smoke overload-smoke explore-smoke
 
 vet:
 	$(GO) vet ./...
@@ -69,6 +69,27 @@ bench-sweep-4:
 		-speedups mt-coarse:mt-striped,composite-coarse:composite-striped,dmt-coarse:dmt-striped \
 		-workers 1,2,4,8 -workloads uniform,zipf -iolat 0,20us -txns 1200 \
 		-csv bench/bench_4.csv -json bench/BENCH_4.json
+
+# Allocation regression gate (EXPERIMENTS.md E29): runs the hot-path
+# benchmarks with -benchmem and checks allocs/op against the budgets in
+# bench/alloc_budget.json. The steady-state engine/adapter benches are
+# budgeted at exactly 0 allocs/op; the whole-run cells get headroom for
+# setup noise. A budget pattern matching no benchmark also fails, so a
+# renamed benchmark cannot silently escape its gate.
+alloc-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkStripedScheduler/(free-store|steady)|BenchmarkDurableCommit/volatile' \
+		-benchmem -benchtime 100x . | $(GO) run ./cmd/allocgate -budget bench/alloc_budget.json
+
+# The zero-allocation-hot-path sweep behind bench/BENCH_10.json (see
+# EXPERIMENTS.md E29): same grid as bench-sweep-4 so the rows are
+# directly comparable before/after the interning + pooling rework.
+# GOMAXPROCS=1 matches the BENCH_4 baseline environment.
+bench-sweep-10:
+	GOMAXPROCS=1 $(GO) run ./cmd/mtbench \
+		-scheds mt-coarse,mt-striped,composite-coarse,composite-striped,dmt-coarse,dmt-striped \
+		-speedups mt-coarse:mt-striped,composite-coarse:composite-striped,dmt-coarse:dmt-striped \
+		-workers 1,2,4,8 -workloads uniform,zipf -iolat 0,20us -txns 1200 \
+		-csv bench/bench_10.csv -json bench/BENCH_10.json
 
 # A quick chaos smoke run: DMT(k) under crash + drift + message loss.
 chaos:

@@ -844,4 +844,91 @@ func BenchmarkStripedScheduler(b *testing.B) {
 		b.Run(c.name+"/coarse", func(b *testing.B) { run(b, mkCoarse, c.lat) })
 		b.Run(c.name+"/striped", func(b *testing.B) { run(b, mkStriped, c.lat) })
 	}
+
+	// Steady-state hot path (the tentpole metric: make alloc-gate pins
+	// these at 0 allocs/op via bench/alloc_budget.json). Transaction ids
+	// cycle through a window so entries are constantly reclaimed and
+	// recycled through the pool — the regime where interning, the dense
+	// stripe tables and pooled entries must not allocate.
+	stepBench := func(kind byte) func(*testing.B) {
+		return func(b *testing.B) {
+			eng := engine.NewStriped(engine.Options{K: 7, StarvationAvoidance: true})
+			lt := eng.Latches()
+			ids := make([]int32, 512)
+			for i := range ids {
+				ids[i] = eng.ItemID(fmt.Sprintf("i%04d", i))
+			}
+			n := 0
+			iter := func() {
+				n++
+				t := 1 + n%4096
+				id := ids[n%len(ids)]
+				stripe := lt.StripeOfID(id)
+				lt.LockStripe(stripe)
+				var v core.Verdict
+				var blocker int
+				switch {
+				case kind == 'r' || (kind == 'm' && n&1 == 0):
+					v, blocker = eng.StepReadID(t, id)
+				default:
+					v, blocker = eng.StepWriteID(t, id)
+				}
+				lt.UnlockStripe(stripe)
+				if v == core.Reject {
+					eng.Abort(t, blocker)
+				} else if n%4 == 3 {
+					eng.Commit(t)
+				}
+			}
+			for i := 0; i < 20000; i++ {
+				iter() // warm the intern table, stripe slices, entry pool
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				iter()
+			}
+		}
+	}
+	b.Run("steady-step/read", stepBench('r'))
+	b.Run("steady-step/write", stepBench('w'))
+	b.Run("steady-step/mixed", stepBench('m'))
+
+	// Whole-transaction steady state through the runtime adapter and the
+	// store (deferred mode): Begin + Read + Write + Commit per op.
+	b.Run("steady-txn/deferred", func(b *testing.B) {
+		store := storage.New()
+		m := sched.NewMTStriped(store, sched.MTOptions{
+			Core:        engine.Options{K: 7, StarvationAvoidance: true},
+			DeferWrites: true,
+		})
+		items := make([]string, 64)
+		for i := range items {
+			items[i] = fmt.Sprintf("x%03d", i)
+		}
+		n := 0
+		iter := func() {
+			n++
+			id := 1 + n%4096
+			m.Begin(id)
+			x := items[n%len(items)]
+			if _, err := m.Read(id, x); err != nil {
+				m.Abort(id)
+				return
+			}
+			if err := m.Write(id, x, int64(n)); err != nil {
+				m.Abort(id)
+				return
+			}
+			_ = m.Commit(id)
+		}
+		for i := 0; i < 20000; i++ {
+			iter()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			iter()
+		}
+	})
 }

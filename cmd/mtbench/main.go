@@ -166,6 +166,12 @@ func main() {
 		for _, lat := range iolats {
 			for _, nw := range workers {
 				for _, sname := range scheds {
+					// Mallocs delta around the cell gives allocs per
+					// protocol op (committed ops only — restarted work
+					// counts in the numerator, so this upper-bounds the
+					// steady-state figure the alloc gate enforces).
+					var msBefore, msAfter runtime.MemStats
+					runtime.ReadMemStats(&msBefore)
 					rep := sim.Run(sim.Config{
 						NewScheduler: factories[sname],
 						Specs:        specs,
@@ -175,6 +181,7 @@ func main() {
 						RuntimeSeed:  *seed,
 						StoreLatency: lat,
 					})
+					runtime.ReadMemStats(&msAfter)
 					row := metrics.BenchRow{
 						Sched: sname, Workload: w.name, Workers: nw,
 						Items: w.cfg.Items, Txns: *txns, OpsPerTxn: *ops,
@@ -184,6 +191,9 @@ func main() {
 						WallMS:    float64(rep.Wall.Microseconds()) / 1000,
 						MeanLatUS: rep.Latency.Mean() / 1e3,
 						P99US:     rep.Latency.Percentile(99) / 1000,
+					}
+					if ops := rep.Committed * int64(*ops); ops > 0 {
+						row.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ops)
 					}
 					if w.name == "zipf" {
 						row.ZipfS = *zipfS

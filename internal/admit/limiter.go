@@ -23,9 +23,13 @@ type LimiterOptions struct {
 	// Decrease is the multiplicative-decrease factor (default 0.75).
 	Decrease float64
 	// LatencyFactor triggers a decrease when the window's p50 commit
-	// latency exceeds this multiple of the best p50 seen so far
-	// (default 4; the gradient term that catches queueing collapse the
-	// abort rate alone misses). 0 disables the latency term.
+	// latency exceeds this multiple of the best p50 over the last
+	// recentWindows adaptation rounds (default 4; the gradient term
+	// that catches queueing collapse the abort rate alone misses). The
+	// anchor is a sliding minimum, not an all-time best: a light-load
+	// phase posting microsecond p50s must not poison the comparison for
+	// every later regime where queueing makes those unattainable. 0
+	// disables the latency term.
 	LatencyFactor float64
 	// QueuePerSlot bounds waiters: at most QueuePerSlot × limit
 	// admissions may wait for a slot before new arrivals are shed with
@@ -74,11 +78,14 @@ func (o LimiterOptions) withDefaults() LimiterOptions {
 // reached, shedding with ErrOverloaded when the queue is full too), and
 // Release feeds the outcome back. Every Window completions the limiter
 // adapts: a window whose attempt-level abort rate exceeds
-// TargetAbortRate — or whose p50 latency blew past the best window by
+// TargetAbortRate — or whose p50 latency blew past the recent best by
 // LatencyFactor — multiplies the limit by Decrease; a healthy window
 // (abort rate under half the target) adds one. The probe direction is
 // deliberately asymmetric (slow up, fast down): restart storms feed on
-// admission, so over-admitting is the expensive mistake.
+// admission, so over-admitting is the expensive mistake. One exception
+// cuts the other way — a window that shed arrivals while neither
+// decrease signal fired is refusing work with no overload evidence, and
+// climbs out at limit/4 per window instead of one slot at a time.
 type Limiter struct {
 	opts LimiterOptions
 
@@ -91,7 +98,13 @@ type Limiter struct {
 	winDone     int
 	winAttempts int64
 	winCommits  int64
-	bestP50     int64 // best (lowest) windowed p50 commit latency seen
+	winSheds    int64
+	// recentP50 is a ring of the last recentWindows windowed p50 commit
+	// latencies; the latency-gradient anchor is its minimum, so the
+	// anchor tracks the current load regime and forgets a faster past
+	// within recentWindows adaptation rounds.
+	recentP50 [recentWindows]int64
+	p50Idx    int
 
 	lat metrics.Histogram // commit latencies of the current window
 
@@ -100,6 +113,10 @@ type Limiter struct {
 	increases metrics.Counter
 	decreases metrics.Counter
 }
+
+// recentWindows is how many adaptation rounds the latency-gradient
+// anchor remembers (see LimiterOptions.LatencyFactor).
+const recentWindows = 8
 
 // NewLimiter returns a limiter with the given options.
 func NewLimiter(o LimiterOptions) *Limiter {
@@ -137,6 +154,7 @@ func (l *Limiter) Acquire(ctx Waiter, id int) error {
 	}
 	if len(l.queue) >= l.opts.QueuePerSlot*l.limit {
 		e := &OverloadError{Txn: id, InFlight: l.inflight, Limit: l.limit, Waiters: len(l.queue)}
+		l.winSheds++
 		l.mu.Unlock()
 		l.shed.Inc()
 		return e
@@ -199,21 +217,45 @@ func (l *Limiter) Release(committed bool, attempts int, latency time.Duration) {
 // adaptLocked runs one AIMD round over the finished window. Callers
 // hold mu.
 func (l *Limiter) adaptLocked() {
-	attempts, commits := l.winAttempts, l.winCommits
-	l.winDone, l.winAttempts, l.winCommits = 0, 0, 0
+	attempts, commits, sheds := l.winAttempts, l.winCommits, l.winSheds
+	l.winDone, l.winAttempts, l.winCommits, l.winSheds = 0, 0, 0, 0
 	snap := l.lat.Snapshot()
 	l.lat.Reset()
 	p50 := snap.Percentile(50)
-	if p50 > 0 && (l.bestP50 == 0 || p50 < l.bestP50) {
-		l.bestP50 = p50
+	var anchor int64
+	for _, v := range l.recentP50 {
+		if v > 0 && (anchor == 0 || v < anchor) {
+			anchor = v
+		}
 	}
 	abortRate := 0.0
 	if attempts > 0 {
 		abortRate = float64(attempts-commits) / float64(attempts)
 	}
-	slow := l.opts.LatencyFactor > 0 && l.bestP50 > 0 && p50 > int64(float64(l.bestP50)*l.opts.LatencyFactor)
+	slow := l.opts.LatencyFactor > 0 && anchor > 0 && p50 > int64(float64(anchor)*l.opts.LatencyFactor)
+	// A high abort rate alone is not overload evidence when retries are
+	// cheap: a hotspot workload can waste half its attempts at ANY
+	// concurrency while commit latency stays flat — throttling there
+	// sheds work the scheduler absorbs fine. So the abort-rate trigger
+	// needs corroboration: commit p50 elevated past half the collapse
+	// factor (a storm's survivors carry their retry time in their
+	// latency, so genuine storms corroborate themselves), or a window
+	// that committed nothing at all. With the latency term disabled the
+	// abort rate stands alone, as before.
+	degraded := true
+	if l.opts.LatencyFactor > 0 && commits > 0 {
+		corr := l.opts.LatencyFactor / 2
+		if corr < 1 {
+			corr = 1
+		}
+		degraded = anchor > 0 && p50 > int64(float64(anchor)*corr)
+	}
+	if p50 > 0 {
+		l.recentP50[l.p50Idx] = p50
+		l.p50Idx = (l.p50Idx + 1) % recentWindows
+	}
 	switch {
-	case abortRate > l.opts.TargetAbortRate || slow:
+	case (abortRate > l.opts.TargetAbortRate && degraded) || slow:
 		next := int(float64(l.limit) * l.opts.Decrease)
 		if next >= l.limit {
 			next = l.limit - 1
@@ -225,12 +267,32 @@ func (l *Limiter) adaptLocked() {
 			l.limit = next
 			l.decreases.Inc()
 		}
-	case abortRate < l.opts.TargetAbortRate/2:
-		if l.limit < l.opts.Max {
-			l.limit++
+	default:
+		step := 0
+		if abortRate < l.opts.TargetAbortRate/2 {
+			step = 1
+		}
+		if sheds > 0 {
+			// Shed-probe: the window refused arrivals while neither
+			// overload signal fired — the limiter itself is the
+			// bottleneck, not the scheduler. Shedding is only justified
+			// while the decrease evidence holds, so climb out
+			// multiplicatively rather than one slot per window; a genuine
+			// storm keeps its abort rate above target and never reaches
+			// this branch.
+			step = l.limit / 4
+			if step < 1 {
+				step = 1
+			}
+		}
+		if step > 0 && l.limit < l.opts.Max {
+			l.limit += step
+			if l.limit > l.opts.Max {
+				l.limit = l.opts.Max
+			}
 			l.increases.Inc()
-			// A raised limit may unblock a waiter immediately.
-			if len(l.queue) > 0 && l.inflight < l.limit {
+			// A raised limit may unblock waiters immediately.
+			for len(l.queue) > 0 && l.inflight < l.limit {
 				w := l.queue[0]
 				l.queue = l.queue[1:]
 				l.inflight++

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/intern"
+)
+
+// These tests pin the zero-allocation contract of the hot-path
+// primitives (DESIGN.md §14). They use testing.AllocsPerRun, so a
+// regression shows up as a deterministic test failure rather than a
+// benchmark drift that only make alloc-gate would catch.
+
+func TestVectorCompareAllocFree(t *testing.T) {
+	for _, k := range []int{4, 7, 64, 256} {
+		a := NewVector(k)
+		b := NewVector(k)
+		a.SetElem(1, 5)
+		b.SetElem(1, 3)
+		if k >= 64 {
+			a.SetElem(k, 9)
+			b.SetElem(k, 2)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			_, _ = a.Compare(b)
+			_ = a.Less(b)
+		}); n != 0 {
+			t.Errorf("k=%d: Compare/Less allocated %v/run, want 0", k, n)
+		}
+	}
+}
+
+func TestVectorMutateAllocFree(t *testing.T) {
+	v := NewVector(256)
+	if n := testing.AllocsPerRun(200, func() {
+		v.Reset()
+		v.SetElem(1, 7)
+		v.SetElem(200, 9)
+		_ = v.Elem(200)
+		_ = v.FirstUndefined()
+		_ = v.DefinedCount()
+	}); n != 0 {
+		t.Errorf("Reset/SetElem/Elem/FirstUndefined allocated %v/run, want 0", n)
+	}
+}
+
+func TestLatchLockAllocFree(t *testing.T) {
+	lt := NewLatchTable(64)
+	tbl := intern.New()
+	lt.BindInterner(tbl)
+	items := make([]string, 32)
+	for i := range items {
+		items[i] = fmt.Sprintf("item-%02d", i)
+		tbl.ID(items[i]) // pre-intern: steady state means no new names
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		i++
+		unlock := lt.Lock(items[i%len(items)])
+		unlock()
+	}); n != 0 {
+		t.Errorf("single-item Lock allocated %v/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		i++
+		s := lt.StripeOfID(int32(i % len(items)))
+		lt.LockStripe(s)
+		lt.UnlockStripe(s)
+	}); n != 0 {
+		t.Errorf("LockStripe/UnlockStripe allocated %v/run, want 0", n)
+	}
+	sorted := []int{1, 5, 9}
+	if n := testing.AllocsPerRun(200, func() {
+		lt.LockStripesSorted(sorted)
+		lt.UnlockStripesSorted(sorted)
+	}); n != 0 {
+		t.Errorf("LockStripesSorted allocated %v/run, want 0", n)
+	}
+}

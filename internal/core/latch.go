@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/explore/hook"
+	"repro/internal/intern"
 )
 
 // LatchTable is a hash-striped per-item latch table: each item maps to
@@ -15,9 +16,20 @@ import (
 // protocol step or one commit's validate-and-publish), unlike the 2PL
 // locks in internal/lock, which are held to commit and need deadlock
 // detection.
+//
+// A table may be bound to an intern.Table (BindInterner), in which case
+// items stripe by their dense interned id instead of a string hash:
+// StripeOf(item) and StripeOfID(ID(item)) then agree, so id-indexed
+// fast paths and legacy string callers always latch the same stripe.
 type LatchTable struct {
 	stripes []chanMutex
 	mask    uint32
+	// unlockFns[i] releases stripe i; built once at construction so the
+	// closure-returning Lock API costs no allocation on the single-item
+	// steady path.
+	unlockFns []func()
+	// names, when non-nil, makes striping id-based (see type comment).
+	names *intern.Table
 	// resBase is this table's first stripe's process-unique resource id
 	// for the explore hook: stripe i is resource resBase+i, so the
 	// schedule explorer can track waiters per stripe across any number
@@ -50,8 +62,18 @@ func NewLatchTable(n int) *LatchTable {
 	for i := range t.stripes {
 		t.stripes[i] = make(chanMutex, 1)
 	}
+	t.unlockFns = make([]func(), size)
+	for i := range t.unlockFns {
+		i := i
+		t.unlockFns[i] = func() { t.UnlockStripe(i) }
+	}
 	return t
 }
+
+// BindInterner switches the table to id-based striping over tbl. Must
+// be called before the table is shared between goroutines (it is a
+// construction-time wiring step, not a runtime toggle).
+func (t *LatchTable) BindInterner(tbl *intern.Table) { t.names = tbl }
 
 // Stripes returns the stripe count.
 func (t *LatchTable) Stripes() int { return len(t.stripes) }
@@ -59,14 +81,24 @@ func (t *LatchTable) Stripes() int { return len(t.stripes) }
 // StripeOf returns the stripe index item hashes to. Two items with the
 // same stripe index share a latch (and therefore serialize), which is
 // safe but costs concurrency; callers that keep per-stripe side state
-// (the striped scheduler's rt/wt maps) key it by this index.
+// (the striped scheduler's rt/wt tables) key it by this index.
 func (t *LatchTable) StripeOf(item string) int {
+	if t.names != nil {
+		return int(uint32(t.names.ID(item)) & t.mask)
+	}
 	h := uint32(2166136261)
 	for i := 0; i < len(item); i++ {
 		h ^= uint32(item[i])
 		h *= 16777619
 	}
 	return int(h & t.mask)
+}
+
+// StripeOfID returns the stripe index for an interned item id. Valid
+// only on tables bound to the interner that produced the id (unbound
+// tables stripe strings by hash, which need not agree).
+func (t *LatchTable) StripeOfID(id int32) int {
+	return int(uint32(id) & t.mask)
 }
 
 // Lock acquires the latches covering items and returns the unlock
@@ -77,9 +109,11 @@ func (t *LatchTable) StripeOf(item string) int {
 func (t *LatchTable) Lock(items ...string) func() {
 	switch len(items) {
 	case 0:
-		return func() {}
+		return nop
 	case 1:
-		return t.LockStripes([]int{t.StripeOf(items[0])})
+		i := t.StripeOf(items[0])
+		t.LockStripe(i)
+		return t.unlockFns[i]
 	}
 	idx := make([]int, 0, len(items))
 	for _, x := range items {
@@ -96,42 +130,64 @@ func (t *LatchTable) Lock(items ...string) func() {
 	return t.LockStripes(uniq)
 }
 
+var nop = func() {}
+
 // LockStripes acquires the given stripe indices, which MUST be sorted
 // ascending and deduplicated (Lock prepares them; exported for callers
 // that cache stripe indices across acquisitions).
 func (t *LatchTable) LockStripes(sorted []int) func() {
-	for _, i := range sorted {
-		t.lockStripe(i)
+	if len(sorted) == 1 {
+		t.LockStripe(sorted[0])
+		return t.unlockFns[sorted[0]]
 	}
-	return func() {
-		for j := len(sorted) - 1; j >= 0; j-- {
-			t.unlockStripe(sorted[j])
-		}
+	t.LockStripesSorted(sorted)
+	return func() { t.UnlockStripesSorted(sorted) }
+}
+
+// LockStripesSorted acquires the given stripes, which MUST be sorted
+// ascending and deduplicated. Paired with UnlockStripesSorted, it is
+// the allocation-free form of LockStripes for callers that keep the
+// stripe slice themselves.
+func (t *LatchTable) LockStripesSorted(sorted []int) {
+	for _, i := range sorted {
+		t.LockStripe(i)
 	}
 }
 
-// lockStripe acquires one stripe. Under the schedule explorer the
+// UnlockStripesSorted releases stripes previously acquired with
+// LockStripesSorted, in descending order.
+func (t *LatchTable) UnlockStripesSorted(sorted []int) {
+	for j := len(sorted) - 1; j >= 0; j-- {
+		t.UnlockStripe(sorted[j])
+	}
+}
+
+// LockStripe acquires one stripe. Under the schedule explorer the
 // acquisition is controlled: the hook try-loops a non-blocking lock
 // attempt, parking the goroutine between failures, so a latch wait is a
 // scheduling decision rather than a wall-clock block. In production the
-// hook declines (one atomic load) and the plain channel send runs.
-func (t *LatchTable) lockStripe(i int) {
+// hook declines (one atomic load, checked before the try-closure is
+// even built so the steady path allocates nothing) and the plain
+// channel send runs.
+func (t *LatchTable) LockStripe(i int) {
 	m := t.stripes[i]
-	if hook.TryAcquire(t.resBase+uint64(i), "latch.acquire", func() bool {
-		select {
-		case m <- struct{}{}:
-			return true
-		default:
-			return false
+	if hook.Enabled() {
+		if hook.TryAcquire(t.resBase+uint64(i), "latch.acquire", func() bool {
+			select {
+			case m <- struct{}{}:
+				return true
+			default:
+				return false
+			}
+		}) {
+			return
 		}
-	}) {
-		return
 	}
 	m.lock()
 }
 
-// unlockStripe releases one stripe and notifies controlled waiters.
-func (t *LatchTable) unlockStripe(i int) {
+// UnlockStripe releases one stripe and notifies controlled waiters.
+func (t *LatchTable) UnlockStripe(i int) {
 	t.stripes[i].unlock()
 	hook.Release(t.resBase + uint64(i))
 }

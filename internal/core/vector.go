@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -69,8 +70,17 @@ func (r Rel) String() string {
 }
 
 // Vector is a k-dimensional timestamp vector.
+//
+// Representation (paper §III-E): values live in a dense int64 slice and
+// definedness in a bitmask, one bit per column. Comparison then scans
+// whole 64-column definedness words at once — the deciding position is
+// found with one AND plus a trailing-zeros count instead of a per-column
+// Defined branch — and Reset is O(1) for k <= 64. Columns 65.. (only the
+// vecproc experiments use them) spill into overflow words.
 type Vector struct {
-	elems []Elem
+	vals []int64  // column values, 0-based; valid only where defined
+	mask uint64   // definedness bits for columns 1..min(k,64)
+	ext  []uint64 // definedness bits for columns 65.. (nil when k <= 64)
 }
 
 // NewVector returns an all-undefined vector of size k.
@@ -78,7 +88,11 @@ func NewVector(k int) *Vector {
 	if k < 1 {
 		panic("core: vector size must be >= 1")
 	}
-	return &Vector{elems: make([]Elem, k)}
+	v := &Vector{vals: make([]int64, k)}
+	if k > 64 {
+		v.ext = make([]uint64, (k-64+63)/64)
+	}
+	return v
 }
 
 // VectorOf builds a vector from explicit elements (for tests and tables).
@@ -86,22 +100,49 @@ func VectorOf(elems ...Elem) *Vector {
 	if len(elems) == 0 {
 		panic("core: empty vector")
 	}
-	return &Vector{elems: append([]Elem(nil), elems...)}
+	v := NewVector(len(elems))
+	for i, e := range elems {
+		if e.Defined {
+			v.set(i+1, e.V)
+		}
+	}
+	return v
+}
+
+// defined reports whether 0-based column i is defined.
+func (v *Vector) defined(i int) bool {
+	if i < 64 {
+		return v.mask&(uint64(1)<<uint(i)) != 0
+	}
+	return v.ext[(i-64)>>6]&(uint64(1)<<uint((i-64)&63)) != 0
+}
+
+// setBit marks 0-based column i defined.
+func (v *Vector) setBit(i int) {
+	if i < 64 {
+		v.mask |= uint64(1) << uint(i)
+		return
+	}
+	v.ext[(i-64)>>6] |= uint64(1) << uint((i-64)&63)
 }
 
 // K returns the vector size.
-func (v *Vector) K() int { return len(v.elems) }
+func (v *Vector) K() int { return len(v.vals) }
 
 // Elem returns the m-th element, 1-based as in the paper's TS(i, m).
-func (v *Vector) Elem(m int) Elem { return v.elems[m-1] }
+func (v *Vector) Elem(m int) Elem {
+	if !v.defined(m - 1) {
+		_ = v.vals[m-1] // preserve the bounds panic for m > k
+		return Elem{}
+	}
+	return Elem{V: v.vals[m-1], Defined: true}
+}
 
 // DefinedCount returns the number of defined elements.
 func (v *Vector) DefinedCount() int {
-	n := 0
-	for _, e := range v.elems {
-		if e.Defined {
-			n++
-		}
+	n := bits.OnesCount64(v.mask)
+	for _, w := range v.ext {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -111,10 +152,11 @@ func (v *Vector) DefinedCount() int {
 // every call site must only fill undefined slots. Reset is the only
 // sanctioned way to discard a vector's history (starvation fix).
 func (v *Vector) set(m int, val int64) {
-	if v.elems[m-1].Defined {
+	if v.defined(m - 1) {
 		panic(fmt.Sprintf("core: element %d already defined", m))
 	}
-	v.elems[m-1] = Int(val)
+	v.vals[m-1] = val
+	v.setBit(m - 1)
 }
 
 // SetElem assigns element m (1-based). Like every element assignment it
@@ -124,23 +166,29 @@ func (v *Vector) set(m int, val int64) {
 func (v *Vector) SetElem(m int, val int64) { v.set(m, val) }
 
 // Reset flushes the vector back to all-undefined (the starvation fix's
-// "flush out TS(i)").
+// "flush out TS(i)"). O(1) for k <= 64: only the definedness mask is
+// cleared, stale values are unreachable behind it.
 func (v *Vector) Reset() {
-	for i := range v.elems {
-		v.elems[i] = Elem{}
+	v.mask = 0
+	for i := range v.ext {
+		v.ext[i] = 0
 	}
 }
 
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
-	return &Vector{elems: append([]Elem(nil), v.elems...)}
+	c := &Vector{vals: append([]int64(nil), v.vals...), mask: v.mask}
+	if v.ext != nil {
+		c.ext = append([]uint64(nil), v.ext...)
+	}
+	return c
 }
 
 // String renders the vector in the paper's notation, e.g. "<1,2,*>".
 func (v *Vector) String() string {
-	parts := make([]string, len(v.elems))
-	for i, e := range v.elems {
-		parts[i] = e.String()
+	parts := make([]string, len(v.vals))
+	for m := 1; m <= len(v.vals); m++ {
+		parts[m-1] = v.Elem(m).String()
 	}
 	return "<" + strings.Join(parts, ",") + ">"
 }
@@ -151,28 +199,58 @@ func (v *Vector) String() string {
 // defined and equal (possible only when v and w are the same transaction's
 // vector, since the k-th column holds distinct values), it returns
 // (Equal, k).
+//
+// The walk is branch-reduced per §III-E: one word-parallel AND over the
+// definedness masks plus a trailing-zeros count locates the first column
+// where the vectors are not both defined, so the loop up to that bound
+// compares raw values with no per-column Defined tests.
 func (v *Vector) Compare(w *Vector) (Rel, int) {
-	if len(v.elems) != len(w.elems) {
-		panic(fmt.Sprintf("core: comparing vectors of size %d and %d", len(v.elems), len(w.elems)))
+	k := len(v.vals)
+	if k != len(w.vals) {
+		panic(fmt.Sprintf("core: comparing vectors of size %d and %d", k, len(w.vals)))
 	}
-	for m := 0; m < len(v.elems); m++ {
-		a, b := v.elems[m], w.elems[m]
-		switch {
-		case a.Defined && b.Defined:
-			if a.V < b.V {
+	// First column (0-based) where NOT both defined, within the first
+	// definedness word; 64 when the whole word is both-defined.
+	lim := bits.TrailingZeros64(^(v.mask & w.mask))
+	if lim > k {
+		lim = k
+	}
+	for m := 0; m < lim; m++ {
+		if a, b := v.vals[m], w.vals[m]; a != b {
+			if a < b {
 				return Less, m + 1
 			}
-			if a.V > b.V {
+			return Greater, m + 1
+		}
+	}
+	if lim == k {
+		return Equal, k // every column defined and equal
+	}
+	if lim < 64 {
+		// Column lim is the deciding position: at most one side defined.
+		if (v.mask|w.mask)&(uint64(1)<<uint(lim)) == 0 {
+			return Equal, lim + 1
+		}
+		return Unknown, lim + 1
+	}
+	// Spill columns (k > 64): the first word was both-defined and equal.
+	for m := 64; m < k; m++ {
+		ad, bd := v.defined(m), w.defined(m)
+		switch {
+		case ad && bd:
+			if a, b := v.vals[m], w.vals[m]; a != b {
+				if a < b {
+					return Less, m + 1
+				}
 				return Greater, m + 1
 			}
-			// equal: continue to the next element
-		case !a.Defined && !b.Defined:
+		case !ad && !bd:
 			return Equal, m + 1
 		default:
 			return Unknown, m + 1
 		}
 	}
-	return Equal, len(v.elems)
+	return Equal, k
 }
 
 // Less reports whether v < w is an established relation.
@@ -184,10 +262,14 @@ func (v *Vector) Less(w *Vector) bool {
 // FirstUndefined returns the 1-based index of the first undefined element,
 // or k+1 if the vector is fully defined.
 func (v *Vector) FirstUndefined() int {
-	for m, e := range v.elems {
-		if !e.Defined {
+	k := len(v.vals)
+	if m := bits.TrailingZeros64(^v.mask); m < k && m < 64 {
+		return m + 1
+	}
+	for m := 64; m < k; m++ {
+		if !v.defined(m) {
 			return m + 1
 		}
 	}
-	return len(v.elems) + 1
+	return k + 1
 }

@@ -49,6 +49,15 @@ type Options struct {
 	// Trace, when non-nil, receives an Event for every element assignment,
 	// dependency encoding and flush.
 	Trace func(core.Event)
+	// UnsafeEagerReclaim injects a seeded pooled-entry lifecycle bug
+	// into the striped engine for the schedule-exploration harness: a
+	// finished transaction's entry is reclaimed even while it is still
+	// pinned as an item's most-recent read/write timestamp, so a later
+	// conflict test against that item recreates the transaction with an
+	// empty vector and decides against the wrong timestamp. Exists only
+	// so internal/explore can pin the reclamation interleaving as a
+	// regression trace (testdata/eager_reclaim.trace); never set it.
+	UnsafeEagerReclaim bool
 }
 
 // Scheduler is the MT(k) concurrency controller of Algorithm 1 under

@@ -1,11 +1,12 @@
 package engine
 
 import (
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/explore/hook"
+	"repro/internal/intern"
 	"repro/internal/oplog"
 )
 
@@ -39,21 +40,45 @@ import (
 // over unchanged: any concurrent execution is equivalent to some serial
 // sequence of Set transitions, which is exactly the coarse scheduler's
 // regime.
+//
+// Memory discipline (DESIGN.md §14): items are interned to dense int32
+// ids, so RT/WT/access state lives in per-stripe slices indexed by
+// id/nStripes instead of string maps; transaction entries live in a
+// chunked, atomically published table indexed by txn id and are
+// recycled through a sync.Pool. A steady-state step — intern hit,
+// latch, three entry locks, decision, repin — allocates nothing; the
+// alloc gate in CI (make alloc-gate) holds it at 0 allocs/op.
 type Striped struct {
-	opts    Options
-	k       int
+	opts  Options
+	k     int
+	names *intern.Table
+
 	latches *core.LatchTable
 	stripes []itemStripe
+	smask   int  // stripe index mask (stripe count - 1)
+	nshift  uint // log2(stripe count): id >> nshift is the in-stripe index
 
-	// tmu guards the id -> entry map only; entry contents are guarded
-	// by the per-entry lock. Never held while blocking on an entry lock.
-	tmu  sync.RWMutex
-	txns map[int]*txnEntry
+	// tmu serializes txn-table growth and slot publication (create is
+	// the only writer); lookups are lock-free loads of the spine. tmu
+	// orders BEFORE the per-entry locks: create initializes a pooled
+	// entry under its lock while holding tmu, and no path acquires tmu
+	// while holding an entry lock (reclamation clears slots with a CAS,
+	// not under tmu, precisely to keep this acyclic).
+	tmu   sync.Mutex
+	spine atomic.Pointer[[]*txnChunk]
+	live  atomic.Int64 // published, unreclaimed entries (including T_0)
+	pool  sync.Pool    // *txnEntry, vectors pre-sized to k
+	// staleRetries counts lock-set retries that hit a reclaimed or
+	// recycled entry (the generation check); the pooled-reuse stress
+	// test asserts every stale access is caught here.
+	staleRetries atomic.Int64
 
-	// cmu guards the counters and the column clock.
+	// cmu guards the counters, the column clock, and the reusable
+	// encode sink.
 	cmu      sync.Mutex
 	counters *LocalCounters
 	clock    []int64
+	sink     stripedSink
 
 	// OnDecision, when non-nil, observes every Step decision while the
 	// operation's item latches are still held, so for any single item
@@ -63,23 +88,80 @@ type Striped struct {
 }
 
 // itemStripe is the per-stripe slice of the scheduler's item-indexed
-// state, guarded by the latch with the same index.
+// state, guarded by the latch with the same index. An item with id
+// interned as n lives at index n >> nshift of stripe n & smask (the
+// id space is dense, so stripes grow in lockstep with the item count);
+// the slices are grown only under the stripe's latch.
 type itemStripe struct {
-	rt     map[string]int
-	wt     map[string]int
-	access map[string]int
+	rt     []int
+	wt     []int
+	access []int64
+}
+
+// ensure grows the stripe's tables to cover in-stripe index li (caller
+// holds the stripe latch).
+func (st *itemStripe) ensure(li int) {
+	for li >= len(st.rt) {
+		st.rt = append(st.rt, 0)
+		st.wt = append(st.wt, 0)
+		st.access = append(st.access, 0)
+	}
+}
+
+// txnChunk is one fixed block of the transaction table. Chunks never
+// move once published, so a slot pointer read is one atomic load.
+const (
+	txnChunkBits = 8
+	txnChunkSize = 1 << txnChunkBits
+	txnChunkMask = txnChunkSize - 1
+)
+
+type txnChunk struct {
+	slots [txnChunkSize]atomic.Pointer[txnEntry]
 }
 
 // txnEntry is one transaction's vector plus lifecycle state, guarded by
-// its own lock.
+// its own lock. Entries are pooled: reclamation marks the entry dead
+// and returns it to the pool, and the next create re-tags it with a new
+// id and bumps gen. A looker that locked a stale pointer detects the
+// recycle because (id, dead) no longer match what it asked for.
 type txnEntry struct {
 	mu   sync.Mutex
+	id   int         // current identity; valid while published
+	gen  uint64      // incremented on every recycle (diagnostics, tests)
+	dead atomic.Bool // set on reclaim; readable without the entry lock
 	vec  *core.Vector
 	pins int
 	done bool
-	// dead marks an entry reclaimed and removed from the map; a looker
-	// that finds it set re-fetches (a fresh entry may exist by then).
-	dead bool
+}
+
+// lockedTxns is the fixed-capacity result of lockTxns: at most three
+// distinct entries — RT(x), WT(x) and the acting transaction — locked
+// in ascending id order. It lives on the caller's stack, so the
+// steady-state step path allocates nothing.
+type lockedTxns struct {
+	ids [3]int
+	es  [3]*txnEntry
+	n   int
+}
+
+// get returns the locked entry for id (which must be one of the locked
+// ids).
+func (lt *lockedTxns) get(id int) *txnEntry {
+	if lt.ids[0] == id {
+		return lt.es[0]
+	}
+	if lt.n > 1 && lt.ids[1] == id {
+		return lt.es[1]
+	}
+	return lt.es[2]
+}
+
+// unlock releases the locked entries in descending id order.
+func (lt *lockedTxns) unlock() {
+	for j := lt.n - 1; j >= 0; j-- {
+		lt.es[j].mu.Unlock()
+	}
 }
 
 // DefaultStripes is the latch-table width used by NewStriped.
@@ -92,31 +174,42 @@ func NewStriped(opts Options) *Striped {
 }
 
 // NewStripedSize returns a concurrent MT(k) scheduler with at least
-// nStripes latch stripes.
+// nStripes latch stripes and its own item-intern table.
 func NewStripedSize(opts Options, nStripes int) *Striped {
+	return newStriped(opts, nStripes, intern.New())
+}
+
+// NewStripedInterned returns a concurrent MT(k) scheduler that shares
+// the given intern table (typically the backing store's, so scheduler
+// and store agree on item ids and the runtime adapter can run the
+// id-indexed fast path end to end).
+func NewStripedInterned(opts Options, names *intern.Table) *Striped {
+	return newStriped(opts, DefaultStripes, names)
+}
+
+func newStriped(opts Options, nStripes int, names *intern.Table) *Striped {
 	if opts.K < 1 {
 		panic("engine: Options.K must be >= 1")
 	}
 	s := &Striped{
 		opts:     opts,
 		k:        opts.K,
+		names:    names,
 		latches:  core.NewLatchTable(nStripes),
-		txns:     make(map[int]*txnEntry),
 		counters: NewLocalCounters(),
 		clock:    make([]int64, opts.K),
 	}
+	s.latches.BindInterner(names)
 	s.stripes = make([]itemStripe, s.latches.Stripes())
-	for i := range s.stripes {
-		s.stripes[i] = itemStripe{
-			rt:     make(map[string]int),
-			wt:     make(map[string]int),
-			access: make(map[string]int),
-		}
+	s.smask = s.latches.Stripes() - 1
+	for 1<<s.nshift < s.latches.Stripes() {
+		s.nshift++
 	}
+	k := opts.K
+	s.pool.New = func() any { return &txnEntry{vec: core.NewVector(k)} }
 	// TS(0) = <0,*,...,*>: the virtual transaction T_0.
-	t0 := core.NewVector(opts.K)
-	t0.SetElem(1, 0)
-	s.txns[0] = &txnEntry{vec: t0}
+	t0 := s.entry(0)
+	t0.vec.SetElem(1, 0)
 	return s
 }
 
@@ -129,64 +222,139 @@ func (s *Striped) K() int { return s.k }
 // global mutex).
 func (s *Striped) Latches() *core.LatchTable { return s.latches }
 
-// entry returns the live entry for id, creating one on demand.
+// Interner exposes the item-intern table backing this scheduler.
+func (s *Striped) Interner() *intern.Table { return s.names }
+
+// ItemID interns item and returns its dense id (the key for the *ID
+// fast-path methods; also a valid index into the shared store when the
+// scheduler was built with NewStripedInterned).
+func (s *Striped) ItemID(item string) int32 { return s.names.ID(item) }
+
+// StaleRetries returns how many lock-set acquisitions found a
+// reclaimed or recycled entry and retried (the pooled-entry generation
+// check; test observability).
+func (s *Striped) StaleRetries() int64 { return s.staleRetries.Load() }
+
+// lookup returns the published entry for id, or nil. Lock-free.
+func (s *Striped) lookup(id int) *txnEntry {
+	sp := s.spine.Load()
+	if sp == nil {
+		return nil
+	}
+	hi := id >> txnChunkBits
+	if hi >= len(*sp) {
+		return nil
+	}
+	ch := (*sp)[hi]
+	if ch == nil {
+		return nil
+	}
+	return ch.slots[id&txnChunkMask].Load()
+}
+
+// entry returns the live entry for id, creating (or recycling from the
+// pool) one on demand.
 func (s *Striped) entry(id int) *txnEntry {
-	s.tmu.RLock()
-	e := s.txns[id]
-	s.tmu.RUnlock()
-	if e != nil {
+	if e := s.lookup(id); e != nil && !e.dead.Load() {
 		return e
+	}
+	return s.create(id)
+}
+
+// create publishes an entry for id under tmu. The spine is
+// copy-on-write: chunks are installed by publishing a new chunk-pointer
+// slice, so lock-free lookups only ever see immutable slices.
+func (s *Striped) create(id int) *txnEntry {
+	if id < 0 {
+		panic("engine: negative transaction id")
 	}
 	s.tmu.Lock()
 	defer s.tmu.Unlock()
-	if e = s.txns[id]; e != nil {
+	hi := id >> txnChunkBits
+	var chunks []*txnChunk
+	if sp := s.spine.Load(); sp != nil {
+		chunks = *sp
+	}
+	if hi >= len(chunks) || chunks[hi] == nil {
+		n := len(chunks)
+		if hi+1 > n {
+			n = hi + 1
+		}
+		grown := make([]*txnChunk, n)
+		copy(grown, chunks)
+		if grown[hi] == nil {
+			grown[hi] = &txnChunk{}
+		}
+		s.spine.Store(&grown)
+		chunks = grown
+	}
+	slot := &chunks[hi].slots[id&txnChunkMask]
+	if e := slot.Load(); e != nil && !e.dead.Load() {
 		return e
 	}
-	e = &txnEntry{vec: core.NewVector(s.k)}
-	s.txns[id] = e
+	e := s.pool.Get().(*txnEntry)
+	// Initialize under the entry lock: a straggler holding a stale
+	// pointer from the entry's previous identity may lock it and read
+	// (id, dead) at any moment. If the previous identity is still
+	// mid-reclaim, Get returned before that op's unlock and this block
+	// waits for it — reclamation never acquires tmu, so holding it here
+	// cannot deadlock.
+	e.mu.Lock()
+	e.id = id
+	e.gen++
+	e.dead.Store(false)
+	e.done = false
+	e.pins = 0
+	e.vec.Reset()
+	e.mu.Unlock()
+	slot.Store(e)
+	s.live.Add(1)
 	return e
 }
 
-// lockTxns locks the entries for the given ids in ascending id order
-// (ids are deduplicated here), retrying from the map if any entry was
-// reclaimed between lookup and lock. Returns the locked entries keyed
-// by id and an unlock function.
-func (s *Striped) lockTxns(ids ...int) (map[int]*txnEntry, func()) {
-	sort.Ints(ids)
-	uniq := ids[:0]
-	for i, id := range ids {
-		if i == 0 || id != uniq[len(uniq)-1] {
-			uniq = append(uniq, id)
+// lockTxns locks the entries for ids[:n] in ascending id order (ids
+// are deduplicated here), retrying when an entry was reclaimed or
+// recycled between lookup and lock — detected by the (id, dead)
+// generation check, since a pooled entry that was re-published for a
+// different transaction no longer carries the id it was looked up
+// under. The result lives in the caller-provided lockedTxns.
+func (s *Striped) lockTxns(lt *lockedTxns, ids [3]int, n int) {
+	if n > 1 && ids[0] > ids[1] {
+		ids[0], ids[1] = ids[1], ids[0]
+	}
+	if n == 3 {
+		if ids[1] > ids[2] {
+			ids[1], ids[2] = ids[2], ids[1]
+		}
+		if ids[0] > ids[1] {
+			ids[0], ids[1] = ids[1], ids[0]
 		}
 	}
+	m := 0
+	for i := 0; i < n; i++ {
+		if m == 0 || ids[i] != lt.ids[m-1] {
+			lt.ids[m] = ids[i]
+			m++
+		}
+	}
+retry:
 	for {
-		es := make([]*txnEntry, len(uniq))
-		for i, id := range uniq {
-			es[i] = s.entry(id)
+		for i := 0; i < m; i++ {
+			lt.es[i] = s.entry(lt.ids[i])
 		}
-		ok := true
-		for i, e := range es {
+		for i := 0; i < m; i++ {
+			e := lt.es[i]
 			e.mu.Lock()
-			if e.dead {
+			if e.dead.Load() || e.id != lt.ids[i] {
+				s.staleRetries.Add(1)
 				for j := i; j >= 0; j-- {
-					es[j].mu.Unlock()
+					lt.es[j].mu.Unlock()
 				}
-				ok = false
-				break
+				continue retry
 			}
 		}
-		if !ok {
-			continue
-		}
-		m := make(map[int]*txnEntry, len(uniq))
-		for i, id := range uniq {
-			m[id] = es[i]
-		}
-		return m, func() {
-			for j := len(es) - 1; j >= 0; j-- {
-				es[j].mu.Unlock()
-			}
-		}
+		lt.n = m
+		return
 	}
 }
 
@@ -206,13 +374,7 @@ func (s *Striped) StepLocked(op oplog.Op) core.Decision {
 	var ignored []string
 	d := core.Decision{Op: op, Verdict: core.Accept}
 	for _, x := range op.Items {
-		var v core.Verdict
-		var blocker int
-		if op.Kind == oplog.Read {
-			v, blocker = s.stepItem(op.Txn, x, true)
-		} else {
-			v, blocker = s.stepItem(op.Txn, x, false)
-		}
+		v, blocker := s.stepItem(op.Txn, s.names.ID(x), op.Kind == oplog.Read)
 		if v == core.Reject {
 			d = core.Decision{Op: op, Verdict: core.Reject, Blocker: blocker, Item: x}
 			hook.Observe("engine.decision", x, int64(op.Txn), int64(v))
@@ -238,50 +400,98 @@ func (s *Striped) StepLocked(op oplog.Op) core.Decision {
 	return d
 }
 
+// StepReadID runs the read arm of Algorithm 1 for one interned item,
+// with the item's latch held by the caller: the single-item fast path
+// of StepLocked(oplog.R(txn, item)) with identical decision,
+// observation and OnDecision behavior, but no Op construction —
+// allocation-free on the steady path.
+func (s *Striped) StepReadID(txn int, id int32) (core.Verdict, int) {
+	v, blocker := s.stepItem(txn, id, true)
+	s.observe(txn, id, oplog.Read, v, blocker)
+	return v, blocker
+}
+
+// StepWriteID is the write-arm analogue of StepReadID.
+func (s *Striped) StepWriteID(txn int, id int32) (core.Verdict, int) {
+	v, blocker := s.stepItem(txn, id, false)
+	s.observe(txn, id, oplog.Write, v, blocker)
+	return v, blocker
+}
+
+// observe emits the decision exactly as StepLocked would for the
+// single-item op: the explore-harness stamp first (the parity oracle's
+// linearization point, still under the item latch), then OnDecision.
+// The Decision value is only materialized when someone is listening.
+func (s *Striped) observe(txn int, id int32, kind oplog.Kind, v core.Verdict, blocker int) {
+	if hook.Enabled() {
+		hook.Observe("engine.decision", s.names.Name(id), int64(txn), int64(v))
+	}
+	if s.OnDecision != nil {
+		x := s.names.Name(id)
+		d := core.Decision{
+			Op:      oplog.Op{Txn: txn, Kind: kind, Items: []string{x}},
+			Verdict: v,
+		}
+		switch v {
+		case core.Reject:
+			d.Blocker = blocker
+			d.Item = x
+		case core.AcceptIgnored:
+			d.IgnoredItems = d.Op.Items
+		}
+		s.OnDecision(d)
+	}
+}
+
 // stepItem runs the read or write arm of Algorithm 1 for one item,
 // with the item's latch held by the caller. It locks the (at most
 // three) transactions involved, makes the decision, and updates the
 // RT/WT indexes and pin counts before releasing them.
-func (s *Striped) stepItem(i int, x string, read bool) (core.Verdict, int) {
-	st := &s.stripes[s.latches.StripeOf(x)]
-	st.access[x]++
-	rt, wt := st.rt[x], st.wt[x]
-	es, unlock := s.lockTxns(rt, wt, i)
-	defer unlock()
+func (s *Striped) stepItem(i int, id int32, read bool) (core.Verdict, int) {
+	st := &s.stripes[int(uint32(id))&s.smask]
+	li := int(id) >> s.nshift
+	st.ensure(li)
+	st.access[li]++
+	rt, wt := st.rt[li], st.wt[li]
+	var lt lockedTxns
+	s.lockTxns(&lt, [3]int{rt, wt, i}, 3)
+	defer lt.unlock()
+	ei := lt.get(i)
 	// A transaction issuing operations is live: a restarted incarnation
 	// after Abort reactivates its (possibly reseeded) vector.
-	es[i].done = false
+	ei.done = false
 	// maxHolder: j := RT(x) or WT(x), whichever timestamp is larger.
-	j, ej := rt, es[rt]
-	if rt != wt && s.vecLess(es[rt].vec, es[wt].vec) {
-		j, ej = wt, es[wt]
+	j, ej := rt, lt.get(rt)
+	if rt != wt && s.vecLess(lt.get(rt).vec, lt.get(wt).vec) {
+		j, ej = wt, lt.get(wt)
 	}
+	shift := s.hotID(st, li, id)
 	if read {
-		if s.setDep(j, i, ej, es[i], x) {
-			s.repin(st, &st.rt, x, i, es)
+		if s.setDep(j, i, ej, ei, shift) {
+			s.repin(st.rt, li, i, &lt)
 			return core.Accept, 0
 		}
 		// Line 9: the read may slot between the most recent write and
 		// the most recent read without becoming the most recent reader.
 		if j == rt {
 			if s.opts.RelaxedReadCheck {
-				if s.setDep(wt, i, es[wt], es[i], x) {
+				if s.setDep(wt, i, lt.get(wt), ei, shift) {
 					return core.Accept, 0
 				}
-			} else if wt != i && s.vecLess(es[wt].vec, es[i].vec) {
+			} else if wt != i && s.vecLess(lt.get(wt).vec, ei.vec) {
 				return core.Accept, 0
 			}
 		}
 		return core.Reject, j
 	}
-	if s.setDep(j, i, ej, es[i], x) {
-		s.repin(st, &st.wt, x, i, es)
+	if s.setDep(j, i, ej, ei, shift) {
+		s.repin(st.wt, li, i, &lt)
 		return core.Accept, 0
 	}
 	// Thomas write rule: if TS(RT(x)) < TS(i) < TS(WT(x)), the write is
 	// obsolete and can be ignored.
-	if s.opts.ThomasWriteRule && j == wt && i != wt && s.vecLess(es[i].vec, es[wt].vec) &&
-		s.setDep(rt, i, es[rt], es[i], x) {
+	if s.opts.ThomasWriteRule && j == wt && i != wt && s.vecLess(ei.vec, lt.get(wt).vec) &&
+		s.setDep(rt, i, lt.get(rt), ei, shift) {
 		return core.AcceptIgnored, 0
 	}
 	return core.Reject, j
@@ -296,18 +506,18 @@ func (s *Striped) vecLess(a, b *core.Vector) bool {
 	return a.Less(b)
 }
 
-// hot reports whether x qualifies for right-shifted encoding. The
-// caller holds x's latch (access counts live under it).
-func (s *Striped) hot(st *itemStripe, x string) bool {
-	if s.opts.HotItems[x] {
+// hotID reports whether the item qualifies for right-shifted encoding.
+// The caller holds the item's latch (access counts live under it).
+func (s *Striped) hotID(st *itemStripe, li int, id int32) bool {
+	if len(s.opts.HotItems) > 0 && s.opts.HotItems[s.names.Name(id)] {
 		return true
 	}
-	return s.opts.HotThreshold > 0 && st.access[x] >= s.opts.HotThreshold
+	return s.opts.HotThreshold > 0 && int(st.access[li]) >= s.opts.HotThreshold
 }
 
-// setDep is procedure Set(j, i) with both entries locked; x (may be
-// empty) is the item whose access created the dependency.
-func (s *Striped) setDep(j, i int, ej, ei *txnEntry, x string) bool {
+// setDep is procedure Set(j, i) with both entries locked; shift is the
+// item's hot-encoding eligibility (precomputed under its latch).
+func (s *Striped) setDep(j, i int, ej, ei *txnEntry, shift bool) bool {
 	if j == i {
 		return true
 	}
@@ -320,10 +530,6 @@ func (s *Striped) setDep(j, i int, ej, ei *txnEntry, x string) bool {
 			s.opts.Trace(core.Event{Kind: core.EvEstablished, J: j, I: i})
 		}
 		return true
-	}
-	shift := false
-	if x != "" {
-		shift = s.hot(&s.stripes[s.latches.StripeOf(x)], x)
 	}
 	if !s.encode(j, i, ej, ei, shift) {
 		return false
@@ -357,14 +563,16 @@ func (s *Striped) upper(m int, floor int64) int64 {
 }
 
 // stripedSink routes kernel assignments into the locked entries,
-// advancing the clock and the trace hook. The encode holds cmu.
+// advancing the clock and the trace hook. The encode holds cmu, which
+// also guards the scheduler's single reusable sink value: passing its
+// address avoids re-boxing a fresh Sink interface per encode.
 type stripedSink struct {
 	s      *Striped
 	j, i   int
 	ej, ei *txnEntry
 }
 
-func (k stripedSink) Assign(side Side, pos int, val int64) {
+func (k *stripedSink) Assign(side Side, pos int, val int64) {
 	if side == SideJ {
 		k.s.assign(k.j, k.ej, pos, val)
 	} else {
@@ -372,7 +580,7 @@ func (k stripedSink) Assign(side Side, pos int, val int64) {
 	}
 }
 
-func (k stripedSink) Upper(m int, floor int64) int64 { return k.s.upper(m, floor) }
+func (k *stripedSink) Upper(m int, floor int64) int64 { return k.s.upper(m, floor) }
 
 // encode runs the kernel's Set(j, i) over the two locked entries. The
 // element assignments and counter allocations run under cmu so the
@@ -380,54 +588,67 @@ func (k stripedSink) Upper(m int, floor int64) int64 { return k.s.upper(m, floor
 func (s *Striped) encode(j, i int, ej, ei *txnEntry, shift bool) bool {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
+	s.sink = stripedSink{s: s, j: j, i: i, ej: ej, ei: ei}
 	return Dep{
 		J: j, I: i,
 		VJ: ej.vec, VI: ei.vec,
 		K:     s.k,
 		Alloc: s.counters,
-		Sink:  stripedSink{s: s, j: j, i: i, ej: ej, ei: ei},
+		Sink:  &s.sink,
 		Shift: shift,
 	}.Encode()
 }
 
-// repin moves the RT or WT index for x to txn, maintaining pin counts.
-// The old holder is always among the locked entries (it was rt[x] or
-// wt[x] when the step locked them).
-func (s *Striped) repin(st *itemStripe, table *map[string]int, x string, txn int, es map[int]*txnEntry) {
-	old := (*table)[x]
+// repin moves the RT or WT index for the item (table[li], where table
+// is the stripe's rt or wt slice) to txn, maintaining pin counts. The
+// old holder is always among the locked entries (it was rt/wt when the
+// step locked them).
+func (s *Striped) repin(table []int, li int, txn int, lt *lockedTxns) {
+	old := table[li]
 	if old == txn {
 		return
 	}
-	(*table)[x] = txn
-	es[txn].pins++
+	table[li] = txn
+	lt.get(txn).pins++
 	if old == 0 {
 		return
 	}
-	eo := es[old]
+	eo := lt.get(old)
 	eo.pins--
 	s.maybeReclaim(old, eo)
 }
 
-// maybeReclaim frees the entry once the transaction is finished and no
-// longer a most-recent read/write timestamp. The caller holds e.mu.
+// maybeReclaim recycles the entry once the transaction is finished and
+// no longer a most-recent read/write timestamp. The caller holds e.mu.
+// The published slot is cleared with a CAS (not under tmu — see the
+// tmu comment) and the entry goes back to the pool; it may be locked
+// by a recycler before the caller unlocks it, which is safe because
+// create initializes entries under their lock.
 func (s *Striped) maybeReclaim(id int, e *txnEntry) {
 	if id == 0 {
 		return
 	}
-	if e.done && e.pins <= 0 && !e.dead {
-		e.dead = true
-		s.tmu.Lock()
-		delete(s.txns, id)
-		s.tmu.Unlock()
+	if e.done && (e.pins <= 0 || s.opts.UnsafeEagerReclaim) && !e.dead.Load() {
+		e.dead.Store(true)
+		e.gen++
+		if sp := s.spine.Load(); sp != nil {
+			hi := id >> txnChunkBits
+			if hi < len(*sp) && (*sp)[hi] != nil {
+				(*sp)[hi].slots[id&txnChunkMask].CompareAndSwap(e, nil)
+			}
+		}
+		s.live.Add(-1)
+		s.pool.Put(e)
 	}
 }
 
 // Commit marks transaction i finished; its vector storage is reclaimed
 // as soon as it stops being a most-recent read/write timestamp.
 func (s *Striped) Commit(i int) {
-	es, unlock := s.lockTxns(i)
-	defer unlock()
-	e := es[i]
+	var lt lockedTxns
+	s.lockTxns(&lt, [3]int{i, 0, 0}, 1)
+	defer lt.unlock()
+	e := lt.get(i)
 	e.done = true
 	s.maybeReclaim(i, e)
 }
@@ -441,25 +662,27 @@ func (s *Striped) Abort(i, blocker int) {
 		return
 	}
 	if s.opts.StarvationAvoidance && blocker != 0 {
-		es, unlock := s.lockTxns(i, blocker)
-		b := es[blocker].vec.Elem(1)
+		var lt lockedTxns
+		s.lockTxns(&lt, [3]int{i, blocker, 0}, 2)
+		b := lt.get(blocker).vec.Elem(1)
 		if b.Defined {
-			seed := s.reseedFirst(i, es[i], b.V)
-			unlock()
+			seed := s.reseedFirst(i, lt.get(i), b.V)
+			lt.unlock()
 			if s.opts.Trace != nil {
 				s.opts.Trace(core.Event{Kind: core.EvFlush, Txn: i, Val: seed})
 			}
 			return
 		}
-		e := es[i]
+		e := lt.get(i)
 		e.done = true
 		s.maybeReclaim(i, e)
-		unlock()
+		lt.unlock()
 		return
 	}
-	es, unlock := s.lockTxns(i)
-	defer unlock()
-	e := es[i]
+	var lt lockedTxns
+	s.lockTxns(&lt, [3]int{i, 0, 0}, 1)
+	defer lt.unlock()
+	e := lt.get(i)
 	e.done = true
 	s.maybeReclaim(i, e)
 }
@@ -480,6 +703,17 @@ func (s *Striped) reseedFirst(i int, e *txnEntry, floor int64) int64 {
 	return seed
 }
 
+// wtOf returns WT for an interned item id, 0 when the item has no
+// state yet. Caller holds the item's latch.
+func (s *Striped) wtOf(id int32) int {
+	st := &s.stripes[int(uint32(id))&s.smask]
+	li := int(id) >> s.nshift
+	if li >= len(st.wt) {
+		return 0
+	}
+	return st.wt[li]
+}
+
 // ReadPendingWriter supports the runtime adapter's immediate-mode
 // check ("read ordered after uncommitted writer"): with x's latch HELD
 // by the caller, it reports whether x's most recent writer w (≠ i) is
@@ -487,14 +721,19 @@ func (s *Striped) reseedFirst(i int, e *txnEntry, floor int64) int64 {
 // lost-update window the adapter must abort. The callback must not
 // call back into this scheduler.
 func (s *Striped) ReadPendingWriter(i int, x string, live func(int) bool) (blocker int, conflict bool) {
-	st := &s.stripes[s.latches.StripeOf(x)]
-	w := st.wt[x]
+	return s.ReadPendingWriterID(i, s.names.ID(x), live)
+}
+
+// ReadPendingWriterID is ReadPendingWriter keyed by interned item id.
+func (s *Striped) ReadPendingWriterID(i int, id int32, live func(int) bool) (blocker int, conflict bool) {
+	w := s.wtOf(id)
 	if w == i || !live(w) {
 		return 0, false
 	}
-	es, unlock := s.lockTxns(i, w)
-	defer unlock()
-	if !s.vecLess(es[i].vec, es[w].vec) {
+	var lt lockedTxns
+	s.lockTxns(&lt, [3]int{i, w, 0}, 2)
+	defer lt.unlock()
+	if !s.vecLess(lt.get(i).vec, lt.get(w).vec) {
 		return w, true
 	}
 	return 0, false
@@ -509,8 +748,12 @@ func (s *Striped) ReadPendingWriter(i int, x string, live func(int) bool) (block
 // second writer regardless of how the vectors compare. The callback
 // must not call back into this scheduler.
 func (s *Striped) WritePendingWriter(i int, x string, live func(int) bool) (blocker int, conflict bool) {
-	st := &s.stripes[s.latches.StripeOf(x)]
-	w := st.wt[x]
+	return s.WritePendingWriterID(i, s.names.ID(x), live)
+}
+
+// WritePendingWriterID is WritePendingWriter keyed by interned item id.
+func (s *Striped) WritePendingWriterID(i int, id int32, live func(int) bool) (blocker int, conflict bool) {
+	w := s.wtOf(id)
 	if w == 0 || w == i || !live(w) {
 		return 0, false
 	}
@@ -520,24 +763,34 @@ func (s *Striped) WritePendingWriter(i int, x string, live func(int) bool) (bloc
 // Vector returns a copy of TS(i). Unknown transactions have the
 // all-undefined vector.
 func (s *Striped) Vector(i int) *core.Vector {
-	es, unlock := s.lockTxns(i)
-	defer unlock()
-	return es[i].vec.Clone()
+	var lt lockedTxns
+	s.lockTxns(&lt, [3]int{i, 0, 0}, 1)
+	defer lt.unlock()
+	return lt.get(i).vec.Clone()
 }
 
 // RT returns RT(x) (0 if none), taking x's latch. Diagnostics only —
 // callers already holding the latch must not use it.
 func (s *Striped) RT(x string) int {
-	unlock := s.latches.Lock(x)
-	defer unlock()
-	return s.stripes[s.latches.StripeOf(x)].rt[x]
+	id := s.names.ID(x)
+	i := s.latches.StripeOfID(id)
+	s.latches.LockStripe(i)
+	defer s.latches.UnlockStripe(i)
+	st := &s.stripes[int(uint32(id))&s.smask]
+	li := int(id) >> s.nshift
+	if li >= len(st.rt) {
+		return 0
+	}
+	return st.rt[li]
 }
 
 // WT returns WT(x) (0 if none), taking x's latch. Diagnostics only.
 func (s *Striped) WT(x string) int {
-	unlock := s.latches.Lock(x)
-	defer unlock()
-	return s.stripes[s.latches.StripeOf(x)].wt[x]
+	id := s.names.ID(x)
+	i := s.latches.StripeOfID(id)
+	s.latches.LockStripe(i)
+	defer s.latches.UnlockStripe(i)
+	return s.wtOf(id)
 }
 
 // Counters returns the current (lcount, ucount) pair.
@@ -571,35 +824,33 @@ func (s *Striped) RaiseWatermarks(lo, hi int64) {
 
 // LiveVectors returns the number of vectors currently held (including
 // T_0), for storage-reclamation tests.
-func (s *Striped) LiveVectors() int {
-	s.tmu.RLock()
-	defer s.tmu.RUnlock()
-	return len(s.txns)
-}
+func (s *Striped) LiveVectors() int { return int(s.live.Load()) }
 
 // Snapshot returns copies of all live timestamp vectors keyed by
 // transaction id. Entries are locked one at a time, so the result is
 // per-vector consistent; quiesce the scheduler for a global snapshot.
 func (s *Striped) Snapshot() map[int]*core.Vector {
-	s.tmu.RLock()
-	ids := make([]int, 0, len(s.txns))
-	for id := range s.txns {
-		ids = append(ids, id)
+	out := make(map[int]*core.Vector)
+	sp := s.spine.Load()
+	if sp == nil {
+		return out
 	}
-	s.tmu.RUnlock()
-	out := make(map[int]*core.Vector, len(ids))
-	for _, id := range ids {
-		s.tmu.RLock()
-		e := s.txns[id]
-		s.tmu.RUnlock()
-		if e == nil {
+	for hi, ch := range *sp {
+		if ch == nil {
 			continue
 		}
-		e.mu.Lock()
-		if !e.dead {
-			out[id] = e.vec.Clone()
+		for lo := range ch.slots {
+			e := ch.slots[lo].Load()
+			if e == nil {
+				continue
+			}
+			want := hi<<txnChunkBits | lo
+			e.mu.Lock()
+			if !e.dead.Load() && e.id == want {
+				out[want] = e.vec.Clone()
+			}
+			e.mu.Unlock()
 		}
-		e.mu.Unlock()
 	}
 	return out
 }

@@ -105,6 +105,11 @@ type Config struct {
 	// UnsafePublish injects the seeded publish-inversion bug
 	// (mt-striped, deferred).
 	UnsafePublish bool
+	// UnsafeEagerReclaim injects the seeded pooled-entry eager-reclaim
+	// bug (mt-striped): finished entries are recycled while still
+	// pinned as an item's most-recent timestamp, so conflict tests that
+	// land after the reclaim see an empty vector.
+	UnsafeEagerReclaim bool
 	// Initial seeds the store (applied identically to subject and
 	// reference, in sorted item order).
 	Initial map[string]int64
@@ -144,6 +149,7 @@ func (c Config) build(coarse bool) (sched.Scheduler, *storage.Store) {
 		if coarse {
 			return sched.NewMT(store, sched.MTOptions{Core: eopts, DeferWrites: c.DeferWrites}), store
 		}
+		eopts.UnsafeEagerReclaim = c.UnsafeEagerReclaim
 		s := sched.NewMTStriped(store, sched.MTOptions{Core: eopts, DeferWrites: c.DeferWrites})
 		if c.UnsafePublish {
 			s.SetUnsafePublish(true)
@@ -760,6 +766,9 @@ func TraceFor(o CampaignOptions, f *Failure) *Trace {
 	if cfg.UnsafePublish {
 		meta["unsafe-publish"] = "1"
 	}
+	if cfg.UnsafeEagerReclaim {
+		meta["unsafe-eager-reclaim"] = "1"
+	}
 	if o.Runtime != nil {
 		meta["runtime"] = "1"
 		meta["max-attempts"] = strconv.Itoa(o.Runtime.MaxAttempts)
@@ -804,6 +813,7 @@ func OptionsFromTrace(tr *Trace, inject bool) (CampaignOptions, error) {
 	o.Config.DeferWrites = tr.Get("defer") == "1"
 	o.Config.StarvationAvoidance = tr.Get("starvation") == "1"
 	o.Config.UnsafePublish = inject && tr.Get("unsafe-publish") == "1"
+	o.Config.UnsafeEagerReclaim = inject && tr.Get("unsafe-eager-reclaim") == "1"
 	if tr.Get("runtime") == "1" {
 		ma, _ := strconv.Atoi(tr.Get("max-attempts"))
 		if ma <= 0 {

@@ -176,6 +176,45 @@ func inversionOptions() CampaignOptions {
 	}
 }
 
+// reclaimOptions is the seeded pooled-entry eager-reclaim scenario:
+// striped MT whose finished entries are recycled while still pinned as
+// an item's most-recent timestamp. Only schedules that order another
+// transaction's conflict test after the reclaim see the empty vector
+// and diverge from the coarse reference — the interleaving the
+// checked-in eager_reclaim.trace pins.
+func reclaimOptions() CampaignOptions {
+	w, _ := NamedWorkload("mix-3x2")
+	return CampaignOptions{
+		Config: Config{
+			Family:             "mt-striped",
+			UnsafeEagerReclaim: true,
+			Initial:            map[string]int64{"a": 10, "b": 20},
+		},
+		Workload: w,
+	}
+}
+
+// TestExplorePCTFindsEagerReclaim is the acceptance test for the
+// pooled-entry lifecycle oracle: PCT must find a schedule where the
+// eager reclaim changes a decision (parity or DSR divergence), and the
+// real reclaim discipline must pass the same schedule.
+func TestExplorePCTFindsEagerReclaim(t *testing.T) {
+	o := reclaimOptions()
+	o.Strategy = &PCT{Seed: 11, Budget: 400}
+	res := RunCampaign(o)
+	if len(res.Failures) == 0 {
+		t.Fatalf("PCT did not find the eager-reclaim divergence in %d executions", res.Executions)
+	}
+	f := res.Failures[0]
+	t.Logf("found after %d executions: %s (seed %d, %d directives)",
+		res.Executions, f.Error(), f.Seed, len(f.Dirs))
+	fixed := o
+	fixed.Config.UnsafeEagerReclaim = false
+	if _, ff, _ := ReplayTrace(fixed, &Trace{Dirs: f.Dirs}); ff != nil {
+		t.Fatalf("correct reclaim discipline fails the schedule: %v", ff)
+	}
+}
+
 // livelockOptions is the seeded express-lane livelock scenario: the
 // runtime retry loop under an admission controller whose express scale
 // is forced to zero, so a conflict-aborted young transaction retries
@@ -292,6 +331,7 @@ func TestExploreRegenTraces(t *testing.T) {
 	}
 	regenTrace(t, filepath.Join("testdata", "publish_inversion.trace"), inversionOptions(), 42, 400)
 	regenTrace(t, filepath.Join("testdata", "express_livelock.trace"), livelockOptions(true), 7, 200)
+	regenTrace(t, filepath.Join("testdata", "eager_reclaim.trace"), reclaimOptions(), 11, 400)
 }
 
 // TestExploreRegressionTraces replays every checked-in trace twice:

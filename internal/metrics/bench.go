@@ -31,6 +31,12 @@ type BenchRow struct {
 	WallMS     float64 `json:"wall_ms"`
 	MeanLatUS  float64 `json:"mean_latency_us"`
 	P99US      int64   `json:"p99_latency_us"`
+	// AllocsPerOp is heap allocations per protocol operation over the
+	// whole cell: runtime.MemStats.Mallocs delta across the run divided
+	// by committed*ops_per_txn. It includes worker setup and restarted
+	// attempts, so it upper-bounds the steady-state figure the alloc
+	// gate enforces (bench/alloc_budget.json).
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // benchHeader is the CSV column order (kept in sync with csvRecord).
@@ -39,6 +45,7 @@ var benchHeader = []string{
 	"read_frac", "zipf_s", "store_latency_us", "seed",
 	"committed", "gave_up", "restarts", "abort_rate",
 	"throughput_tps", "wall_ms", "mean_latency_us", "p99_latency_us",
+	"allocs_per_op",
 }
 
 func (r BenchRow) csvRecord() []string {
@@ -50,6 +57,7 @@ func (r BenchRow) csvRecord() []string {
 		fmt.Sprintf("%.4f", r.AbortRate),
 		fmt.Sprintf("%.1f", r.Throughput), fmt.Sprintf("%.2f", r.WallMS),
 		fmt.Sprintf("%.1f", r.MeanLatUS), fmt.Sprint(r.P99US),
+		fmt.Sprintf("%.2f", r.AllocsPerOp),
 	}
 }
 

@@ -2,12 +2,12 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/explore/hook"
-	"repro/internal/oplog"
 	"repro/internal/storage"
 )
 
@@ -16,6 +16,12 @@ import (
 // equivalent to MT (the coarse global-mutex adapter, retained as the
 // differential reference) but operations on disjoint items from
 // different transactions run concurrently.
+//
+// The adapter shares the store's item-intern table with the engine, so
+// an operation interns its item once and then runs the id-indexed fast
+// path end to end — stripe lookup, protocol step, store access — with
+// no string hashing and no allocation in the steady state (the alloc
+// gate holds BenchmarkStripedScheduler's step path at 0 allocs/op).
 //
 // Lock order, outermost first:
 //
@@ -37,12 +43,14 @@ import (
 // The adapter's transaction map lock (tmu) is a leaf: it is never held
 // while acquiring any of the above.
 type MTStriped struct {
-	opts  MTOptions
-	sched *engine.Striped
-	store *storage.Store
+	opts   MTOptions
+	sched  *engine.Striped
+	store  *storage.Store
+	liveFn func(int) bool // m.live, bound once (no per-call closure)
 
 	tmu  sync.RWMutex
 	txns map[int]*stripedTxnState
+	pool sync.Pool // *stripedTxnState, recycled across transactions
 
 	// unsafePublish reintroduces the PR 5 deferred-mode publish
 	// inversion for the schedule explorer's seeded-bug tests: commit
@@ -53,23 +61,34 @@ type MTStriped struct {
 }
 
 // stripedTxnState is the runtime state of one live transaction,
-// guarded by its own lock.
+// guarded by its own lock. States are pooled: drop returns them, Begin
+// recycles them, and every lock of a possibly-stale pointer re-checks
+// identity against the transaction map afterwards (see lockState).
 type stripedTxnState struct {
 	mu      sync.Mutex
-	writes  map[string]int64
-	order   []string // write order, for deterministic commit validation
-	blocker int      // last rejecting transaction (starvation fix seed)
+	writes  map[int32]int64
+	order   []int32 // write order, for deterministic commit validation
+	blocker int     // last rejecting transaction (starvation fix seed)
+	// commit-path scratch, reused across incarnations
+	stripes []int
+	ids     []int32
+	vals    []int64
 }
 
 // NewMTStriped returns a striped MT(k)-family runtime scheduler over
-// the store.
+// the store. The engine shares the store's intern table.
 func NewMTStriped(store *storage.Store, opts MTOptions) *MTStriped {
-	return &MTStriped{
+	m := &MTStriped{
 		opts:  opts,
-		sched: engine.NewStriped(opts.Core),
+		sched: engine.NewStripedInterned(opts.Core, store.Interner()),
 		store: store,
 		txns:  make(map[int]*stripedTxnState),
 	}
+	m.liveFn = m.live
+	m.pool.New = func() any {
+		return &stripedTxnState{writes: make(map[int32]int64)}
+	}
+	return m
 }
 
 // Name implements Scheduler.
@@ -86,21 +105,45 @@ func (m *MTStriped) Name() string {
 
 // Begin implements Scheduler.
 func (m *MTStriped) Begin(txn int) {
+	st := m.pool.Get().(*stripedTxnState)
+	// Re-initialize under the state lock: the previous incarnation's
+	// dropper may still hold it (drop runs before a deferred unlock),
+	// and a straggler holding a stale pointer may lock it to run its
+	// identity re-check at any moment.
+	st.mu.Lock()
+	clear(st.writes)
+	st.order = st.order[:0]
+	st.blocker = 0
+	st.mu.Unlock()
 	m.tmu.Lock()
-	m.txns[txn] = &stripedTxnState{writes: make(map[string]int64)}
+	m.txns[txn] = st
 	m.tmu.Unlock()
 }
 
-// state returns the live incarnation's runtime state, or nil if the
-// transaction has no live incarnation (never began, or was aborted by a
-// deadline-expired runtime attempt whose straggler operation arrives
-// late). Returning nil instead of panicking keeps the run alive: the
-// caller answers such stray operations with a plain abort.
-func (m *MTStriped) state(txn int) *stripedTxnState {
-	m.tmu.RLock()
-	st := m.txns[txn]
-	m.tmu.RUnlock()
-	return st
+// lockState returns txn's live state with its lock held, or nil if the
+// transaction has no live incarnation (never began, or was aborted by
+// a deadline-expired runtime attempt whose straggler operation arrives
+// late — such strays get a plain abort). Because states are pooled,
+// the identity is re-checked after locking: if the state was dropped
+// and recycled for another transaction between lookup and lock, the
+// map no longer points at it for txn and the lookup retries.
+func (m *MTStriped) lockState(txn int) *stripedTxnState {
+	for {
+		m.tmu.RLock()
+		st := m.txns[txn]
+		m.tmu.RUnlock()
+		if st == nil {
+			return nil
+		}
+		st.mu.Lock()
+		m.tmu.RLock()
+		cur := m.txns[txn]
+		m.tmu.RUnlock()
+		if cur == st {
+			return st
+		}
+		st.mu.Unlock()
+	}
 }
 
 // live reports whether txn has runtime state (used as the liveness
@@ -119,67 +162,74 @@ func (m *MTStriped) live(txn int) bool {
 // decision was made against. The immediate-mode "read ordered after
 // uncommitted writer" abort mirrors MT.Read.
 func (m *MTStriped) Read(txn int, item string) (int64, error) {
-	st := m.state(txn)
+	st := m.lockState(txn)
 	if st == nil {
 		return 0, Abort(txn, 0, "no live incarnation")
 	}
-	st.mu.Lock()
 	defer st.mu.Unlock()
-	if v, ok := st.writes[item]; ok {
+	id := m.sched.ItemID(item)
+	if v, ok := st.writes[id]; ok {
 		return v, nil
 	}
-	unlock := m.sched.Latches().Lock(item)
-	defer unlock()
-	d := m.sched.StepLocked(oplog.R(txn, item))
-	if d.Verdict == core.Reject {
-		st.blocker = d.Blocker
-		return 0, Abort(txn, d.Blocker, "read rejected")
+	lt := m.sched.Latches()
+	stripe := lt.StripeOfID(id)
+	lt.LockStripe(stripe)
+	v, blocker := m.sched.StepReadID(txn, id)
+	if v == core.Reject {
+		lt.UnlockStripe(stripe)
+		st.blocker = blocker
+		return 0, Abort(txn, blocker, "read rejected")
 	}
 	if !m.opts.DeferWrites {
-		if w, conflict := m.sched.ReadPendingWriter(txn, item, m.live); conflict {
+		if w, conflict := m.sched.ReadPendingWriterID(txn, id, m.liveFn); conflict {
+			lt.UnlockStripe(stripe)
 			st.blocker = w
 			return 0, Abort(txn, w, "read ordered after uncommitted writer")
 		}
 	}
-	return m.store.Get(item), nil
+	val := m.store.GetID(id)
+	lt.UnlockStripe(stripe)
+	return val, nil
 }
 
 // Write implements Scheduler.
 func (m *MTStriped) Write(txn int, item string, v int64) error {
-	st := m.state(txn)
+	st := m.lockState(txn)
 	if st == nil {
 		return Abort(txn, 0, "no live incarnation")
 	}
-	st.mu.Lock()
 	defer st.mu.Unlock()
+	id := m.sched.ItemID(item)
 	if !m.opts.DeferWrites {
-		unlock := m.sched.Latches().Lock(item)
+		lt := m.sched.Latches()
+		stripe := lt.StripeOfID(id)
+		lt.LockStripe(stripe)
 		// Immediate mode admits at most one uncommitted writer per item
 		// (see MT.Write): a second live accepted write would publish in
 		// commit order, inverting the decided write order for one of the
 		// two. Checked under the item latch, before the protocol step, so
 		// WT(x) still names the prior writer.
-		if w, conflict := m.sched.WritePendingWriter(txn, item, m.live); conflict {
-			unlock()
+		if w, conflict := m.sched.WritePendingWriterID(txn, id, m.liveFn); conflict {
+			lt.UnlockStripe(stripe)
 			st.blocker = w
 			return Abort(txn, w, "write conflicts with uncommitted writer")
 		}
-		d := m.sched.StepLocked(oplog.W(txn, item))
-		unlock()
-		switch d.Verdict {
+		verdict, blocker := m.sched.StepWriteID(txn, id)
+		lt.UnlockStripe(stripe)
+		switch verdict {
 		case core.Reject:
-			st.blocker = d.Blocker
-			return Abort(txn, d.Blocker, "write rejected")
+			st.blocker = blocker
+			return Abort(txn, blocker, "write rejected")
 		case core.AcceptIgnored:
 			// Thomas write rule: the write is obsolete; drop it.
-			delete(st.writes, item)
+			delete(st.writes, id)
 			return nil
 		}
 	}
-	if _, ok := st.writes[item]; !ok {
-		st.order = append(st.order, item)
+	if _, ok := st.writes[id]; !ok {
+		st.order = append(st.order, id)
 	}
-	st.writes[item] = v
+	st.writes[id] = v
 	return nil
 }
 
@@ -192,51 +242,74 @@ func (m *MTStriped) Write(txn int, item string, v int64) error {
 // store's commit mutex inside ApplyTxn (the group-commit boundary),
 // not at latch-acquire time.
 func (m *MTStriped) Commit(txn int) error {
-	st := m.state(txn)
+	st := m.lockState(txn)
 	if st == nil {
 		return Abort(txn, 0, "no live incarnation")
 	}
-	st.mu.Lock()
 	defer st.mu.Unlock()
-	apply := make(map[string]int64, len(st.writes))
-	for x, v := range st.writes {
-		apply[x] = v
+	lt := m.sched.Latches()
+	st.stripes = st.stripes[:0]
+	for _, id := range st.order {
+		st.stripes = append(st.stripes, lt.StripeOfID(id))
 	}
-	unlock := m.sched.Latches().Lock(st.order...)
+	sort.Ints(st.stripes)
+	st.stripes = dedupInts(st.stripes)
+	lt.LockStripesSorted(st.stripes)
 	if m.opts.DeferWrites {
-		for _, x := range st.order {
-			if _, ok := st.writes[x]; !ok {
+		for _, id := range st.order {
+			if _, ok := st.writes[id]; !ok {
 				continue
 			}
-			d := m.sched.StepLocked(oplog.W(txn, x))
-			switch d.Verdict {
+			verdict, blocker := m.sched.StepWriteID(txn, id)
+			switch verdict {
 			case core.Reject:
-				st.blocker = d.Blocker
-				m.sched.Abort(txn, d.Blocker)
-				unlock()
+				st.blocker = blocker
+				m.sched.Abort(txn, blocker)
+				lt.UnlockStripesSorted(st.stripes)
 				m.drop(txn)
-				return Abort(txn, d.Blocker, "commit-time write validation failed")
+				return Abort(txn, blocker, "commit-time write validation failed")
 			case core.AcceptIgnored:
-				delete(apply, x)
+				delete(st.writes, id)
 			}
+		}
+	}
+	st.ids, st.vals = st.ids[:0], st.vals[:0]
+	for _, id := range st.order {
+		if v, ok := st.writes[id]; ok {
+			st.ids = append(st.ids, id)
+			st.vals = append(st.vals, v)
 		}
 	}
 	if m.unsafePublish {
 		// Seeded bug (explore harness): drop the latches before the
 		// publish, as the pre-PR-5-fix code did. The yield marks the
 		// reopened window so the explorer can preempt inside it.
-		unlock()
+		lt.UnlockStripesSorted(st.stripes)
 		hook.Yield("sched.publish", "", int64(txn), 0)
-		m.store.ApplyTxn(txn, apply)
+		m.store.ApplyTxnIDs(txn, st.ids, st.vals)
 		m.sched.Commit(txn)
 		m.drop(txn)
 		return nil
 	}
-	m.store.ApplyTxn(txn, apply)
+	m.store.ApplyTxnIDs(txn, st.ids, st.vals)
 	m.sched.Commit(txn)
-	unlock()
+	lt.UnlockStripesSorted(st.stripes)
 	m.drop(txn)
 	return nil
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice, in place.
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // SetUnsafePublish toggles the reintroduced publish-inversion bug
@@ -244,21 +317,23 @@ func (m *MTStriped) Commit(txn int) error {
 // comment).
 func (m *MTStriped) SetUnsafePublish(v bool) { m.unsafePublish = v }
 
-// drop removes txn's runtime state.
+// drop removes txn's runtime state and recycles it. The state may
+// still be locked by the caller (or by a straggler); recyclers
+// re-initialize under the state lock, so the pool handoff is safe.
 func (m *MTStriped) drop(txn int) {
 	m.tmu.Lock()
+	st := m.txns[txn]
 	delete(m.txns, txn)
 	m.tmu.Unlock()
+	if st != nil {
+		m.pool.Put(st)
+	}
 }
 
 // Abort implements Scheduler.
 func (m *MTStriped) Abort(txn int) {
-	m.tmu.RLock()
-	st := m.txns[txn]
-	m.tmu.RUnlock()
 	blocker := 0
-	if st != nil {
-		st.mu.Lock()
+	if st := m.lockState(txn); st != nil {
 		blocker = st.blocker
 		st.mu.Unlock()
 	}
@@ -288,13 +363,10 @@ func (m *MTStriped) SeedWALCounters(lo, hi int64) { m.sched.SeedCounters(lo, hi)
 // mirroring MT.TryPartialRestart: flush-and-reseed past the blocker,
 // then re-validate the kept reads under the new vector.
 func (m *MTStriped) TryPartialRestart(txn int, readItems []string) bool {
-	m.tmu.RLock()
-	st := m.txns[txn]
-	m.tmu.RUnlock()
+	st := m.lockState(txn)
 	if st == nil {
 		return false
 	}
-	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.blocker == 0 || !m.opts.Core.StarvationAvoidance {
 		return false
@@ -303,12 +375,15 @@ func (m *MTStriped) TryPartialRestart(txn int, readItems []string) bool {
 	// state survive).
 	m.sched.Abort(txn, st.blocker)
 	st.blocker = 0
+	lt := m.sched.Latches()
 	for _, x := range readItems {
-		unlock := m.sched.Latches().Lock(x)
-		d := m.sched.StepLocked(oplog.R(txn, x))
-		unlock()
-		if d.Verdict == core.Reject {
-			st.blocker = d.Blocker
+		id := m.sched.ItemID(x)
+		stripe := lt.StripeOfID(id)
+		lt.LockStripe(stripe)
+		verdict, blocker := m.sched.StepReadID(txn, id)
+		lt.UnlockStripe(stripe)
+		if verdict == core.Reject {
+			st.blocker = blocker
 			return false
 		}
 	}

@@ -12,22 +12,25 @@ import (
 	"repro/internal/workload"
 )
 
-// starvationStorm is a workload engineered to starve: 96 transactions
-// from 16 workers fight over 2 items with think time wide enough that
+// starvationStorm is a workload engineered to starve: 192 transactions
+// from 32 workers fight over 2 items with think time wide enough that
 // attempts always overlap, so on every scheduler some transactions lose
-// the retry race over and over. MaxAttempts is the starvation detector:
+// the retry race over and over. (The yield-spin backoff runtime made
+// retries precise enough that the original 16-worker storm stopped
+// starving anyone; this population is calibrated to starve ~30 without
+// aging.) MaxAttempts is the starvation detector:
 // a transaction that burns 100 conflict retries without committing is
 // starved for this test's purposes.
 func starvationStorm(aging bool) Config {
 	cfg := Config{
 		Specs: workload.Config{
-			Txns: 96, OpsPerTxn: 3, Items: 2,
+			Txns: 192, OpsPerTxn: 3, Items: 2,
 			ReadFraction: 0.3, Seed: 11,
 		}.Generate(),
-		Workers:     16,
+		Workers:     32,
 		MaxAttempts: 100,
 		Backoff:     100 * time.Microsecond,
-		Think:       200 * time.Microsecond,
+		Think:       400 * time.Microsecond,
 		RuntimeSeed: 11,
 		KeepResults: true,
 	}

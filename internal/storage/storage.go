@@ -5,25 +5,31 @@
 // commit (the paper's Section VI-C-2 "two-phase commit for each write
 // operation" — temporary copies stay invisible to other transactions).
 //
-// The map is hash-sharded with a per-shard RWMutex so reads and commits
-// on disjoint items proceed concurrently; the only global serialization
-// point is the commit mutex that sequences the batch version counter
-// and the journal hook. A committing batch holds its items' shard locks
-// ACROSS the journal call, so for any single item the journal order, the
-// per-item version order and the in-memory apply order always agree —
-// the property WAL replay correctness rests on.
+// Items are interned to dense int32 ids (the store owns the intern
+// table and can share it with a scheduler, so both agree on ids), and
+// committed state lives in dense per-shard slices indexed by id: the
+// steady-state Get/ApplyTxnIDs path hashes no strings and allocates
+// nothing. The keyspace is sharded with a per-shard RWMutex so reads
+// and commits on disjoint items proceed concurrently; the only global
+// serialization point is the commit mutex that sequences the batch
+// version counter and the journal hook. A committing batch holds its
+// items' shard locks ACROSS the journal call, so for any single item
+// the journal order, the per-item version order and the in-memory
+// apply order always agree — the property WAL replay correctness rests
+// on.
 package storage
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/explore/hook"
+	"repro/internal/intern"
 )
 
-// shardCount is the number of map shards (power of two).
+// shardCount is the number of shards (power of two).
 const shardCount = 64
 
 // ApplyEvent describes one committed batch, delivered to the journal
@@ -58,16 +64,30 @@ type State struct {
 	Version  int64
 }
 
-// shard is one slice of the keyspace with its own lock.
+// shard is one slice of the id space with its own lock. An item with
+// id n lives at index n >> 6 of shard n & 63 (ids are dense, so shards
+// grow in lockstep with the item count); the slices grow only under
+// the shard's write lock.
 type shard struct {
 	mu      sync.RWMutex
-	data    map[string]int64
-	itemVer map[string]int64
+	vals    []int64
+	vers    []int64
+	written []bool // item has committed data (vals valid)
 }
 
-// Store is a concurrency-safe committed-state KV store, sharded by item
-// hash.
+// ensure grows the shard to cover in-shard index li (write lock held).
+func (sh *shard) ensure(li int) {
+	for li >= len(sh.vals) {
+		sh.vals = append(sh.vals, 0)
+		sh.vers = append(sh.vers, 0)
+		sh.written = append(sh.written, false)
+	}
+}
+
+// Store is a concurrency-safe committed-state KV store, sharded by
+// interned item id.
 type Store struct {
+	names  *intern.Table
 	shards [shardCount]shard
 	// commitMu is the global ordering point: it sequences the batch
 	// version counter and the journal hook. It nests strictly inside the
@@ -77,8 +97,11 @@ type Store struct {
 	// schemes that need a cheap global commit counter. Guarded by
 	// commitMu.
 	version int64
-	// journal, when set, observes every committed batch under commitMu.
+	// journal, when set, observes every committed batch under commitMu;
+	// jset mirrors journal != nil so the apply path can skip building
+	// the event maps without taking commitMu early.
 	journal Journal
+	jset    atomic.Bool
 	// simLatency, when non-zero, is a per-access sleep (ns) modeling a
 	// paged or remote storage backend; see SetSimLatency.
 	simLatency atomic.Int64
@@ -86,43 +109,40 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store {
-	s := &Store{}
-	for i := range s.shards {
-		s.shards[i].data = make(map[string]int64)
-		s.shards[i].itemVer = make(map[string]int64)
-	}
-	return s
+	return &Store{names: intern.New()}
 }
 
-// Restore builds a store from a recovered state. The maps are copied;
+// Restore builds a store from a recovered state. The state is copied;
 // a nil map restores as empty.
 func Restore(st State) *Store {
 	s := New()
 	for x, v := range st.Data {
-		sh := s.shardOf(x)
-		sh.data[x] = v
+		id := s.names.ID(x)
+		sh, li := s.shardOf(id)
+		sh.ensure(li)
+		sh.vals[li] = v
+		sh.written[li] = true
 	}
 	for x, v := range st.ItemVers {
-		sh := s.shardOf(x)
-		sh.itemVer[x] = v
+		id := s.names.ID(x)
+		sh, li := s.shardOf(id)
+		sh.ensure(li)
+		sh.vers[li] = v
 	}
 	s.version = st.Version
 	return s
 }
 
-// fnv1a hashes an item name (inlined FNV-1a, avoiding an allocation per
-// access).
-func fnv1a(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
-}
+// Interner exposes the store's item-intern table, so a scheduler built
+// with engine.NewStripedInterned shares the store's id space and the
+// runtime adapter can drive the id-indexed fast path end to end.
+func (s *Store) Interner() *intern.Table { return s.names }
 
-func (s *Store) shardOf(item string) *shard {
-	return &s.shards[fnv1a(item)&(shardCount-1)]
+// IDOf interns item and returns its dense id.
+func (s *Store) IDOf(item string) int32 { return s.names.ID(item) }
+
+func (s *Store) shardOf(id int32) (*shard, int) {
+	return &s.shards[int(uint32(id))&(shardCount-1)], int(id) >> 6
 }
 
 // SetSimLatency installs a simulated per-access latency: every Get and
@@ -146,22 +166,34 @@ func (s *Store) simSleep() {
 func (s *Store) SetJournal(j Journal) {
 	s.commitMu.Lock()
 	s.journal = j
+	s.jset.Store(j != nil)
 	s.commitMu.Unlock()
 }
 
 // Get returns the committed value of item (0 if never written).
 func (s *Store) Get(item string) int64 {
-	hook.Yield("storage.get", item, 0, 0)
-	sh := s.shardOf(item)
+	return s.GetID(s.names.ID(item))
+}
+
+// GetID is Get keyed by interned id: the allocation-free fast path.
+func (s *Store) GetID(id int32) int64 {
+	if hook.Enabled() {
+		hook.Yield("storage.get", s.names.Name(id), 0, 0)
+	}
+	sh, li := s.shardOf(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s.simSleep()
-	return sh.data[item]
+	if li >= len(sh.vals) {
+		return 0
+	}
+	return sh.vals[li]
 }
 
 // lockAll acquires every shard lock in index order (write mode) and
 // returns an unlock function. Whole-store snapshots use it; the index
-// order matches lockShards, so snapshots and commits cannot deadlock.
+// order matches the apply path, so snapshots and commits cannot
+// deadlock.
 func (s *Store) lockAll() func() {
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
@@ -192,9 +224,18 @@ func (s *Store) GetMany(items []string) map[string]int64 {
 	s.simSleep()
 	out := make(map[string]int64, len(items))
 	for _, x := range items {
-		out[x] = s.shardOf(x).data[x]
+		out[x] = s.lockedGet(s.names.ID(x))
 	}
 	return out
+}
+
+// lockedGet reads one value with the item's shard lock already held.
+func (s *Store) lockedGet(id int32) int64 {
+	sh, li := s.shardOf(id)
+	if li >= len(sh.vals) {
+		return 0
+	}
+	return sh.vals[li]
 }
 
 // Apply commits a write batch atomically and returns the new version.
@@ -202,26 +243,34 @@ func (s *Store) Apply(writes map[string]int64) int64 {
 	return s.ApplyTxn(0, writes)
 }
 
-// lockShards acquires the (deduplicated) shard locks covering the batch
-// in ascending index order and returns an unlock function.
-func (s *Store) lockShards(writes map[string]int64) func() {
-	var idx []int
-	seen := [shardCount]bool{}
-	for x := range writes {
-		i := int(fnv1a(x) & (shardCount - 1))
-		if !seen[i] {
-			seen[i] = true
-			idx = append(idx, i)
-		}
+// shardSet is the fixed-size scratch for a batch's deduplicated shard
+// indices; it lives on the apply path's stack.
+type shardSet struct {
+	seen [shardCount]bool
+	idx  [shardCount]int
+	n    int
+}
+
+func (ss *shardSet) add(id int32) {
+	i := int(uint32(id)) & (shardCount - 1)
+	if !ss.seen[i] {
+		ss.seen[i] = true
+		ss.idx[ss.n] = i
+		ss.n++
 	}
-	sort.Ints(idx)
-	for _, i := range idx {
+}
+
+// lock acquires the collected shards in ascending index order.
+func (ss *shardSet) lock(s *Store) {
+	slices.Sort(ss.idx[:ss.n])
+	for _, i := range ss.idx[:ss.n] {
 		s.shards[i].mu.Lock()
 	}
-	return func() {
-		for j := len(idx) - 1; j >= 0; j-- {
-			s.shards[idx[j]].mu.Unlock()
-		}
+}
+
+func (ss *shardSet) unlock(s *Store) {
+	for j := ss.n - 1; j >= 0; j-- {
+		s.shards[ss.idx[j]].mu.Unlock()
 	}
 }
 
@@ -232,16 +281,69 @@ func (s *Store) lockShards(writes map[string]int64) func() {
 // with the per-item version order item by item.
 func (s *Store) ApplyTxn(txn int, writes map[string]int64) int64 {
 	hook.Yield("storage.apply", "", int64(txn), 0)
-	unlock := s.lockShards(writes)
-	defer unlock()
-	s.simSleep()
-	vers := make(map[string]int64, len(writes))
-	for x, v := range writes {
-		sh := s.shardOf(x)
-		sh.data[x] = v
-		sh.itemVer[x]++
-		vers[x] = sh.itemVer[x]
+	var ss shardSet
+	for x := range writes {
+		ss.add(s.names.ID(x))
 	}
+	ss.lock(s)
+	defer ss.unlock(s)
+	s.simSleep()
+	var vers map[string]int64
+	if s.jset.Load() {
+		vers = make(map[string]int64, len(writes))
+	}
+	for x, v := range writes {
+		ver := s.applyOne(s.names.ID(x), v)
+		if vers != nil {
+			vers[x] = ver
+		}
+	}
+	return s.finishCommit(txn, writes, vers)
+}
+
+// ApplyTxnIDs is ApplyTxn keyed by interned ids: ids[i] is written
+// vals[i]. Duplicate ids apply in slice order. Allocation-free unless
+// a journal is installed (the event's maps are then materialized from
+// the intern table).
+func (s *Store) ApplyTxnIDs(txn int, ids []int32, vals []int64) int64 {
+	hook.Yield("storage.apply", "", int64(txn), 0)
+	var ss shardSet
+	for _, id := range ids {
+		ss.add(id)
+	}
+	ss.lock(s)
+	defer ss.unlock(s)
+	s.simSleep()
+	var writes, vers map[string]int64
+	if s.jset.Load() {
+		writes = make(map[string]int64, len(ids))
+		vers = make(map[string]int64, len(ids))
+	}
+	for i, id := range ids {
+		ver := s.applyOne(id, vals[i])
+		if writes != nil {
+			x := s.names.Name(id)
+			writes[x] = vals[i]
+			vers[x] = ver
+		}
+	}
+	return s.finishCommit(txn, writes, vers)
+}
+
+// applyOne writes one value (shard lock held) and returns the item's
+// new version.
+func (s *Store) applyOne(id int32, v int64) int64 {
+	sh, li := s.shardOf(id)
+	sh.ensure(li)
+	sh.vals[li] = v
+	sh.written[li] = true
+	sh.vers[li]++
+	return sh.vers[li]
+}
+
+// finishCommit sequences the batch under the commit mutex (shard locks
+// still held) and emits the journal event.
+func (s *Store) finishCommit(txn int, writes, vers map[string]int64) int64 {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.version++
@@ -250,6 +352,12 @@ func (s *Store) ApplyTxn(txn int, writes map[string]int64) int64 {
 	// preemption point — commitMu is uninstrumented).
 	hook.Observe("storage.commit", "", int64(txn), s.version)
 	if s.journal != nil {
+		if writes == nil {
+			writes = map[string]int64{}
+		}
+		if vers == nil {
+			vers = map[string]int64{}
+		}
 		s.journal(ApplyEvent{Txn: txn, Writes: writes, Vers: vers, Version: s.version})
 	}
 	return s.version
@@ -263,10 +371,17 @@ func (s *Store) Set(item string, v int64) {
 // ItemVersion returns the number of commits that wrote item (0 if never
 // written).
 func (s *Store) ItemVersion(item string) int64 {
-	sh := s.shardOf(item)
+	id, ok := s.names.Lookup(item)
+	if !ok {
+		return 0
+	}
+	sh, li := s.shardOf(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.itemVer[item]
+	if li >= len(sh.vers) {
+		return 0
+	}
+	return sh.vers[li]
 }
 
 // Version returns the number of committed batches so far.
@@ -281,9 +396,10 @@ func (s *Store) Snapshot() map[string]int64 {
 	unlock := s.rlockAll()
 	defer unlock()
 	out := make(map[string]int64)
-	for i := range s.shards {
-		for x, v := range s.shards[i].data {
-			out[x] = v
+	for id, name := range s.names.Names() {
+		sh, li := s.shardOf(int32(id))
+		if li < len(sh.written) && sh.written[li] {
+			out[name] = sh.vals[li]
 		}
 	}
 	return out
@@ -303,12 +419,16 @@ func (s *Store) State() State {
 		ItemVers: make(map[string]int64),
 		Version:  s.version,
 	}
-	for i := range s.shards {
-		for x, v := range s.shards[i].data {
-			st.Data[x] = v
+	for id, name := range s.names.Names() {
+		sh, li := s.shardOf(int32(id))
+		if li >= len(sh.written) {
+			continue
 		}
-		for x, v := range s.shards[i].itemVer {
-			st.ItemVers[x] = v
+		if sh.written[li] {
+			st.Data[name] = sh.vals[li]
+		}
+		if sh.vers[li] > 0 {
+			st.ItemVers[name] = sh.vers[li]
 		}
 	}
 	return st
@@ -321,7 +441,9 @@ func (s *Store) Sum(items []string) int64 {
 	defer unlock()
 	var sum int64
 	for _, x := range items {
-		sum += s.shardOf(x).data[x]
+		if id, ok := s.names.Lookup(x); ok {
+			sum += s.lockedGet(id)
+		}
 	}
 	return sum
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -371,10 +372,37 @@ func sleepBackoff(ctx context.Context, rng *rand.Rand, n int, base time.Duration
 
 // sleepCtx sleeps d, returning early with the ctx error when the
 // context expires first. The fast path (no cancellation possible) stays
-// a bare time.Sleep.
+// a bare time.Sleep. Sleeps at or below spinSleepMax yield-spin
+// instead: a timer sleep's realized latency (timer granularity plus
+// waking a parked P) is 100-250µs on Linux, an order of magnitude more
+// than a short backoff asks for, and it dominates wall time in
+// backoff-bound low-concurrency runs. Gosched surrenders the CPU to
+// any runnable worker — the semantic point of backing off — so an
+// oversubscribed host absorbs the spin as useful work; only an
+// otherwise-idle process burns the duration as CPU. The cap is 1ms,
+// not the ~250µs where the timer tax stops dominating, because the
+// backoff sleeps that matter most are the admission controller's
+// scaled yields (young transactions sleeping YieldScale times longer
+// than their older blockers): those land in the 240µs-1ms band, fire
+// exactly when the host is oversubscribed with the older work they
+// are donating CPU to, and paying the timer wakeup there erases the
+// aging tie-break's throughput instead of just delaying one sleeper.
+const spinSleepMax = 1 * time.Millisecond
+
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
+	}
+	if d <= spinSleepMax {
+		for deadline := time.Now().Add(d); ; {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			runtime.Gosched()
+			if !time.Now().Before(deadline) {
+				return ctx.Err()
+			}
+		}
 	}
 	if ctx.Done() == nil {
 		time.Sleep(d)
